@@ -1,0 +1,386 @@
+// Package tcpburst's benchmark harness regenerates every table and figure
+// of the paper at benchmark scale and reports the headline numbers as
+// custom metrics. Absolute values use a shorter simulated duration than
+// the paper's 200 s (pass -benchtime=1x to run each exactly once):
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// Benchmarks map to the paper as follows:
+//
+//	BenchmarkTable1Defaults      — Table 1 (simulation parameters)
+//	BenchmarkFigure2COV          — Figure 2 (c.o.v. per protocol/queue)
+//	BenchmarkFigure3Throughput   — Figure 3 (packets delivered)
+//	BenchmarkFigure4Loss         — Figure 4 (packet-loss percentage)
+//	BenchmarkFigure5..9          — Reno congestion-window traces
+//	BenchmarkFigure10..12        — Vegas congestion-window traces
+//	BenchmarkFigure13TimeoutRatio — timeout / duplicate-ACK ratio
+//	BenchmarkAblation*           — design-choice ablations beyond the paper
+//	BenchmarkKernel*             — substrate micro-benchmarks
+package tcpburst
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tcpburst/internal/core"
+	"tcpburst/internal/packet"
+	"tcpburst/internal/queue"
+	"tcpburst/internal/sim"
+	"tcpburst/internal/stats"
+)
+
+// benchDuration trades fidelity for wall-clock time; the cmd/burstsweep and
+// cmd/cwndtrace tools run the paper's full 200 s.
+const benchDuration = 30 * time.Second
+
+func runBench(b *testing.B, cfg core.Config) *core.Result {
+	b.Helper()
+	cfg.Duration = benchDuration
+	var res *core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = core.Run(cfg)
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+	}
+	return res
+}
+
+func BenchmarkTable1Defaults(b *testing.B) {
+	cfg := core.DefaultConfig(39, core.Reno, core.FIFO)
+	if err := cfg.Validate(); err != nil {
+		b.Fatalf("Table 1 defaults invalid: %v", err)
+	}
+	res := runBench(b, cfg)
+	b.ReportMetric(cfg.RTT().Seconds(), "rtt_s")
+	b.ReportMetric(cfg.OfferedLoadBps()/cfg.BottleneckRateBps, "offered/capacity")
+	b.ReportMetric(res.Utilization, "utilization")
+}
+
+// figureCells are the protocol/queue combinations of Figures 2-4 and 13.
+func figureCells() []core.Cell { return core.PaperCells() }
+
+// figureLoads samples the three congestion regimes of the sweep x-axis.
+var figureLoads = []int{20, 39, 60}
+
+func benchFigure(b *testing.B, metricName string, metric func(*core.Result) float64) {
+	for _, cell := range figureCells() {
+		for _, n := range figureLoads {
+			b.Run(fmt.Sprintf("%s/n%d", cell, n), func(b *testing.B) {
+				res := runBench(b, core.DefaultConfig(n, cell.Protocol, cell.Gateway))
+				b.ReportMetric(metric(res), metricName)
+				b.ReportMetric(res.AnalyticCOV, "poisson_cov")
+			})
+		}
+	}
+}
+
+func BenchmarkFigure2COV(b *testing.B) {
+	benchFigure(b, "cov", core.MetricCOV)
+}
+
+func BenchmarkFigure3Throughput(b *testing.B) {
+	benchFigure(b, "delivered_pkts", core.MetricThroughput)
+}
+
+func BenchmarkFigure4Loss(b *testing.B) {
+	benchFigure(b, "loss_pct", core.MetricLossPct)
+}
+
+func BenchmarkFigure13TimeoutRatio(b *testing.B) {
+	benchFigure(b, "timeout_dupack_ratio", core.MetricTimeoutRatio)
+}
+
+// benchCwndTrace runs a traced experiment and reports the trace statistics
+// that summarize the paper's window-evolution figures: mean window and the
+// fraction of samples at a collapsed window (cwnd <= 1).
+func benchCwndTrace(b *testing.B, p core.Protocol, clients int) {
+	cfg := core.DefaultConfig(clients, p, core.FIFO)
+	cfg.CwndSampleInterval = 100 * time.Millisecond
+	res := runBench(b, cfg)
+	var w stats.Welford
+	collapses, total := 0, 0
+	for _, s := range res.CwndTraces {
+		for _, smp := range s.Samples {
+			w.Add(smp.Value)
+			if smp.Value <= 1 {
+				collapses++
+			}
+			total++
+		}
+	}
+	b.ReportMetric(w.Mean(), "mean_cwnd")
+	b.ReportMetric(w.COV(), "cwnd_cov")
+	if total > 0 {
+		b.ReportMetric(float64(collapses)/float64(total), "collapse_frac")
+	}
+	b.ReportMetric(res.JainFairness, "jain")
+}
+
+func BenchmarkFigure5RenoCwnd20(b *testing.B)   { benchCwndTrace(b, core.Reno, 20) }
+func BenchmarkFigure6RenoCwnd30(b *testing.B)   { benchCwndTrace(b, core.Reno, 30) }
+func BenchmarkFigure7RenoCwnd38(b *testing.B)   { benchCwndTrace(b, core.Reno, 38) }
+func BenchmarkFigure8RenoCwnd39(b *testing.B)   { benchCwndTrace(b, core.Reno, 39) }
+func BenchmarkFigure9RenoCwnd60(b *testing.B)   { benchCwndTrace(b, core.Reno, 60) }
+func BenchmarkFigure10VegasCwnd20(b *testing.B) { benchCwndTrace(b, core.Vegas, 20) }
+func BenchmarkFigure11VegasCwnd30(b *testing.B) { benchCwndTrace(b, core.Vegas, 30) }
+func BenchmarkFigure12VegasCwnd60(b *testing.B) { benchCwndTrace(b, core.Vegas, 60) }
+
+// Ablations beyond the paper: how the conclusions move when design choices
+// change.
+
+// BenchmarkAblationVariants contrasts Tahoe, Reno and NewReno burstiness at
+// the same heavy load — how much of the modulation is Reno-specific.
+func BenchmarkAblationVariants(b *testing.B) {
+	for _, p := range []core.Protocol{core.Tahoe, core.Reno, core.NewReno, core.Sack, core.Vegas} {
+		b.Run(p.String(), func(b *testing.B) {
+			res := runBench(b, core.DefaultConfig(60, p, core.FIFO))
+			b.ReportMetric(res.COV, "cov")
+			b.ReportMetric(res.LossPct, "loss_pct")
+			b.ReportMetric(float64(res.Timeouts), "timeouts")
+		})
+	}
+}
+
+// BenchmarkAblationREDMaxProb sweeps RED aggressiveness: the paper-era ns
+// default (0.1) versus Floyd & Jacobson's recommended 0.02.
+func BenchmarkAblationREDMaxProb(b *testing.B) {
+	for _, maxP := range []float64{0.02, 0.1, 0.5} {
+		b.Run(fmt.Sprintf("maxp%.2f", maxP), func(b *testing.B) {
+			cfg := core.DefaultConfig(60, core.Reno, core.RED)
+			cfg.REDMaxProb = maxP
+			res := runBench(b, cfg)
+			b.ReportMetric(res.COV, "cov")
+			b.ReportMetric(float64(res.Delivered), "delivered_pkts")
+		})
+	}
+}
+
+// BenchmarkAblationBufferSize varies the gateway buffer: the closed-loop
+// crossover N* = (BDP+B)/cwnd moves with B.
+func BenchmarkAblationBufferSize(b *testing.B) {
+	for _, buf := range []int{25, 50, 100, 200} {
+		b.Run(fmt.Sprintf("B%d", buf), func(b *testing.B) {
+			cfg := core.DefaultConfig(39, core.Reno, core.FIFO)
+			cfg.BufferPackets = buf
+			res := runBench(b, cfg)
+			b.ReportMetric(res.COV, "cov")
+			b.ReportMetric(res.LossPct, "loss_pct")
+		})
+	}
+}
+
+// BenchmarkAblationGentleRED contrasts the paper's cliff-at-maxth RED with
+// Floyd's 2000 gentle refinement (extension).
+func BenchmarkAblationGentleRED(b *testing.B) {
+	for _, gentle := range []bool{false, true} {
+		name := "cliff"
+		if gentle {
+			name = "gentle"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig(60, core.Reno, core.RED)
+			cfg.REDGentle = gentle
+			res := runBench(b, cfg)
+			b.ReportMetric(res.COV, "cov")
+			b.ReportMetric(res.LossPct, "loss_pct")
+			b.ReportMetric(float64(res.Delivered), "delivered_pkts")
+		})
+	}
+}
+
+// BenchmarkAblationECN contrasts drop-RED against mark-ECN (extension).
+func BenchmarkAblationECN(b *testing.B) {
+	for _, ecn := range []bool{false, true} {
+		name := "drop"
+		if ecn {
+			name = "mark"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig(50, core.Reno, core.RED)
+			cfg.REDECN = ecn
+			res := runBench(b, cfg)
+			b.ReportMetric(res.COV, "cov")
+			b.ReportMetric(res.LossPct, "loss_pct")
+		})
+	}
+}
+
+// BenchmarkAblationRandomLoss reproduces the Lakshman–Madhow random-loss
+// effect the paper cites as [10]: window-limited TCP goodput collapses
+// under non-congestive wire loss far faster than the loss rate itself.
+func BenchmarkAblationRandomLoss(b *testing.B) {
+	for _, p := range []float64{0, 0.01, 0.03, 0.1} {
+		for _, proto := range []core.Protocol{core.Reno, core.Sack} {
+			b.Run(fmt.Sprintf("%s/p%.2f", proto, p), func(b *testing.B) {
+				cfg := core.DefaultConfig(5, proto, core.FIFO)
+				cfg.MeanInterval = 2 * time.Millisecond // window-limited flows
+				cfg.WireLossProb = p
+				res := runBench(b, cfg)
+				b.ReportMetric(float64(res.Delivered), "delivered_pkts")
+				b.ReportMetric(float64(res.Timeouts), "timeouts")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationAckPath chokes the reverse (acknowledgment) path — the
+// paper keeps it uncongested; this measures how ACK loss and compression
+// feed back into forward burstiness.
+func BenchmarkAblationAckPath(b *testing.B) {
+	for _, rate := range []float64{31e6, 1e6, 200e3} {
+		b.Run(fmt.Sprintf("rev%.0fkbps", rate/1e3), func(b *testing.B) {
+			cfg := core.DefaultConfig(20, core.Reno, core.FIFO)
+			cfg.ReverseRateBps = rate
+			cfg.ReverseBufferPackets = 20
+			res := runBench(b, cfg)
+			b.ReportMetric(res.COV, "cov")
+			b.ReportMetric(float64(res.AckDrops), "ack_drops")
+			b.ReportMetric(float64(res.Delivered), "delivered_pkts")
+		})
+	}
+}
+
+// BenchmarkAblationGatewayDiscipline compares all three disciplines at
+// heavy load: the paper's FIFO/RED pair plus deficit-round-robin fair
+// queueing, the scheduling answer to the paper's opening question.
+func BenchmarkAblationGatewayDiscipline(b *testing.B) {
+	for _, q := range []core.GatewayQueue{core.FIFO, core.RED, core.DRR} {
+		b.Run(q.String(), func(b *testing.B) {
+			res := runBench(b, core.DefaultConfig(60, core.Reno, q))
+			b.ReportMetric(res.COV, "cov")
+			b.ReportMetric(res.LossPct, "loss_pct")
+			b.ReportMetric(res.JainFairness, "jain")
+		})
+	}
+}
+
+// BenchmarkAblationTrafficModel swaps the paper's Poisson sources for
+// heavy-tailed Pareto on/off sources at the same mean rate — how much of
+// the aggregate's burstiness comes from the application versus TCP.
+func BenchmarkAblationTrafficModel(b *testing.B) {
+	for _, tm := range []core.TrafficModel{core.TrafficPoisson, core.TrafficParetoOnOff} {
+		for _, p := range []core.Protocol{core.UDP, core.Reno} {
+			b.Run(fmt.Sprintf("%s/%s", tm, p), func(b *testing.B) {
+				cfg := core.DefaultConfig(30, p, core.FIFO)
+				cfg.Traffic = tm
+				res := runBench(b, cfg)
+				b.ReportMetric(res.COV, "cov")
+				b.ReportMetric(res.Hurst, "hurst")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationRTTJitter spreads client access delays: identical RTTs
+// maximize the lockstep window decisions the paper blames for burstiness;
+// heterogeneous RTTs should desynchronize and smooth the aggregate.
+func BenchmarkAblationRTTJitter(b *testing.B) {
+	for _, jitter := range []time.Duration{0, 10 * time.Millisecond, 30 * time.Millisecond} {
+		b.Run(fmt.Sprintf("jitter%s", jitter), func(b *testing.B) {
+			cfg := core.DefaultConfig(55, core.Reno, core.FIFO)
+			cfg.ClientDelayJitter = jitter
+			cfg.CwndSampleInterval = 100 * time.Millisecond
+			cfg.TraceClients = []int{1, 28, 55}
+			res := runBench(b, cfg)
+			b.ReportMetric(res.COV, "cov")
+			b.ReportMetric(res.CwndSyncIndex, "sync_index")
+		})
+	}
+}
+
+// BenchmarkAblationParkingLot extends the study to two bottlenecks: long
+// flows crossing both hops versus single-hop cross traffic (the
+// distributed-system topology the paper's introduction motivates).
+func BenchmarkAblationParkingLot(b *testing.B) {
+	for _, p := range []core.Protocol{core.Reno, core.Vegas} {
+		b.Run(p.String(), func(b *testing.B) {
+			cfg := core.ChainConfig{
+				LongClients: 20, Hop1Clients: 20, Hop2Clients: 20,
+				Protocol: p, Duration: benchDuration,
+			}
+			var res *core.ChainResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = core.RunParkingLot(cfg)
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+			}
+			b.ReportMetric(res.LongShareHop2, "long_share_hop2")
+			b.ReportMetric(res.COVHop1, "cov_hop1")
+			b.ReportMetric(res.COVHop2, "cov_hop2")
+		})
+	}
+}
+
+// Substrate micro-benchmarks: raw event and queue throughput.
+
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	sched := sim.NewScheduler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.After(time.Microsecond, func() {})
+		sched.Step()
+	}
+}
+
+func BenchmarkKernelTimerResetStop(b *testing.B) {
+	sched := sim.NewScheduler()
+	tm := sim.NewTimer(sched, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(time.Second)
+		tm.Stop()
+	}
+}
+
+func BenchmarkREDEnqueueDequeue(b *testing.B) {
+	red, err := queue.NewRED(queue.DefaultREDConfig(50, 258*time.Microsecond, sim.NewRNG(1)))
+	if err != nil {
+		b.Fatalf("NewRED: %v", err)
+	}
+	p := &packet.Packet{Kind: packet.Data, Size: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := sim.Time(i * 1000)
+		red.Enqueue(now, p)
+		red.Dequeue(now)
+	}
+}
+
+func BenchmarkFIFOEnqueueDequeue(b *testing.B) {
+	q := queue.NewFIFO(50)
+	p := &packet.Packet{Kind: packet.Data, Size: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(0, p)
+		q.Dequeue(0)
+	}
+}
+
+// BenchmarkExperimentPacketsPerSecond measures the simulator's own speed:
+// simulated packets processed per wall-clock second for a full experiment.
+func BenchmarkExperimentPacketsPerSecond(b *testing.B) {
+	cfg := core.DefaultConfig(39, core.Reno, core.FIFO)
+	cfg.Duration = 10 * time.Second
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(cfg)
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		total += res.DataSent
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim_pkts/s")
+	}
+}

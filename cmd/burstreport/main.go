@@ -1,0 +1,187 @@
+// Command burstreport runs the paper's entire evaluation and renders one
+// self-contained markdown report: Table 1, the four sweep figures with
+// per-regime summary tables and crossover analysis, and the
+// window-evolution figures as stability summaries. It is the single
+// command that regenerates everything EXPERIMENTS.md documents.
+//
+// Usage:
+//
+//	burstreport > report.md             # full fidelity (several minutes)
+//	burstreport -duration 30s -step 10  # quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tcpburst/internal/core"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "burstreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("burstreport", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "random seed")
+		duration = fs.Duration("duration", 200*time.Second, "simulated test time per point")
+		step     = fs.Int("step", 4, "client-count step for the sweep")
+		maxN     = fs.Int("max-clients", 60, "largest client count")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := core.DefaultConfig(0, core.Reno, core.FIFO)
+	base.Seed = *seed
+	base.Duration = *duration
+
+	clients := make([]int, 0, *maxN / *step + 2)
+	for n := *step; n <= *maxN; n += *step {
+		clients = append(clients, n)
+	}
+	for _, n := range []int{38, 39} {
+		if n <= *maxN && !has(clients, n) {
+			clients = insertSorted(clients, n)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "sweep: %d client counts x %d cells at %s each...\n",
+		len(clients), len(core.PaperCells()), *duration)
+	sweep, err := core.RunSweep(core.SweepOptions{Base: base, Clients: clients})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "# TCP burstiness report (seed %d, %s per point)\n\n", *seed, *duration)
+	writeTable1(w, base)
+	writeSweepSection(w, sweep)
+	return writeTraceSection(w, base, *maxN)
+}
+
+func writeTable1(w io.Writer, base core.Config) {
+	cfg := base
+	cfg.Clients = 1
+	cfg = cfg.WithDefaults()
+	fmt.Fprintf(w, "## Table 1 — parameters\n\n")
+	fmt.Fprintf(w, "- client links: %.0f Mbps, %s; bottleneck: %.0f Mbps, %s\n",
+		cfg.ClientRateBps/1e6, cfg.ClientDelay, cfg.BottleneckRateBps/1e6, cfg.BottleneckDelay)
+	fmt.Fprintf(w, "- gateway buffer %d pkts; packet %d B; advertised window %d pkts\n",
+		cfg.BufferPackets, cfg.PacketSize, cfg.MaxWindow)
+	fmt.Fprintf(w, "- Poisson 1/λ = %s per client; RTT window %s\n",
+		cfg.MeanInterval, cfg.RTT())
+	fmt.Fprintf(w, "- Vegas α/β/γ %g/%g/%g; RED %g/%g w=%g max_p=%g\n\n",
+		cfg.Vegas.Alpha, cfg.Vegas.Beta, cfg.Vegas.Gamma,
+		cfg.REDMinThreshold, cfg.REDMaxThreshold, cfg.REDWeight, cfg.REDMaxProb)
+}
+
+func writeSweepSection(w io.Writer, sweep *core.Sweep) {
+	fmt.Fprintf(w, "## Figures 2–4 and 13 — sweep\n\n")
+	for _, n := range pickSummaryPoints(sweep.Clients) {
+		fmt.Fprintf(w, "### %d clients\n\n```\n%s```\n\n", n, sweep.SummaryTable(n))
+	}
+
+	fmt.Fprintf(w, "### Crossover analysis (loss > 1%%)\n\n")
+	for _, cell := range sweep.Cells {
+		if n, ok := sweep.CrossoverClients(cell, 1.0); ok {
+			fmt.Fprintf(w, "- %s crosses at %d clients\n", cell, n)
+		} else {
+			fmt.Fprintf(w, "- %s never crosses\n", cell)
+		}
+	}
+	fmt.Fprintf(w, "\n### Peak modulation (measured / Poisson c.o.v.)\n\n")
+	for _, cell := range sweep.Cells {
+		n, f := sweep.PeakModulation(cell)
+		fmt.Fprintf(w, "- %s peaks at %.2fx (%d clients)\n", cell, f, n)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeTraceSection(w io.Writer, base core.Config, maxN int) error {
+	fmt.Fprintf(w, "## Figures 5–12 — window evolution\n\n")
+	fmt.Fprintf(w, "| figure | protocol | clients | mean cwnd | timeouts | fast rtx | sync idx | Jain |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|\n")
+	rows := []struct {
+		fig     int
+		proto   core.Protocol
+		clients int
+	}{
+		{5, core.Reno, 20}, {6, core.Reno, 30}, {7, core.Reno, 38},
+		{8, core.Reno, 39}, {9, core.Reno, 60},
+		{10, core.Vegas, 20}, {11, core.Vegas, 30}, {12, core.Vegas, 60},
+	}
+	for _, row := range rows {
+		if row.clients > maxN {
+			continue
+		}
+		cfg := base
+		cfg.Clients = row.clients
+		cfg.Protocol = row.proto
+		cfg.Gateway = core.FIFO
+		cfg.CwndSampleInterval = 100 * time.Millisecond
+		res, err := core.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("figure %d: %w", row.fig, err)
+		}
+		var sum float64
+		var count int
+		for _, s := range res.CwndTraces {
+			for _, smp := range s.Samples {
+				sum += smp.Value
+				count++
+			}
+		}
+		mean := 0.0
+		if count > 0 {
+			mean = sum / float64(count)
+		}
+		fmt.Fprintf(w, "| %d | %s | %d | %.2f | %d | %d | %.3f | %.4f |\n",
+			row.fig, row.proto, row.clients, mean,
+			res.Timeouts, res.FastRetransmits, res.CwndSyncIndex, res.JainFairness)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// pickSummaryPoints selects representative client counts: the smallest,
+// one mid-sweep, the 38/39 crossover when present, and the largest.
+func pickSummaryPoints(clients []int) []int {
+	if len(clients) == 0 {
+		return nil
+	}
+	out := []int{clients[0]}
+	mid := clients[len(clients)/2]
+	for _, n := range []int{mid, 38, 39, clients[len(clients)-1]} {
+		if has(clients, n) && !has(out, n) {
+			out = insertSorted(out, n)
+		}
+	}
+	return out
+}
+
+func has(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func insertSorted(xs []int, v int) []int {
+	i := 0
+	for i < len(xs) && xs[i] < v {
+		i++
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHelpers(t *testing.T) {
+	xs := []int{4, 20, 40}
+	if !has(xs, 20) || has(xs, 21) {
+		t.Error("has broken")
+	}
+	got := insertSorted([]int{4, 20, 40}, 38)
+	want := []int{4, 20, 38, 40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("insertSorted = %v, want %v", got, want)
+		}
+	}
+	points := pickSummaryPoints([]int{4, 8, 38, 39, 60})
+	if !has(points, 4) || !has(points, 38) || !has(points, 39) || !has(points, 60) {
+		t.Errorf("pickSummaryPoints = %v", points)
+	}
+	if pickSummaryPoints(nil) != nil {
+		t.Error("empty input should yield nil")
+	}
+}
+
+func TestReportQuick(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-duration", "5s", "-step", "30", "-max-clients", "30"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TCP burstiness report",
+		"## Table 1",
+		"## Figures 2–4 and 13",
+		"Crossover analysis",
+		"## Figures 5–12",
+		"| 5 | reno | 20 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

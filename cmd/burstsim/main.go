@@ -1,0 +1,151 @@
+// Command burstsim runs a single burstiness experiment — N Poisson clients
+// over a chosen transport protocol and gateway discipline — and prints the
+// metrics the paper reports.
+//
+// Usage:
+//
+//	burstsim -clients 39 -proto reno -queue fifo -duration 200s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tcpburst/internal/core"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "burstsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("burstsim", flag.ContinueOnError)
+	var (
+		clients  = fs.Int("clients", 20, "number of Poisson client streams")
+		proto    = fs.String("proto", "reno", "transport protocol: udp, reno, reno-delayack, vegas, tahoe, newreno, sack")
+		qdisc    = fs.String("queue", "fifo", "gateway queueing discipline: fifo, red")
+		seed     = fs.Int64("seed", 1, "random seed (identical seeds replay identically)")
+		duration = fs.Duration("duration", 200*time.Second, "simulated test time")
+		perFlow  = fs.Bool("flows", false, "print per-flow breakdown")
+		asJSON   = fs.Bool("json", false, "emit the result summary as JSON")
+		minRTO   = fs.Duration("minrto", 0, "minimum TCP retransmission timeout (0 = default)")
+		wireLoss = fs.Float64("wireloss", 0, "random loss probability on the bottleneck wire")
+		revRate  = fs.Float64("revrate", 0, "reverse (ACK) path rate in bps (0 = bottleneck rate)")
+		redMin   = fs.Float64("redmin", 0, "RED min threshold (0 = default)")
+		redMax   = fs.Float64("redmax", 0, "RED max threshold (0 = default)")
+		redW     = fs.Float64("redw", 0, "RED EWMA weight (0 = default)")
+		redMaxP  = fs.Float64("redmaxp", 0, "RED max drop probability (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := core.ParseProtocol(*proto)
+	if err != nil {
+		return err
+	}
+	q, err := core.ParseGatewayQueue(*qdisc)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig(*clients, p, q)
+	cfg.Seed = *seed
+	cfg.Duration = *duration
+	if *minRTO > 0 {
+		cfg.MinRTO = *minRTO
+	}
+	cfg.WireLossProb = *wireLoss
+	cfg.ReverseRateBps = *revRate
+	if *redMin > 0 {
+		cfg.REDMinThreshold = *redMin
+	}
+	if *redMax > 0 {
+		cfg.REDMaxThreshold = *redMax
+	}
+	if *redW > 0 {
+		cfg.REDWeight = *redW
+	}
+	if *redMaxP > 0 {
+		cfg.REDMaxProb = *redMaxP
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		raw, err := res.MarshalSummaryJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(raw))
+		return nil
+	}
+	printResult(w, res, *perFlow)
+	return nil
+}
+
+func printResult(w io.Writer, res *core.Result, perFlow bool) {
+	cfg := res.Config
+	fmt.Fprintf(w, "experiment: %d clients, %s, %s gateway, %s (%s)\n",
+		cfg.Clients, cfg.Protocol, cfg.Gateway, cfg.Duration, cfg.CongestionLevel())
+	fmt.Fprintf(w, "  offered load        %.2f Mbps of %.2f Mbps bottleneck\n",
+		cfg.OfferedLoadBps()/1e6, cfg.BottleneckRateBps/1e6)
+	fmt.Fprintf(w, "  c.o.v. (measured)   %.4f\n", res.COV)
+	fmt.Fprintf(w, "  c.o.v. (Poisson)    %.4f\n", res.AnalyticCOV)
+	fmt.Fprintf(w, "  modulation ratio    %.2fx\n", safeRatio(res.COV, res.AnalyticCOV))
+	fmt.Fprintf(w, "  generated           %d packets\n", res.Generated)
+	fmt.Fprintf(w, "  delivered           %d packets\n", res.Delivered)
+	fmt.Fprintf(w, "  data sent           %d packets (%d retransmits)\n",
+		res.DataSent, res.DataSent-minu(res.DataSent, res.Generated))
+	fmt.Fprintf(w, "  loss                %.3f%% (%d forward drops, %d at bottleneck)\n",
+		res.LossPct, res.ForwardDrops, res.BottleneckDrops)
+	fmt.Fprintf(w, "  utilization         %.1f%%\n", res.Utilization*100)
+	fmt.Fprintf(w, "  timeouts            %d\n", res.Timeouts)
+	fmt.Fprintf(w, "  fast retransmits    %d\n", res.FastRetransmits)
+	fmt.Fprintf(w, "  timeout/dupack      %.3f\n", res.TimeoutDupAckRatio)
+	fmt.Fprintf(w, "  Jain fairness       %.4f\n", res.JainFairness)
+	fmt.Fprintf(w, "  Hurst (var-time)    %.3f\n", res.Hurst)
+	fmt.Fprintf(w, "  queue mean/p95/max  %.1f / %.1f / %.0f pkts (near-full %.1f%%)\n",
+		res.Queue.Mean, res.Queue.P95, res.Queue.Max, res.Queue.FullFrac*100)
+	fmt.Fprintf(w, "  one-way delay       %.1f ms mean, %.1f ms p95\n",
+		res.DelayMeanSec*1000, res.DelayP95Sec*1000)
+	if res.WireLosses > 0 {
+		fmt.Fprintf(w, "  wire losses         %d\n", res.WireLosses)
+	}
+	if res.AckDrops > 0 {
+		fmt.Fprintf(w, "  ack drops           %d\n", res.AckDrops)
+	}
+	if res.RED != nil {
+		fmt.Fprintf(w, "  RED: %d early drops, %d forced drops, %d marks, final avg %.1f\n",
+			res.RED.EarlyDrops, res.RED.ForcedDrops, res.RED.Marks, res.RED.FinalAvg)
+	}
+	if perFlow {
+		fmt.Fprintln(w, "  per-flow:")
+		for _, f := range res.Flows {
+			fmt.Fprintf(w, "    client %2d: generated %5d delivered %5d timeouts %3d fastrtx %3d\n",
+				f.Client, f.Generated, f.Delivered, f.Counters.Timeouts, f.Counters.FastRetransmits)
+		}
+	}
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func minu(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsMetrics(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-clients", "5", "-duration", "5s"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"experiment: 5 clients, reno, fifo gateway",
+		"c.o.v. (measured)",
+		"c.o.v. (Poisson)",
+		"delivered",
+		"queue mean/p95/max",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPerFlowBreakdown(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-clients", "3", "-duration", "2s", "-flows"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "client  3:") {
+		t.Errorf("per-flow breakdown missing:\n%s", sb.String())
+	}
+}
+
+func TestRunREDOverrides(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-clients", "5", "-duration", "2s", "-queue", "red",
+		"-redmin", "5", "-redmax", "20", "-redw", "0.01", "-redmaxp", "0.2",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "RED:") {
+		t.Errorf("RED stats missing:\n%s", sb.String())
+	}
+}
+
+func TestRunWireLossAndReverseFlags(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-clients", "5", "-duration", "5s", "-wireloss", "0.05", "-revrate", "1e6",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "wire losses") {
+		t.Errorf("wire losses line missing:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-proto", "bogus"}); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+	if err := run(&sb, []string{"-queue", "bogus"}); err == nil {
+		t.Error("bogus queue accepted")
+	}
+}
+
+func TestSafeRatioAndMinu(t *testing.T) {
+	if safeRatio(1, 0) != 0 || safeRatio(6, 3) != 2 {
+		t.Error("safeRatio broken")
+	}
+	if minu(3, 5) != 3 || minu(5, 3) != 3 {
+		t.Error("minu broken")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-clients", "3", "-duration", "2s", "-json"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"protocol": "reno"`) || !strings.Contains(out, `"cov"`) {
+		t.Errorf("JSON output malformed:\n%s", out)
+	}
+}

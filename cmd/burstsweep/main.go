@@ -1,0 +1,167 @@
+// Command burstsweep regenerates the paper's sweep figures: for every
+// protocol/gateway combination (UDP, Reno, Reno/RED, Vegas, Vegas/RED,
+// Reno/DelayAck) and a range of client counts it runs the full experiment
+// and emits the series behind Figure 2 (c.o.v.), Figure 3 (throughput),
+// Figure 4 (packet-loss percentage) and Figure 13 (timeout/duplicate-ACK
+// ratio) as CSV, plus Table 1 (the simulation parameters).
+//
+// Usage:
+//
+//	burstsweep -fig 2 > fig2.csv          # one figure
+//	burstsweep -all -out results/          # all figures into a directory
+//	burstsweep -table1                     # print Table 1
+//	burstsweep -fig 3 -duration 50s -step 8  # faster, coarser sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"tcpburst/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "burstsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("burstsweep", flag.ContinueOnError)
+	var (
+		fig      = fs.Int("fig", 0, "figure to regenerate: 2 (cov), 3 (throughput), 4 (loss), 13 (timeout ratio)")
+		all      = fs.Bool("all", false, "regenerate every sweep figure")
+		table1   = fs.Bool("table1", false, "print Table 1 (simulation parameters)")
+		outDir   = fs.String("out", "", "directory for CSV output (default stdout; required with -all)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		duration = fs.Duration("duration", 200*time.Second, "simulated test time per point")
+		step     = fs.Int("step", 4, "client-count step for the sweep")
+		maxN     = fs.Int("max-clients", 60, "largest client count")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *table1 {
+		printTable1()
+		return nil
+	}
+	if !*all && *fig == 0 {
+		return fmt.Errorf("specify -fig N, -all, or -table1")
+	}
+	if *all && *outDir == "" {
+		return fmt.Errorf("-all requires -out DIR")
+	}
+
+	base := core.DefaultConfig(0, core.Reno, core.FIFO)
+	base.Seed = *seed
+	base.Duration = *duration
+
+	figures := map[int]struct {
+		name    string
+		metric  func(*core.Result) float64
+		poisson bool
+	}{
+		2:  {"fig2_cov", core.MetricCOV, true},
+		3:  {"fig3_throughput", core.MetricThroughput, false},
+		4:  {"fig4_loss_pct", core.MetricLossPct, false},
+		13: {"fig13_timeout_ratio", core.MetricTimeoutRatio, false},
+	}
+	if !*all {
+		// Reject unknown figures before spending minutes on the sweep.
+		if _, ok := figures[*fig]; !ok {
+			return fmt.Errorf("unknown figure %d (have 2, 3, 4, 13)", *fig)
+		}
+	}
+
+	clients := sweepClients(*step, *maxN)
+	fmt.Fprintf(os.Stderr, "sweeping %d client counts x %d cells (%s each)...\n",
+		len(clients), len(core.PaperCells()), *duration)
+	sweep, err := core.RunSweep(core.SweepOptions{Base: base, Clients: clients})
+	if err != nil {
+		return err
+	}
+
+	emit := func(figNo int) error {
+		f, ok := figures[figNo]
+		if !ok {
+			return fmt.Errorf("unknown figure %d (have 2, 3, 4, 13)", figNo)
+		}
+		csv := sweep.CSV(f.metric, f.poisson)
+		if *outDir == "" {
+			fmt.Print(csv)
+			return nil
+		}
+		path := filepath.Join(*outDir, f.name+".csv")
+		if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+		return nil
+	}
+
+	if *all {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		for _, n := range []int{2, 3, 4, 13} {
+			if err := emit(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return emit(*fig)
+}
+
+func sweepClients(step, max int) []int {
+	var out []int
+	for n := step; n <= max; n += step {
+		out = append(out, n)
+	}
+	// Always include the paper's crossover points.
+	for _, n := range []int{38, 39} {
+		if n <= max && !contains(out, n) {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func printTable1() {
+	cfg := core.DefaultConfig(1, core.Reno, core.FIFO)
+	fmt.Println("Table 1. Simulation parameters (reconstructed; see DESIGN.md).")
+	rows := [][2]string{
+		{"client link bandwidth (mu_c)", fmt.Sprintf("%.0f Mbps", cfg.ClientRateBps/1e6)},
+		{"client link delay (tau_c)", cfg.ClientDelay.String()},
+		{"bottleneck link bandwidth (mu_s)", fmt.Sprintf("%.0f Mbps", cfg.BottleneckRateBps/1e6)},
+		{"bottleneck link delay (tau_s)", cfg.BottleneckDelay.String()},
+		{"TCP max advertised window", fmt.Sprintf("%d packets", cfg.MaxWindow)},
+		{"gateway buffer size (B)", fmt.Sprintf("%d packets", cfg.BufferPackets)},
+		{"packet size", fmt.Sprintf("%d bytes", cfg.PacketSize)},
+		{"mean packet intergeneration time (1/lambda)", cfg.MeanInterval.String()},
+		{"total test time", cfg.Duration.String()},
+		{"TCP Vegas alpha / beta / gamma", fmt.Sprintf("%g / %g / %g", cfg.Vegas.Alpha, cfg.Vegas.Beta, cfg.Vegas.Gamma)},
+		{"RED min / max threshold", fmt.Sprintf("%g / %g packets", cfg.REDMinThreshold, cfg.REDMaxThreshold)},
+		{"RED weight / max drop probability", fmt.Sprintf("%g / %g", cfg.REDWeight, cfg.REDMaxProb)},
+		{"round-trip propagation delay (cov window)", cfg.RTT().String()},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-44s %s\n", r[0], r[1])
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestSweepClientsIncludesCrossover(t *testing.T) {
+	got := sweepClients(4, 60)
+	for _, n := range []int{4, 38, 39, 40, 60} {
+		if !contains(got, n) {
+			t.Errorf("sweepClients missing %d: %v", n, got)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not strictly increasing: %v", got)
+		}
+	}
+}
+
+func TestSweepClientsSmallMax(t *testing.T) {
+	got := sweepClients(10, 20)
+	// Crossover points above max are omitted.
+	if contains(got, 38) || contains(got, 39) {
+		t.Errorf("crossover beyond max included: %v", got)
+	}
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Errorf("sweepClients(10,20) = %v", got)
+	}
+}
+
+func TestRunRequiresMode(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-fig", "7"}); err == nil {
+		t.Error("non-sweep figure accepted")
+	}
+	if err := run([]string{"-all"}); err == nil {
+		t.Error("-all without -out accepted")
+	}
+}

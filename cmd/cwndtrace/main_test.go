@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseClientList(t *testing.T) {
+	got, err := parseClientList("1, 10,20")
+	if err != nil {
+		t.Fatalf("parseClientList: %v", err)
+	}
+	want := []int{1, 10, 20}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseClientListEmpty(t *testing.T) {
+	got, err := parseClientList("")
+	if err != nil || got != nil {
+		t.Errorf("empty list: %v, %v", got, err)
+	}
+}
+
+func TestParseClientListInvalid(t *testing.T) {
+	if _, err := parseClientList("1,x"); err == nil {
+		t.Error("invalid list accepted")
+	}
+}
+
+func TestRunRejectsUDP(t *testing.T) {
+	if err := run([]string{"-proto", "udp"}); err == nil {
+		t.Error("UDP accepted for cwnd tracing")
+	}
+}
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	if err := run([]string{"-proto", "quic"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: reproduce the paper's core observation in one run.
+//
+// Twenty clients generate Poisson traffic through TCP Reno into a shared
+// gateway. The Central Limit Theorem says the aggregate should smooth out
+// (coefficient of variation 1/sqrt(N·λ·T)); the experiment measures how
+// much TCP's congestion control modulates it, then repeats the run under
+// heavy congestion where the modulation becomes dramatic.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tcpburst/internal/core"
+)
+
+func main() {
+	fmt.Println("TCP burstiness quickstart (Tinnakornsrisuphap, Feng & Philp, ICDCS 2000)")
+	fmt.Println()
+
+	for _, clients := range []int{20, 50} {
+		cfg := core.DefaultConfig(clients, core.Reno, core.FIFO)
+		cfg.Duration = 60 * time.Second
+
+		res, err := core.Run(cfg)
+		if err != nil {
+			log.Fatalf("run experiment: %v", err)
+		}
+
+		fmt.Printf("%d Reno clients (%s): offered %.1f of %.1f Mbps\n",
+			clients, cfg.CongestionLevel(),
+			cfg.OfferedLoadBps()/1e6, cfg.BottleneckRateBps/1e6)
+		fmt.Printf("  aggregated Poisson c.o.v. (analytic) : %.4f\n", res.AnalyticCOV)
+		fmt.Printf("  measured c.o.v. at the gateway       : %.4f  (%.2fx)\n",
+			res.COV, res.COV/res.AnalyticCOV)
+		fmt.Printf("  throughput %d pkts, loss %.2f%%, %d timeouts, %d fast retransmits\n",
+			res.Delivered, res.LossPct, res.Timeouts, res.FastRetransmits)
+		fmt.Println()
+	}
+
+	fmt.Println("Moderate load: TCP barely modulates the Poisson aggregate.")
+	fmt.Println("Heavy load: Reno's synchronized window cuts make it much burstier")
+	fmt.Println("than the unmodulated aggregate — the paper's Figure 2.")
+}

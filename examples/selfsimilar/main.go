@@ -1,0 +1,106 @@
+// Self-similarity extension: the paper argues (§2.2) that the coefficient
+// of variation reflects statistical-multiplexing effectiveness better than
+// the Hurst parameter used by the self-similarity literature. This example
+// puts both measures side by side on three aggregates:
+//
+//  1. Poisson sources over UDP — smooth, H ≈ 0.5;
+//  2. Poisson sources over TCP Reno under heavy congestion — TCP-induced
+//     burstiness;
+//  3. heavy-tailed Pareto on/off sources (Willinger-style) measured
+//     directly — the classic self-similar construction.
+//
+// Run with: go run ./examples/selfsimilar
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tcpburst/internal/core"
+	"tcpburst/internal/sim"
+	"tcpburst/internal/stats"
+	"tcpburst/internal/traffic"
+	"tcpburst/internal/transport"
+)
+
+const duration = 120 * time.Second
+
+func main() {
+	fmt.Println("c.o.v. vs Hurst on three traffic aggregates")
+	fmt.Printf("%-34s %8s %8s %8s\n", "aggregate", "cov", "H(var-t)", "H(R/S)")
+
+	udp := runExperiment(core.UDP, 50)
+	fmt.Printf("%-34s %8.4f %8.3f %8.3f\n",
+		"poisson/udp, 50 clients", udp.COV, udp.Hurst, stats.HurstRS(udp.WindowCounts))
+
+	reno := runExperiment(core.Reno, 50)
+	fmt.Printf("%-34s %8.4f %8.3f %8.3f\n",
+		"poisson/reno, 50 clients (heavy)", reno.COV, reno.Hurst, stats.HurstRS(reno.WindowCounts))
+
+	counts := paretoAggregate(20)
+	fmt.Printf("%-34s %8.4f %8.3f %8.3f\n",
+		"pareto on/off x20 (no transport)", stats.COV(counts),
+		stats.HurstVarianceTime(counts), stats.HurstRS(counts))
+
+	fmt.Println()
+	fmt.Println("Reading: the Pareto aggregate is the self-similar construction the")
+	fmt.Println("literature studies (high H). TCP Reno's modulation shows up clearly")
+	fmt.Println("in the c.o.v. against the UDP baseline — the paper's point is that")
+	fmt.Println("this is the measure that predicts statistical-multiplexing behavior.")
+}
+
+func runExperiment(p core.Protocol, clients int) *core.Result {
+	cfg := core.DefaultConfig(clients, p, core.FIFO)
+	cfg.Duration = duration
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatalf("run %v: %v", p, err)
+	}
+	return res
+}
+
+// submitCounter adapts a window counter to the transport.Source interface
+// so Pareto generators can be measured without any network at all.
+type submitCounter struct {
+	sched *sim.Scheduler
+	wc    *stats.WindowCounter
+}
+
+func (s *submitCounter) Submit() { s.wc.Observe(s.sched.Now()) }
+
+var _ transport.Source = (*submitCounter)(nil)
+
+// paretoAggregate measures the windowed counts of n superposed heavy-tailed
+// on/off sources.
+func paretoAggregate(n int) []float64 {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(1)
+	wc, err := stats.NewWindowCounter(44 * time.Millisecond)
+	if err != nil {
+		log.Fatalf("window counter: %v", err)
+	}
+	wc.Open(sim.TimeZero)
+	dst := &submitCounter{sched: sched, wc: wc}
+
+	for i := 0; i < n; i++ {
+		gen, err := traffic.NewParetoOnOff(traffic.ParetoOnOffConfig{
+			PacketInterval: 5 * time.Millisecond,
+			MeanOn:         200 * time.Millisecond,
+			MeanOff:        400 * time.Millisecond,
+			Shape:          1.5,
+			Dst:            dst,
+			Sched:          sched,
+			RNG:            rng.Fork(int64(i + 1)),
+		})
+		if err != nil {
+			log.Fatalf("pareto source: %v", err)
+		}
+		gen.Start()
+	}
+	horizon := sim.TimeZero.Add(duration)
+	if err := sched.Run(horizon); err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	return wc.Close(horizon)
+}

@@ -1,0 +1,3 @@
+module tcpburst
+
+go 1.22

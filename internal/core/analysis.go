@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Analysis helpers over sweeps: locating the congestion crossover and
+// summarizing modulation factors — the quantities the paper's Section 3
+// narrates about its figures.
+
+// ModulationFactor returns the measured-to-analytic c.o.v. ratio — how
+// much the transport modulated the Poisson aggregate (1.0 = not at all).
+func ModulationFactor(r *Result) float64 {
+	if r.AnalyticCOV == 0 {
+		return 0
+	}
+	return r.COV / r.AnalyticCOV
+}
+
+// CrossoverClients returns the smallest swept client count at which the
+// cell's loss percentage exceeds the threshold — the empirical congestion
+// crossover (the paper's moves between 38 and 39 clients). The second
+// return is false if the cell never crosses.
+func (s *Sweep) CrossoverClients(cell Cell, lossThresholdPct float64) (int, bool) {
+	for _, n := range s.Clients {
+		p := s.Point(cell, n)
+		if p == nil {
+			continue
+		}
+		if p.Result.LossPct > lossThresholdPct {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// PeakModulation returns the swept client count at which the cell's
+// modulation factor peaks, with the factor itself.
+func (s *Sweep) PeakModulation(cell Cell) (clients int, factor float64) {
+	for _, n := range s.Clients {
+		p := s.Point(cell, n)
+		if p == nil {
+			continue
+		}
+		if f := ModulationFactor(p.Result); f > factor {
+			factor, clients = f, n
+		}
+	}
+	return clients, factor
+}
+
+// SummaryTable renders a fixed-width comparison of every cell at one
+// client count: the row a reader would extract from Figures 2–4 and 13 at
+// a single x — handy for reports and quick terminal inspection.
+func (s *Sweep) SummaryTable(clients int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %8s %8s %10s %8s %9s %8s\n",
+		"cell", "cov", "x pois", "delivered", "loss%", "timeouts", "fastrtx")
+	for _, cell := range s.Cells {
+		p := s.Point(cell, clients)
+		if p == nil {
+			continue
+		}
+		r := p.Result
+		fmt.Fprintf(&sb, "%-16s %8.4f %7.2fx %10d %8.3f %9d %8d\n",
+			cell.String(), r.COV, ModulationFactor(r),
+			r.Delivered, r.LossPct, r.Timeouts, r.FastRetransmits)
+	}
+	return sb.String()
+}
+
+// RegimeBoundaries classifies every swept client count for a cell into the
+// paper's three regimes using measured loss: uncongested (no loss),
+// moderate (loss below heavyLossPct), heavy. It returns parallel slices.
+func (s *Sweep) RegimeBoundaries(cell Cell, heavyLossPct float64) (clients []int, regimes []string) {
+	for _, n := range s.Clients {
+		p := s.Point(cell, n)
+		if p == nil {
+			continue
+		}
+		clients = append(clients, n)
+		switch {
+		case p.Result.LossPct == 0:
+			regimes = append(regimes, "uncongested")
+		case p.Result.LossPct < heavyLossPct:
+			regimes = append(regimes, "moderate")
+		default:
+			regimes = append(regimes, "heavy")
+		}
+	}
+	return clients, regimes
+}
+
+// CompareCells reports, for a metric, the ratio between two cells at each
+// swept client count — e.g. Reno/RED vs Reno c.o.v. NaN-safe: points with
+// a zero denominator yield +Inf ratios skipped as 0.
+func (s *Sweep) CompareCells(a, b Cell, metric func(*Result) float64) map[int]float64 {
+	out := make(map[int]float64, len(s.Clients))
+	for _, n := range s.Clients {
+		pa, pb := s.Point(a, n), s.Point(b, n)
+		if pa == nil || pb == nil {
+			continue
+		}
+		den := metric(pb.Result)
+		if den == 0 || math.IsNaN(den) {
+			out[n] = 0
+			continue
+		}
+		out[n] = metric(pa.Result) / den
+	}
+	return out
+}

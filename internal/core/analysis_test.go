@@ -1,0 +1,144 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSweep builds a sweep from synthetic results, avoiding simulation
+// time in pure-analysis tests.
+func fakeSweep() *Sweep {
+	cellA := Cell{Protocol: Reno, Gateway: FIFO}
+	cellB := Cell{Protocol: Vegas, Gateway: FIFO}
+	s := &Sweep{
+		Clients: []int{10, 20, 30},
+		Cells:   []Cell{cellA, cellB},
+	}
+	mk := func(cell Cell, n int, cov, analytic, loss float64, delivered uint64) SweepPoint {
+		return SweepPoint{
+			Cell:    cell,
+			Clients: n,
+			Result: &Result{
+				COV:         cov,
+				AnalyticCOV: analytic,
+				LossPct:     loss,
+				Delivered:   delivered,
+			},
+		}
+	}
+	s.Points = []SweepPoint{
+		mk(cellA, 10, 0.10, 0.10, 0, 1000),
+		mk(cellA, 20, 0.09, 0.07, 0.5, 2000),
+		mk(cellA, 30, 0.15, 0.06, 4.0, 2500),
+		mk(cellB, 10, 0.10, 0.10, 0, 1000),
+		mk(cellB, 20, 0.07, 0.07, 0, 2000),
+		mk(cellB, 30, 0.07, 0.06, 1.5, 2600),
+	}
+	return s
+}
+
+func TestModulationFactor(t *testing.T) {
+	r := &Result{COV: 0.15, AnalyticCOV: 0.06}
+	if got := ModulationFactor(r); got != 2.5 {
+		t.Errorf("ModulationFactor = %v, want 2.5", got)
+	}
+	if got := ModulationFactor(&Result{COV: 0.1}); got != 0 {
+		t.Errorf("zero analytic: %v, want 0", got)
+	}
+}
+
+func TestCrossoverClients(t *testing.T) {
+	s := fakeSweep()
+	reno := Cell{Protocol: Reno, Gateway: FIFO}
+	vegas := Cell{Protocol: Vegas, Gateway: FIFO}
+	if n, ok := s.CrossoverClients(reno, 1.0); !ok || n != 30 {
+		t.Errorf("reno crossover = %d/%v, want 30", n, ok)
+	}
+	if n, ok := s.CrossoverClients(reno, 0.1); !ok || n != 20 {
+		t.Errorf("reno crossover at 0.1%% = %d/%v, want 20", n, ok)
+	}
+	if _, ok := s.CrossoverClients(vegas, 10); ok {
+		t.Error("vegas crossed a 10% threshold it never reaches")
+	}
+}
+
+func TestPeakModulation(t *testing.T) {
+	s := fakeSweep()
+	n, f := s.PeakModulation(Cell{Protocol: Reno, Gateway: FIFO})
+	if n != 30 || f != 2.5 {
+		t.Errorf("peak = %d clients, %.2fx; want 30, 2.5x", n, f)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	s := fakeSweep()
+	table := s.SummaryTable(30)
+	if !strings.Contains(table, "reno") || !strings.Contains(table, "vegas") {
+		t.Errorf("table missing cells:\n%s", table)
+	}
+	if !strings.Contains(table, "2.50x") {
+		t.Errorf("table missing modulation factor:\n%s", table)
+	}
+	if got := s.SummaryTable(99); strings.Count(got, "\n") != 1 {
+		t.Errorf("table for absent clients should have only a header:\n%s", got)
+	}
+}
+
+func TestRegimeBoundaries(t *testing.T) {
+	s := fakeSweep()
+	clients, regimes := s.RegimeBoundaries(Cell{Protocol: Reno, Gateway: FIFO}, 2.0)
+	want := []string{"uncongested", "moderate", "heavy"}
+	if len(clients) != 3 {
+		t.Fatalf("clients = %v", clients)
+	}
+	for i := range want {
+		if regimes[i] != want[i] {
+			t.Errorf("regimes = %v, want %v", regimes, want)
+		}
+	}
+}
+
+func TestCompareCells(t *testing.T) {
+	s := fakeSweep()
+	ratios := s.CompareCells(
+		Cell{Protocol: Reno, Gateway: FIFO},
+		Cell{Protocol: Vegas, Gateway: FIFO},
+		MetricCOV,
+	)
+	if len(ratios) != 3 {
+		t.Fatalf("ratios = %v", ratios)
+	}
+	if got := ratios[30]; got < 2.1 || got > 2.2 {
+		t.Errorf("cov ratio at 30 = %v, want ~2.14", got)
+	}
+	// Zero denominator is reported as 0, not Inf.
+	zero := s.CompareCells(
+		Cell{Protocol: Reno, Gateway: FIFO},
+		Cell{Protocol: Vegas, Gateway: FIFO},
+		func(r *Result) float64 { return r.LossPct },
+	)
+	if zero[10] != 0 {
+		t.Errorf("zero-denominator ratio = %v, want 0", zero[10])
+	}
+}
+
+// TestAnalysisOnRealSweep smoke-tests the helpers on an actual simulation.
+func TestAnalysisOnRealSweep(t *testing.T) {
+	sweep, err := RunSweep(SweepOptions{
+		Base:    Config{Duration: 20 * time.Second},
+		Clients: []int{10, 50},
+		Cells:   []Cell{{Protocol: Reno, Gateway: FIFO}},
+	})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	cell := Cell{Protocol: Reno, Gateway: FIFO}
+	if n, ok := sweep.CrossoverClients(cell, 1.0); !ok || n != 50 {
+		t.Errorf("crossover = %d/%v, want 50 (10 clients are uncongested)", n, ok)
+	}
+	table := sweep.SummaryTable(50)
+	if !strings.Contains(table, "reno") {
+		t.Errorf("table:\n%s", table)
+	}
+}

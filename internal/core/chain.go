@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+
+	"tcpburst/internal/link"
+	"tcpburst/internal/node"
+	"tcpburst/internal/packet"
+	"tcpburst/internal/queue"
+	"tcpburst/internal/sim"
+	"tcpburst/internal/stats"
+	"tcpburst/internal/tcp"
+	"tcpburst/internal/traffic"
+	"tcpburst/internal/transport"
+)
+
+// The parking-lot topology generalizes the paper's single gateway to a
+// two-hop distributed system — the multi-bottleneck shape of computational
+// grids the paper's introduction motivates:
+//
+//	long clients ──► gw1 ══hop1══► gw2 ══hop2══► server
+//	hop1 clients ──► gw1 ══hop1══► exit1 (host at gw2)
+//	hop2 clients ────────────────► gw2 ══hop2══► server
+//
+// Long flows cross both bottlenecks and compete with single-hop cross
+// traffic on each; the classic outcome is that multi-hop flows receive
+// less than their single-hop competitors.
+
+// ChainConfig describes one parking-lot experiment. Zero-valued tunables
+// inherit the paper's Table-1 defaults.
+type ChainConfig struct {
+	// LongClients cross both hops; Hop1Clients and Hop2Clients cross
+	// only their own bottleneck.
+	LongClients, Hop1Clients, Hop2Clients int
+	// Protocol is the transport for every client.
+	Protocol Protocol
+	// Gateway is the queueing discipline at both bottlenecks.
+	Gateway GatewayQueue
+	// Seed and Duration as in Config.
+	Seed     int64
+	Duration sim.Duration
+	// Base supplies link rates, delays, buffer sizes, packet sizes and
+	// traffic parameters (Clients/Protocol/Gateway fields are ignored).
+	Base Config
+}
+
+// withDefaults fills the embedded base config.
+func (c ChainConfig) withDefaults() ChainConfig {
+	c.Base.Clients = 1 // placate base validation; not used directly
+	if c.Protocol == 0 {
+		c.Protocol = Reno
+	}
+	if c.Gateway == 0 {
+		c.Gateway = FIFO
+	}
+	c.Base.Protocol = c.Protocol
+	c.Base.Gateway = c.Gateway
+	c.Base = c.Base.WithDefaults()
+	if c.Seed == 0 {
+		c.Seed = c.Base.Seed
+	}
+	if c.Duration == 0 {
+		c.Duration = c.Base.Duration
+	}
+	return c
+}
+
+// validate reports the first configuration error.
+func (c ChainConfig) validate() error {
+	switch {
+	case c.LongClients < 1:
+		return fmt.Errorf("chain: long clients %d < 1", c.LongClients)
+	case c.Hop1Clients < 0 || c.Hop2Clients < 0:
+		return fmt.Errorf("chain: negative cross-traffic counts")
+	case c.Duration <= 0:
+		return fmt.Errorf("chain: duration %v <= 0", c.Duration)
+	}
+	return c.Base.Validate()
+}
+
+// ChainGroupResult aggregates one client group's outcome.
+type ChainGroupResult struct {
+	Clients   int
+	Generated uint64
+	Delivered uint64
+	Timeouts  uint64
+	// PerFlowJain is Jain's index within the group.
+	PerFlowJain float64
+}
+
+// ChainResult is the outcome of a parking-lot experiment.
+type ChainResult struct {
+	Config ChainConfig
+
+	Long, Hop1, Hop2 ChainGroupResult
+
+	// COVHop1 and COVHop2 are the per-RTT-window arrival c.o.v. at each
+	// bottleneck.
+	COVHop1, COVHop2 float64
+	// DropsHop1 and DropsHop2 count bottleneck-queue drops per hop.
+	DropsHop1, DropsHop2 uint64
+	// LongShareHop2 is the long flows' fraction of hop-2 deliveries —
+	// the multi-bottleneck fairness headline.
+	LongShareHop2 float64
+}
+
+// chainFlow is one client's bundle in the chain experiment.
+type chainFlow struct {
+	gen  traffic.Generator
+	send *tcp.Sender
+	sink *tcp.Sink
+	udpS *transport.UDPSender
+	udpK *transport.UDPSink
+}
+
+func (f *chainFlow) delivered() uint64 {
+	if f.sink != nil {
+		return f.sink.Delivered()
+	}
+	return f.udpK.Delivered()
+}
+
+func (f *chainFlow) timeouts() uint64 {
+	if f.send != nil {
+		return f.send.Counters().Timeouts
+	}
+	return 0
+}
+
+// RunParkingLot executes the two-hop experiment.
+func RunParkingLot(cfg ChainConfig) (*ChainResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	base := cfg.Base
+
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(cfg.Seed)
+
+	const (
+		serverAddr2 packet.Addr = 1 // final server behind hop 2
+		exit1Addr   packet.Addr = 2 // hop-1 cross traffic's destination at gw2
+	)
+	server := node.NewHost(serverAddr2)
+	exit1 := node.NewHost(exit1Addr)
+	gw1 := node.NewGateway(10)
+	gw2 := node.NewGateway(11)
+
+	mkBottleneckQ := func(stream int64) (queue.Discipline, error) {
+		chainCfg := base
+		q, _, err := buildGatewayQueue(chainCfg, rng.Fork(stream))
+		return q, err
+	}
+	q1, err := mkBottleneckQ(1 << 23)
+	if err != nil {
+		return nil, err
+	}
+	q2, err := mkBottleneckQ(1 << 24)
+	if err != nil {
+		return nil, err
+	}
+
+	hop1, err := link.New(sched, link.Config{
+		Name: "gw1->gw2", RateBps: base.BottleneckRateBps,
+		Delay: base.BottleneckDelay, Queue: q1, Dst: gw2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hop2, err := link.New(sched, link.Config{
+		Name: "gw2->server", RateBps: base.BottleneckRateBps,
+		Delay: base.BottleneckDelay, Queue: q2, Dst: server,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Reverse path: server -> gw2 -> gw1, amply provisioned.
+	rev2, err := link.New(sched, link.Config{
+		Name: "server->gw2", RateBps: base.BottleneckRateBps,
+		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rev1, err := link.New(sched, link.Config{
+		Name: "gw2->gw1", RateBps: base.BottleneckRateBps,
+		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	revExit, err := link.New(sched, link.Config{
+		Name: "exit1->gw2", RateBps: base.BottleneckRateBps,
+		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Forward local delivery from gw2 to exit1.
+	toExit1, err := link.New(sched, link.Config{
+		Name: "gw2->exit1", RateBps: base.ClientRateBps,
+		Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: exit1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Static routes: data forward, ACKs back.
+	if err := gw1.AddRoute(serverAddr2, hop1); err != nil {
+		return nil, err
+	}
+	if err := gw1.AddRoute(exit1Addr, hop1); err != nil {
+		return nil, err
+	}
+	if err := gw2.AddRoute(serverAddr2, hop2); err != nil {
+		return nil, err
+	}
+	if err := gw2.AddRoute(exit1Addr, toExit1); err != nil {
+		return nil, err
+	}
+
+	// Measurement taps at both bottlenecks.
+	rttWindow := 2 * (2*base.ClientDelay + 2*base.BottleneckDelay)
+	wc1, err := stats.NewWindowCounter(rttWindow)
+	if err != nil {
+		return nil, err
+	}
+	wc2, err := stats.NewWindowCounter(rttWindow)
+	if err != nil {
+		return nil, err
+	}
+	wc1.Open(sim.TimeZero)
+	wc2.Open(sim.TimeZero)
+	hop1.OnArrival(func(now sim.Time, p *packet.Packet) {
+		if p.IsData() {
+			wc1.Observe(now)
+		}
+	})
+	hop2.OnArrival(func(now sim.Time, p *packet.Packet) {
+		if p.IsData() {
+			wc2.Observe(now)
+		}
+	})
+
+	// Client construction. Addressing: long clients 100+, hop1 300+,
+	// hop2 500+; flow ids are globally unique.
+	nextFlow := packet.FlowID(1)
+	buildGroup := func(
+		n int,
+		addrOff packet.Addr,
+		attach *node.Gateway,
+		attachRev func(addr packet.Addr, l *link.Link) error,
+		dstAddr packet.Addr,
+		dstHost *node.Host,
+		serverOut *link.Link,
+		streamOff int64,
+	) ([]*chainFlow, error) {
+		flows := make([]*chainFlow, 0, n)
+		for i := 0; i < n; i++ {
+			addr := addrOff + packet.Addr(i)
+			flowID := nextFlow
+			nextFlow++
+			host := node.NewHost(addr)
+			access, err := link.New(sched, link.Config{
+				Name: fmt.Sprintf("c%d->gw", int(flowID)), RateBps: base.ClientRateBps,
+				Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: attach,
+			})
+			if err != nil {
+				return nil, err
+			}
+			reverse, err := link.New(sched, link.Config{
+				Name: fmt.Sprintf("gw->c%d", int(flowID)), RateBps: base.ClientRateBps,
+				Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: host,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := attachRev(addr, reverse); err != nil {
+				return nil, err
+			}
+
+			f := &chainFlow{}
+			var src transport.Source
+			if cfg.Protocol.IsTCP() {
+				tcpCfg := tcp.Config{
+					Flow: flowID, Src: addr, Dst: dstAddr,
+					Variant:    cfg.Protocol.TCPVariant(),
+					PacketSize: base.PacketSize, AckSize: base.AckSize,
+					MaxWindow: base.MaxWindow, MinRTO: base.MinRTO,
+					DelayedAcks:       cfg.Protocol == RenoDelayAck,
+					DelayedAckTimeout: base.DelayedAckTimeout,
+					Vegas:             base.Vegas, Sched: sched,
+				}
+				sendCfg := tcpCfg
+				sendCfg.Out = access
+				sender, err := tcp.NewSender(sendCfg)
+				if err != nil {
+					return nil, err
+				}
+				sinkCfg := tcpCfg
+				sinkCfg.Out = serverOut
+				sink, err := tcp.NewSink(sinkCfg)
+				if err != nil {
+					return nil, err
+				}
+				host.Bind(flowID, sender)
+				dstHost.Bind(flowID, sink)
+				f.send, f.sink = sender, sink
+				src = sender
+			} else {
+				sender, err := transport.NewUDPSender(transport.UDPConfig{
+					Flow: flowID, Src: addr, Dst: dstAddr,
+					PacketSize: base.PacketSize, Out: access,
+				})
+				if err != nil {
+					return nil, err
+				}
+				sink := transport.NewUDPSink()
+				host.Bind(flowID, sender)
+				dstHost.Bind(flowID, sink)
+				f.udpS, f.udpK = sender, sink
+				src = sender
+			}
+			gen, err := buildGenerator(base, sched, rng.Fork(streamOff+int64(i)), src)
+			if err != nil {
+				return nil, err
+			}
+			f.gen = gen
+			flows = append(flows, f)
+		}
+		return flows, nil
+	}
+
+	longFlows, err := buildGroup(cfg.LongClients, 100, gw1, gw1.AddRoute, serverAddr2, server, rev2, 1000)
+	if err != nil {
+		return nil, err
+	}
+	hop1Flows, err := buildGroup(cfg.Hop1Clients, 300, gw1, gw1.AddRoute, exit1Addr, exit1, revExit, 2000)
+	if err != nil {
+		return nil, err
+	}
+	hop2Flows, err := buildGroup(cfg.Hop2Clients, 500, gw2, gw2.AddRoute, serverAddr2, server, rev2, 3000)
+	if err != nil {
+		return nil, err
+	}
+
+	// ACKs returning to long and hop-1 clients arrive at gw2 and must
+	// continue toward gw1.
+	for i := 0; i < cfg.LongClients; i++ {
+		if err := gw2.AddRoute(100+packet.Addr(i), rev1); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Hop1Clients; i++ {
+		if err := gw2.AddRoute(300+packet.Addr(i), rev1); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, group := range [][]*chainFlow{longFlows, hop1Flows, hop2Flows} {
+		for _, f := range group {
+			f.gen.Start()
+		}
+	}
+	horizon := sim.TimeZero.Add(cfg.Duration)
+	if err := sched.Run(horizon); err != nil {
+		return nil, fmt.Errorf("run parking lot: %w", err)
+	}
+
+	res := &ChainResult{Config: cfg}
+	res.Long = summarizeChainGroup(longFlows)
+	res.Hop1 = summarizeChainGroup(hop1Flows)
+	res.Hop2 = summarizeChainGroup(hop2Flows)
+	c1 := stats.Summarize(wc1.Close(horizon))
+	c2 := stats.Summarize(wc2.Close(horizon))
+	res.COVHop1, res.COVHop2 = c1.COV(), c2.COV()
+	res.DropsHop1 = hop1.Stats().Drops
+	res.DropsHop2 = hop2.Stats().Drops
+	if total := res.Long.Delivered + res.Hop2.Delivered; total > 0 {
+		res.LongShareHop2 = float64(res.Long.Delivered) / float64(total)
+	}
+	return res, nil
+}
+
+func summarizeChainGroup(flows []*chainFlow) ChainGroupResult {
+	g := ChainGroupResult{Clients: len(flows)}
+	delivered := make([]float64, 0, len(flows))
+	for _, f := range flows {
+		g.Generated += f.gen.Generated()
+		g.Delivered += f.delivered()
+		g.Timeouts += f.timeouts()
+		delivered = append(delivered, float64(f.delivered()))
+	}
+	g.PerFlowJain = stats.JainIndex(delivered)
+	return g
+}

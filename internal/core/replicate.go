@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"tcpburst/internal/stats"
+)
+
+// Replication harness: the paper reports single runs; honest reproduction
+// quotes means with confidence intervals across independent seeds.
+
+// MetricCI pairs a metric name with its cross-replication estimate.
+type MetricCI struct {
+	Name string
+	CI   stats.CI
+}
+
+// Replicated aggregates independent-seed replications of one configuration.
+type Replicated struct {
+	// Config echoes the defaulted base configuration (Seed varies).
+	Config Config
+	// Seeds lists the seeds actually run.
+	Seeds []int64
+	// Results holds the per-seed outcomes, in Seeds order.
+	Results []*Result
+
+	// COV, LossPct, Delivered, Timeouts and TimeoutDupAckRatio are 95%
+	// confidence estimates across the replications.
+	COV                stats.CI
+	LossPct            stats.CI
+	Delivered          stats.CI
+	Timeouts           stats.CI
+	TimeoutDupAckRatio stats.CI
+}
+
+// RunReplications runs cfg once per seed and aggregates the headline
+// metrics with 95% confidence intervals. At least one seed is required;
+// two or more are needed for non-zero interval widths.
+func RunReplications(cfg Config, seeds []int64) (*Replicated, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("replications: no seeds")
+	}
+	rep := &Replicated{Seeds: append([]int64(nil), seeds...)}
+	var covs, losses, delivered, timeouts, ratios []float64
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("replication seed %d: %w", seed, err)
+		}
+		rep.Results = append(rep.Results, res)
+		covs = append(covs, res.COV)
+		losses = append(losses, res.LossPct)
+		delivered = append(delivered, float64(res.Delivered))
+		timeouts = append(timeouts, float64(res.Timeouts))
+		ratios = append(ratios, res.TimeoutDupAckRatio)
+	}
+	rep.Config = rep.Results[0].Config
+	rep.COV = stats.ReplicationCI(covs)
+	rep.LossPct = stats.ReplicationCI(losses)
+	rep.Delivered = stats.ReplicationCI(delivered)
+	rep.Timeouts = stats.ReplicationCI(timeouts)
+	rep.TimeoutDupAckRatio = stats.ReplicationCI(ratios)
+	return rep, nil
+}
+
+// Metrics lists the confidence estimates in presentation order.
+func (r *Replicated) Metrics() []MetricCI {
+	return []MetricCI{
+		{Name: "cov", CI: r.COV},
+		{Name: "loss_pct", CI: r.LossPct},
+		{Name: "delivered", CI: r.Delivered},
+		{Name: "timeouts", CI: r.Timeouts},
+		{Name: "timeout_dupack_ratio", CI: r.TimeoutDupAckRatio},
+	}
+}
+
+// Seeds1ToN is a convenience seed list {1, ..., n}.
+func Seeds1ToN(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}

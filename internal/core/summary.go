@@ -1,0 +1,91 @@
+package core
+
+import "encoding/json"
+
+// Summary is the flat, JSON-serializable digest of a Result — everything a
+// plotting or tooling pipeline needs without the bulky trace series.
+type Summary struct {
+	Clients  int    `json:"clients"`
+	Protocol string `json:"protocol"`
+	Gateway  string `json:"gateway"`
+	Seed     int64  `json:"seed"`
+	Duration string `json:"duration"`
+
+	COV              float64 `json:"cov"`
+	AnalyticCOV      float64 `json:"poissonCov"`
+	ModulationFactor float64 `json:"modulationFactor"`
+	MeanWindowCount  float64 `json:"meanWindowCount"`
+
+	Generated   uint64  `json:"generated"`
+	Delivered   uint64  `json:"delivered"`
+	DataSent    uint64  `json:"dataSent"`
+	LossPct     float64 `json:"lossPct"`
+	Utilization float64 `json:"utilization"`
+
+	Timeouts           uint64  `json:"timeouts"`
+	FastRetransmits    uint64  `json:"fastRetransmits"`
+	TimeoutDupAckRatio float64 `json:"timeoutDupAckRatio"`
+
+	JainFairness  float64 `json:"jainFairness"`
+	Hurst         float64 `json:"hurst"`
+	CwndSyncIndex float64 `json:"cwndSyncIndex"`
+	DelayMeanSec  float64 `json:"delayMeanSec"`
+	DelayP95Sec   float64 `json:"delayP95Sec"`
+
+	QueueMean     float64 `json:"queueMean"`
+	QueueP95      float64 `json:"queueP95"`
+	QueueMax      float64 `json:"queueMax"`
+	QueueFullFrac float64 `json:"queueFullFrac"`
+
+	WireLosses uint64 `json:"wireLosses,omitempty"`
+	AckDrops   uint64 `json:"ackDrops,omitempty"`
+
+	REDEarlyDrops  uint64 `json:"redEarlyDrops,omitempty"`
+	REDForcedDrops uint64 `json:"redForcedDrops,omitempty"`
+	REDMarks       uint64 `json:"redMarks,omitempty"`
+}
+
+// Summary flattens the result for serialization.
+func (r *Result) Summary() Summary {
+	s := Summary{
+		Clients:            r.Config.Clients,
+		Protocol:           r.Config.Protocol.String(),
+		Gateway:            r.Config.Gateway.String(),
+		Seed:               r.Config.Seed,
+		Duration:           r.Config.Duration.String(),
+		COV:                r.COV,
+		AnalyticCOV:        r.AnalyticCOV,
+		ModulationFactor:   ModulationFactor(r),
+		MeanWindowCount:    r.MeanWindowCount,
+		Generated:          r.Generated,
+		Delivered:          r.Delivered,
+		DataSent:           r.DataSent,
+		LossPct:            r.LossPct,
+		Utilization:        r.Utilization,
+		Timeouts:           r.Timeouts,
+		FastRetransmits:    r.FastRetransmits,
+		TimeoutDupAckRatio: r.TimeoutDupAckRatio,
+		JainFairness:       r.JainFairness,
+		Hurst:              r.Hurst,
+		CwndSyncIndex:      r.CwndSyncIndex,
+		DelayMeanSec:       r.DelayMeanSec,
+		DelayP95Sec:        r.DelayP95Sec,
+		QueueMean:          r.Queue.Mean,
+		QueueP95:           r.Queue.P95,
+		QueueMax:           r.Queue.Max,
+		QueueFullFrac:      r.Queue.FullFrac,
+		WireLosses:         r.WireLosses,
+		AckDrops:           r.AckDrops,
+	}
+	if r.RED != nil {
+		s.REDEarlyDrops = r.RED.EarlyDrops
+		s.REDForcedDrops = r.RED.ForcedDrops
+		s.REDMarks = r.RED.Marks
+	}
+	return s
+}
+
+// MarshalSummaryJSON renders the summary as indented JSON.
+func (r *Result) MarshalSummaryJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Summary(), "", "  ")
+}

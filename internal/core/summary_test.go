@@ -1,0 +1,67 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummaryFlattensResult(t *testing.T) {
+	cfg := shortConfig(10, Reno, RED, 10*time.Second)
+	cfg.CwndSampleInterval = 100 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := res.Summary()
+	if s.Clients != 10 || s.Protocol != "reno" || s.Gateway != "red" {
+		t.Errorf("identity fields: %+v", s)
+	}
+	if s.COV != res.COV || s.Delivered != res.Delivered {
+		t.Error("metric fields do not match result")
+	}
+	if s.ModulationFactor != ModulationFactor(res) {
+		t.Error("modulation factor mismatch")
+	}
+	if s.QueueMean != res.Queue.Mean {
+		t.Error("queue fields mismatch")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	res, err := Run(shortConfig(5, Vegas, FIFO, 5*time.Second))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	raw, err := res.MarshalSummaryJSON()
+	if err != nil {
+		t.Fatalf("MarshalSummaryJSON: %v", err)
+	}
+	var back Summary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back != res.Summary() {
+		t.Error("JSON round trip lost data")
+	}
+	if !strings.Contains(string(raw), `"protocol": "vegas"`) {
+		t.Errorf("JSON missing protocol tag:\n%s", raw)
+	}
+}
+
+func TestSummaryOmitsEmptyExtensionFields(t *testing.T) {
+	res, err := Run(shortConfig(5, Reno, FIFO, 5*time.Second))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	raw, err := res.MarshalSummaryJSON()
+	if err != nil {
+		t.Fatalf("MarshalSummaryJSON: %v", err)
+	}
+	for _, absent := range []string{"wireLosses", "redEarlyDrops", "redMarks"} {
+		if strings.Contains(string(raw), absent) {
+			t.Errorf("JSON contains %q for a run without that feature", absent)
+		}
+	}
+}

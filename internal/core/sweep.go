@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cell names one protocol/discipline combination in a sweep, e.g.
+// "reno/red". The paper's figure legends use exactly these pairs.
+type Cell struct {
+	Protocol Protocol
+	Gateway  GatewayQueue
+}
+
+// String returns the legend label, omitting "/fifo" for the plain cases to
+// match the paper ("Reno", "Reno/RED", ...).
+func (c Cell) String() string {
+	if c.Gateway == RED {
+		return c.Protocol.String() + "/red"
+	}
+	return c.Protocol.String()
+}
+
+// PaperCells returns the six protocol/queue combinations of Figures 2–4
+// and 13: UDP, Reno, Reno/RED, Vegas, Vegas/RED, Reno/DelayAck.
+func PaperCells() []Cell {
+	return []Cell{
+		{Protocol: UDP, Gateway: FIFO},
+		{Protocol: Reno, Gateway: FIFO},
+		{Protocol: Reno, Gateway: RED},
+		{Protocol: Vegas, Gateway: FIFO},
+		{Protocol: Vegas, Gateway: RED},
+		{Protocol: RenoDelayAck, Gateway: FIFO},
+	}
+}
+
+// SweepPoint is one (cell, client-count) measurement of a sweep.
+type SweepPoint struct {
+	Cell    Cell
+	Clients int
+	Result  *Result
+}
+
+// Sweep holds a full client-count sweep over a set of cells: the data
+// behind Figures 2, 3, 4 and 13.
+type Sweep struct {
+	Clients []int
+	Cells   []Cell
+	Points  []SweepPoint
+}
+
+// SweepOptions parameterizes RunSweep.
+type SweepOptions struct {
+	// Base supplies every parameter except Clients/Protocol/Gateway;
+	// zero-valued fields default per DefaultConfig.
+	Base Config
+	// Clients lists the client counts to sweep.
+	Clients []int
+	// Cells lists the protocol/queue combinations; nil means PaperCells.
+	Cells []Cell
+}
+
+// DefaultSweepClients returns the paper's x-axis: every 4 clients from 4 to
+// 60, plus the 38/39 crossover points.
+func DefaultSweepClients() []int {
+	out := make([]int, 0, 18)
+	for n := 4; n <= 60; n += 4 {
+		out = append(out, n)
+	}
+	out = append(out, 38, 39)
+	sort.Ints(out)
+	return out
+}
+
+// RunSweep runs every (cell, clients) combination and collects the results.
+func RunSweep(opts SweepOptions) (*Sweep, error) {
+	cells := opts.Cells
+	if len(cells) == 0 {
+		cells = PaperCells()
+	}
+	clients := opts.Clients
+	if len(clients) == 0 {
+		clients = DefaultSweepClients()
+	}
+	sw := &Sweep{Clients: clients, Cells: cells}
+	for _, n := range clients {
+		for _, cell := range cells {
+			cfg := opts.Base
+			cfg.Clients = n
+			cfg.Protocol = cell.Protocol
+			cfg.Gateway = cell.Gateway
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s n=%d: %w", cell, n, err)
+			}
+			sw.Points = append(sw.Points, SweepPoint{Cell: cell, Clients: n, Result: res})
+		}
+	}
+	return sw, nil
+}
+
+// Column extracts one metric for one cell across the sweep's client counts,
+// in the same order as Clients.
+func (s *Sweep) Column(cell Cell, metric func(*Result) float64) []float64 {
+	out := make([]float64, 0, len(s.Clients))
+	for _, n := range s.Clients {
+		for _, p := range s.Points {
+			if p.Cell == cell && p.Clients == n {
+				out = append(out, metric(p.Result))
+			}
+		}
+	}
+	return out
+}
+
+// Point returns the sweep point for (cell, clients), or nil.
+func (s *Sweep) Point(cell Cell, clients int) *SweepPoint {
+	for i := range s.Points {
+		if s.Points[i].Cell == cell && s.Points[i].Clients == clients {
+			return &s.Points[i]
+		}
+	}
+	return nil
+}
+
+// Standard metric extractors for the paper's figures.
+var (
+	// MetricCOV is Figure 2's y-axis.
+	MetricCOV = func(r *Result) float64 { return r.COV }
+	// MetricAnalyticCOV is Figure 2's aggregated-Poisson reference.
+	MetricAnalyticCOV = func(r *Result) float64 { return r.AnalyticCOV }
+	// MetricThroughput is Figure 3's y-axis (packets delivered).
+	MetricThroughput = func(r *Result) float64 { return float64(r.Delivered) }
+	// MetricLossPct is Figure 4's y-axis.
+	MetricLossPct = func(r *Result) float64 { return r.LossPct }
+	// MetricTimeoutRatio is Figure 13's y-axis.
+	MetricTimeoutRatio = func(r *Result) float64 { return r.TimeoutDupAckRatio }
+)
+
+// CSV renders the sweep as one CSV table for the given metric, with a
+// clients column, one column per cell, and (optionally) the analytic
+// Poisson reference first.
+func (s *Sweep) CSV(metric func(*Result) float64, includePoisson bool) string {
+	var sb strings.Builder
+	sb.WriteString("clients")
+	if includePoisson {
+		sb.WriteString(",poisson")
+	}
+	for _, c := range s.Cells {
+		sb.WriteString(",")
+		sb.WriteString(c.String())
+	}
+	sb.WriteString("\n")
+	for _, n := range s.Clients {
+		fmt.Fprintf(&sb, "%d", n)
+		if includePoisson {
+			if p := s.Point(s.Cells[0], n); p != nil {
+				fmt.Fprintf(&sb, ",%.6g", p.Result.AnalyticCOV)
+			} else {
+				sb.WriteString(",")
+			}
+		}
+		for _, c := range s.Cells {
+			if p := s.Point(c, n); p != nil {
+				fmt.Fprintf(&sb, ",%.6g", metric(p.Result))
+			} else {
+				sb.WriteString(",")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

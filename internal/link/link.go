@@ -1,0 +1,155 @@
+// Package link models unidirectional store-and-forward links: packets are
+// serialized at the link rate, buffered at the egress by a queueing
+// discipline while the link is busy, and delivered after a fixed propagation
+// delay. A full-duplex connection is a pair of links.
+package link
+
+import (
+	"fmt"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/queue"
+	"tcpburst/internal/sim"
+)
+
+// Receiver consumes packets delivered by a link.
+type Receiver interface {
+	Receive(p *packet.Packet)
+}
+
+// Config describes one unidirectional link.
+type Config struct {
+	// Name labels the link in traces, e.g. "gw->server".
+	Name string
+	// RateBps is the transmission rate in bits per second.
+	RateBps float64
+	// Delay is the one-way propagation delay.
+	Delay sim.Duration
+	// Queue buffers packets while the transmitter is busy. Required.
+	Queue queue.Discipline
+	// Dst receives packets after serialization plus propagation. Required.
+	Dst Receiver
+	// LossProb, when positive, drops each serialized packet on the wire
+	// with this probability — random (non-congestive) loss such as bit
+	// errors on a wireless hop. Requires LossRNG.
+	LossProb float64
+	// LossRNG supplies the loss coin flips; required iff LossProb > 0.
+	LossRNG *sim.RNG
+}
+
+// Stats aggregates link counters.
+type Stats struct {
+	// Arrivals counts packets offered to the link (before any drop).
+	Arrivals uint64
+	// Drops counts packets rejected by the queueing discipline.
+	Drops uint64
+	// Departures counts packets fully serialized onto the wire.
+	Departures uint64
+	// DeliveredBytes counts wire bytes of departed packets.
+	DeliveredBytes uint64
+	// WireLosses counts packets lost to random (LossProb) wire errors
+	// after serialization; they are included in Departures.
+	WireLosses uint64
+}
+
+// Link is a unidirectional serializing link.
+type Link struct {
+	sched *sim.Scheduler
+	cfg   Config
+
+	busy  bool
+	stats Stats
+
+	// onArrival, if set, observes every packet offered to the link before
+	// the queue admission decision. The gateway metrics tap hangs here.
+	onArrival func(now sim.Time, p *packet.Packet)
+	// onDrop, if set, observes every packet the discipline rejects.
+	onDrop func(now sim.Time, p *packet.Packet)
+}
+
+// New returns a link bound to the scheduler, or an error for an invalid
+// configuration.
+func New(sched *sim.Scheduler, cfg Config) (*Link, error) {
+	switch {
+	case sched == nil:
+		return nil, fmt.Errorf("link %q: nil scheduler", cfg.Name)
+	case cfg.RateBps <= 0:
+		return nil, fmt.Errorf("link %q: rate %v <= 0", cfg.Name, cfg.RateBps)
+	case cfg.Delay < 0:
+		return nil, fmt.Errorf("link %q: negative delay %v", cfg.Name, cfg.Delay)
+	case cfg.Queue == nil:
+		return nil, fmt.Errorf("link %q: nil queue", cfg.Name)
+	case cfg.Dst == nil:
+		return nil, fmt.Errorf("link %q: nil destination", cfg.Name)
+	case cfg.LossProb < 0 || cfg.LossProb >= 1:
+		return nil, fmt.Errorf("link %q: loss probability %v outside [0,1)", cfg.Name, cfg.LossProb)
+	case cfg.LossProb > 0 && cfg.LossRNG == nil:
+		return nil, fmt.Errorf("link %q: loss probability without RNG", cfg.Name)
+	}
+	return &Link{sched: sched, cfg: cfg}, nil
+}
+
+// Name returns the link label.
+func (l *Link) Name() string { return l.cfg.Name }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// QueueLen returns the instantaneous egress queue length in packets.
+func (l *Link) QueueLen() int { return l.cfg.Queue.Len() }
+
+// Queue exposes the link's queueing discipline (for RED introspection).
+func (l *Link) Queue() queue.Discipline { return l.cfg.Queue }
+
+// OnArrival registers fn to observe every packet offered to the link,
+// before queue admission. Passing nil clears the hook.
+func (l *Link) OnArrival(fn func(now sim.Time, p *packet.Packet)) { l.onArrival = fn }
+
+// OnDrop registers fn to observe every packet the discipline rejects.
+func (l *Link) OnDrop(fn func(now sim.Time, p *packet.Packet)) { l.onDrop = fn }
+
+// Send offers p to the link. If the transmitter is idle and the queue
+// admits the packet, serialization starts immediately; otherwise the packet
+// waits in the queue or is dropped by the discipline.
+func (l *Link) Send(p *packet.Packet) {
+	now := l.sched.Now()
+	l.stats.Arrivals++
+	if l.onArrival != nil {
+		l.onArrival(now, p)
+	}
+	if !l.cfg.Queue.Enqueue(now, p) {
+		l.stats.Drops++
+		if l.onDrop != nil {
+			l.onDrop(now, p)
+		}
+		return
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+// transmitNext pulls the head-of-line packet and clocks it onto the wire.
+func (l *Link) transmitNext() {
+	p := l.cfg.Queue.Dequeue(l.sched.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	txTime := sim.SerializationDelay(p.Size, l.cfg.RateBps)
+	l.sched.After(txTime, func() {
+		l.stats.Departures++
+		l.stats.DeliveredBytes += uint64(p.Size)
+		if l.cfg.LossProb > 0 && l.cfg.LossRNG.Float64() < l.cfg.LossProb {
+			// Lost on the wire: it consumed transmission time but
+			// never arrives.
+			l.stats.WireLosses++
+		} else {
+			// The wire is pipelined: propagation of this packet
+			// overlaps serialization of the next.
+			l.sched.After(l.cfg.Delay, func() { l.cfg.Dst.Receive(p) })
+		}
+		l.transmitNext()
+	})
+}

@@ -1,0 +1,332 @@
+package link
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/queue"
+	"tcpburst/internal/sim"
+)
+
+// collector records delivered packets with their arrival times.
+type collector struct {
+	sched *sim.Scheduler
+	pkts  []*packet.Packet
+	times []sim.Time
+}
+
+func (c *collector) Receive(p *packet.Packet) {
+	c.pkts = append(c.pkts, p)
+	c.times = append(c.times, c.sched.Now())
+}
+
+func newTestLink(t *testing.T, sched *sim.Scheduler, rate float64, delay sim.Duration, cap int) (*Link, *collector) {
+	t.Helper()
+	dst := &collector{sched: sched}
+	l, err := New(sched, Config{
+		Name:    "test",
+		RateBps: rate,
+		Delay:   delay,
+		Queue:   queue.NewFIFO(cap),
+		Dst:     dst,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l, dst
+}
+
+func data(seq int64, size int) *packet.Packet {
+	return &packet.Packet{Kind: packet.Data, Seq: seq, Size: size}
+}
+
+func TestLinkConfigValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	dst := &collector{sched: sched}
+	good := Config{Name: "l", RateBps: 1e6, Delay: time.Millisecond, Queue: queue.NewFIFO(1), Dst: dst}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		sched  *sim.Scheduler
+		substr string
+	}{
+		{"nil scheduler", func(c *Config) {}, nil, "scheduler"},
+		{"zero rate", func(c *Config) { c.RateBps = 0 }, sched, "rate"},
+		{"negative delay", func(c *Config) { c.Delay = -1 }, sched, "delay"},
+		{"nil queue", func(c *Config) { c.Queue = nil }, sched, "queue"},
+		{"nil dst", func(c *Config) { c.Dst = nil }, sched, "destination"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			if _, err := New(tc.sched, cfg); err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("New error = %v, want mention of %q", err, tc.substr)
+			}
+		})
+	}
+	if _, err := New(sched, good); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestLinkDeliveryLatency(t *testing.T) {
+	sched := sim.NewScheduler()
+	// 8 Mbps: a 1000-byte packet serializes in exactly 1 ms.
+	l, dst := newTestLink(t, sched, 8e6, 5*time.Millisecond, 10)
+	l.Send(data(0, 1000))
+	if err := sched.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	want := sim.TimeZero.Add(6 * time.Millisecond) // 1ms tx + 5ms prop
+	if len(dst.times) != 1 || dst.times[0] != want {
+		t.Fatalf("delivered at %v, want %v", dst.times, want)
+	}
+}
+
+func TestLinkSerializesBackToBack(t *testing.T) {
+	sched := sim.NewScheduler()
+	l, dst := newTestLink(t, sched, 8e6, 0, 10)
+	for i := int64(0); i < 5; i++ {
+		l.Send(data(i, 1000))
+	}
+	if err := sched.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(dst.times) != 5 {
+		t.Fatalf("delivered %d packets, want 5", len(dst.times))
+	}
+	for i, at := range dst.times {
+		want := sim.TimeZero.Add(time.Duration(i+1) * time.Millisecond)
+		if at != want {
+			t.Errorf("packet %d delivered at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestLinkPipelinesPropagation(t *testing.T) {
+	// Propagation of one packet overlaps serialization of the next: two
+	// packets on a 1ms-tx, 10ms-prop link arrive at 11ms and 12ms, not
+	// 11ms and 22ms.
+	sched := sim.NewScheduler()
+	l, dst := newTestLink(t, sched, 8e6, 10*time.Millisecond, 10)
+	l.Send(data(0, 1000))
+	l.Send(data(1, 1000))
+	if err := sched.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	want := []sim.Time{
+		sim.TimeZero.Add(11 * time.Millisecond),
+		sim.TimeZero.Add(12 * time.Millisecond),
+	}
+	for i := range want {
+		if dst.times[i] != want[i] {
+			t.Errorf("packet %d at %v, want %v", i, dst.times[i], want[i])
+		}
+	}
+}
+
+func TestLinkOrderPreserved(t *testing.T) {
+	sched := sim.NewScheduler()
+	l, dst := newTestLink(t, sched, 1e6, time.Millisecond, 100)
+	for i := int64(0); i < 50; i++ {
+		l.Send(data(i, 100+int(i)*10)) // mixed sizes
+	}
+	if err := sched.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for i, p := range dst.pkts {
+		if p.Seq != int64(i) {
+			t.Fatalf("reordering: position %d has seq %d", i, p.Seq)
+		}
+	}
+}
+
+func TestLinkDropsWhenQueueFull(t *testing.T) {
+	sched := sim.NewScheduler()
+	l, dst := newTestLink(t, sched, 8e6, 0, 3)
+	var dropped []*packet.Packet
+	l.OnDrop(func(_ sim.Time, p *packet.Packet) { dropped = append(dropped, p) })
+	// Burst of 10 at t=0: 1 enters service, 3 queue, 6 drop.
+	for i := int64(0); i < 10; i++ {
+		l.Send(data(i, 1000))
+	}
+	if err := sched.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(dst.pkts) != 4 {
+		t.Errorf("delivered %d, want 4 (1 in service + 3 queued)", len(dst.pkts))
+	}
+	if len(dropped) != 6 {
+		t.Errorf("dropped %d, want 6", len(dropped))
+	}
+	st := l.Stats()
+	if st.Arrivals != 10 || st.Drops != 6 || st.Departures != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.DeliveredBytes != 4000 {
+		t.Errorf("DeliveredBytes = %d, want 4000", st.DeliveredBytes)
+	}
+}
+
+func TestLinkThroughputBoundedByRate(t *testing.T) {
+	sched := sim.NewScheduler()
+	// 1 Mbps link, 1000-byte packets → 125 packets/second max.
+	l, dst := newTestLink(t, sched, 1e6, 0, 10000)
+	for i := int64(0); i < 10000; i++ {
+		l.Send(data(i, 1000))
+	}
+	horizon := sim.TimeZero.Add(10 * time.Second)
+	if err := sched.Run(horizon); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// In 10 seconds at most 1250 packets fit.
+	if len(dst.pkts) > 1250 {
+		t.Errorf("delivered %d packets in 10s on a 125 pkt/s link", len(dst.pkts))
+	}
+	if len(dst.pkts) < 1249 {
+		t.Errorf("delivered %d packets, want the link saturated (~1250)", len(dst.pkts))
+	}
+}
+
+func TestLinkOnArrivalSeesDroppedPacketsToo(t *testing.T) {
+	sched := sim.NewScheduler()
+	l, _ := newTestLink(t, sched, 8e6, 0, 1)
+	seen := 0
+	l.OnArrival(func(sim.Time, *packet.Packet) { seen++ })
+	for i := int64(0); i < 5; i++ {
+		l.Send(data(i, 1000))
+	}
+	if err := sched.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if seen != 5 {
+		t.Errorf("arrival tap saw %d packets, want 5 (including dropped)", seen)
+	}
+}
+
+func TestLinkIdleThenBusyCycles(t *testing.T) {
+	sched := sim.NewScheduler()
+	l, dst := newTestLink(t, sched, 8e6, 0, 10)
+	// Send one packet, let it drain, send another much later.
+	l.Send(data(0, 1000))
+	sched.After(100*time.Millisecond, func() { l.Send(data(1, 1000)) })
+	if err := sched.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	want := []sim.Time{
+		sim.TimeZero.Add(time.Millisecond),
+		sim.TimeZero.Add(101 * time.Millisecond),
+	}
+	for i := range want {
+		if dst.times[i] != want[i] {
+			t.Errorf("packet %d at %v, want %v", i, dst.times[i], want[i])
+		}
+	}
+}
+
+func TestLinkQueueLenAndName(t *testing.T) {
+	sched := sim.NewScheduler()
+	l, _ := newTestLink(t, sched, 8e6, 0, 10)
+	if l.Name() != "test" {
+		t.Errorf("Name() = %q", l.Name())
+	}
+	for i := int64(0); i < 5; i++ {
+		l.Send(data(i, 1000))
+	}
+	// One packet is in service; four remain queued.
+	if l.QueueLen() != 4 {
+		t.Errorf("QueueLen() = %d, want 4", l.QueueLen())
+	}
+	if err := sched.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if l.QueueLen() != 0 {
+		t.Errorf("QueueLen() = %d after drain, want 0", l.QueueLen())
+	}
+}
+
+func TestLinkWireLossValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	dst := &collector{sched: sched}
+	base := Config{Name: "l", RateBps: 1e6, Delay: 0, Queue: queue.NewFIFO(10), Dst: dst}
+
+	cfg := base
+	cfg.LossProb = 0.5 // missing RNG
+	if _, err := New(sched, cfg); err == nil {
+		t.Error("loss probability without RNG accepted")
+	}
+	cfg.LossProb = 1.0
+	cfg.LossRNG = sim.NewRNG(1)
+	if _, err := New(sched, cfg); err == nil {
+		t.Error("loss probability 1.0 accepted")
+	}
+	cfg.LossProb = -0.1
+	if _, err := New(sched, cfg); err == nil {
+		t.Error("negative loss probability accepted")
+	}
+	cfg.LossProb = 0.3
+	if _, err := New(sched, cfg); err != nil {
+		t.Errorf("valid lossy config rejected: %v", err)
+	}
+}
+
+func TestLinkWireLossRate(t *testing.T) {
+	sched := sim.NewScheduler()
+	dst := &collector{sched: sched}
+	l, err := New(sched, Config{
+		Name: "lossy", RateBps: 1e9, Delay: 0,
+		Queue: queue.NewFIFO(100000), Dst: dst,
+		LossProb: 0.2, LossRNG: sim.NewRNG(7),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const n = 20000
+	for i := int64(0); i < n; i++ {
+		l.Send(data(i, 1000))
+	}
+	if err := sched.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	st := l.Stats()
+	if st.Departures != n {
+		t.Fatalf("departures = %d, want %d (loss is after serialization)", st.Departures, n)
+	}
+	rate := float64(st.WireLosses) / n
+	if rate < 0.18 || rate > 0.22 {
+		t.Errorf("wire loss rate %.4f, want ~0.2", rate)
+	}
+	if uint64(len(dst.pkts))+st.WireLosses != n {
+		t.Errorf("delivered %d + lost %d != %d", len(dst.pkts), st.WireLosses, n)
+	}
+}
+
+func TestLinkWireLossPreservesOrder(t *testing.T) {
+	sched := sim.NewScheduler()
+	dst := &collector{sched: sched}
+	l, err := New(sched, Config{
+		Name: "lossy", RateBps: 1e6, Delay: time.Millisecond,
+		Queue: queue.NewFIFO(1000), Dst: dst,
+		LossProb: 0.3, LossRNG: sim.NewRNG(3),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := int64(0); i < 500; i++ {
+		l.Send(data(i, 100))
+	}
+	if err := sched.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	last := int64(-1)
+	for _, p := range dst.pkts {
+		if p.Seq <= last {
+			t.Fatalf("reordering through lossy link: %d after %d", p.Seq, last)
+		}
+		last = p.Seq
+	}
+}

@@ -1,0 +1,86 @@
+// Package node provides the topology elements of the simulated network:
+// hosts, which hand received packets to a transport agent, and gateways,
+// which forward packets out statically routed egress links.
+package node
+
+import (
+	"fmt"
+
+	"tcpburst/internal/link"
+	"tcpburst/internal/packet"
+)
+
+// Agent consumes packets delivered to a host (a transport endpoint).
+type Agent interface {
+	Receive(p *packet.Packet)
+}
+
+// Host is a leaf node that delivers every received packet to its agent.
+// Multiple flows may terminate on one host (the server side) by routing on
+// the packet's flow id.
+type Host struct {
+	addr   packet.Addr
+	agents map[packet.FlowID]Agent
+}
+
+var _ link.Receiver = (*Host)(nil)
+
+// NewHost returns a host with the given address and no agents.
+func NewHost(addr packet.Addr) *Host {
+	return &Host{addr: addr, agents: make(map[packet.FlowID]Agent)}
+}
+
+// Addr returns the host's node address.
+func (h *Host) Addr() packet.Addr { return h.addr }
+
+// Bind attaches the agent handling the given flow.
+func (h *Host) Bind(flow packet.FlowID, a Agent) {
+	h.agents[flow] = a
+}
+
+// Receive dispatches p to the agent bound to its flow. Packets for unbound
+// flows are dropped silently (they indicate a mis-wired topology and are
+// surfaced by tests, not production panics).
+func (h *Host) Receive(p *packet.Packet) {
+	if a, ok := h.agents[p.Flow]; ok {
+		a.Receive(p)
+	}
+}
+
+// Gateway forwards packets out the egress link registered for the packet's
+// destination address. It models the router/gateway of the paper's Figure 1.
+type Gateway struct {
+	addr   packet.Addr
+	routes map[packet.Addr]*link.Link
+}
+
+var _ link.Receiver = (*Gateway)(nil)
+
+// NewGateway returns a gateway with an empty routing table.
+func NewGateway(addr packet.Addr) *Gateway {
+	return &Gateway{addr: addr, routes: make(map[packet.Addr]*link.Link)}
+}
+
+// Addr returns the gateway's node address.
+func (g *Gateway) Addr() packet.Addr { return g.addr }
+
+// AddRoute sends packets destined to dst out l. It returns an error if dst
+// already has a route.
+func (g *Gateway) AddRoute(dst packet.Addr, l *link.Link) error {
+	if _, exists := g.routes[dst]; exists {
+		return fmt.Errorf("gateway %d: duplicate route for %d", g.addr, dst)
+	}
+	g.routes[dst] = l
+	return nil
+}
+
+// Route returns the egress link for dst, or nil.
+func (g *Gateway) Route(dst packet.Addr) *link.Link { return g.routes[dst] }
+
+// Receive forwards p toward its destination. Packets without a route are
+// dropped silently.
+func (g *Gateway) Receive(p *packet.Packet) {
+	if l, ok := g.routes[p.Dst]; ok {
+		l.Send(p)
+	}
+}

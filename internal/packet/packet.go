@@ -1,0 +1,102 @@
+// Package packet defines the unit of data exchanged by simulated nodes.
+//
+// Like the ns simulator the paper used, the transport layer is
+// packet-counted rather than byte-counted: sequence and acknowledgment
+// numbers index whole packets, and Size carries the wire size used for
+// link serialization.
+package packet
+
+import (
+	"fmt"
+
+	"tcpburst/internal/sim"
+)
+
+// Kind discriminates packet roles on the wire.
+type Kind int
+
+// Packet kinds.
+const (
+	Data Kind = iota + 1
+	Ack
+)
+
+// String returns a short human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Addr identifies a node in the topology.
+type Addr int
+
+// FlowID identifies one end-to-end conversation (one client's stream).
+type FlowID int
+
+// Packet is a simulated network packet. Packets are allocated by senders
+// and owned by whichever component currently holds them; they are never
+// shared across queues.
+type Packet struct {
+	// Kind is Data or Ack.
+	Kind Kind
+	// Flow identifies the conversation the packet belongs to.
+	Flow FlowID
+	// Src and Dst are the endpoint node addresses.
+	Src, Dst Addr
+	// Seq is the packet sequence number (Data) or the echoed sequence of
+	// the segment being acknowledged (Ack, used for RTT sampling).
+	Seq int64
+	// Ack is the cumulative acknowledgment: the next sequence number the
+	// receiver expects. Meaningful only for Kind == Ack.
+	Ack int64
+	// Size is the wire size in bytes used for serialization delay.
+	Size int
+	// SentAt is the instant the transport first put this packet (or, for
+	// ACKs, the echoed data packet's transmission) on the wire.
+	SentAt sim.Time
+	// Retransmit marks a data packet that has been sent before; RTT
+	// samples from such packets are discarded (Karn's algorithm).
+	Retransmit bool
+	// ECE carries an explicit-congestion-experienced mark set by an
+	// ECN-enabled gateway and echoed by the receiver (extension).
+	ECE bool
+	// SACK carries selective-acknowledgment blocks on an ACK from a
+	// SACK-enabled receiver: half-open [First, Last) ranges of packets
+	// received above the cumulative acknowledgment.
+	SACK []SACKBlock
+}
+
+// SACKBlock is one selective-acknowledgment range: packets with sequence
+// numbers in [First, Last) have been received.
+type SACKBlock struct {
+	First, Last int64
+}
+
+// Covers reports whether seq falls inside the block.
+func (b SACKBlock) Covers(seq int64) bool { return seq >= b.First && seq < b.Last }
+
+// IsData reports whether the packet carries payload.
+func (p *Packet) IsData() bool { return p.Kind == Data }
+
+// IsAck reports whether the packet is an acknowledgment.
+func (p *Packet) IsAck() bool { return p.Kind == Ack }
+
+// String renders a compact one-line description for traces and tests.
+func (p *Packet) String() string {
+	switch p.Kind {
+	case Ack:
+		return fmt.Sprintf("ack{flow=%d ack=%d echo=%d %d->%d}", p.Flow, p.Ack, p.Seq, p.Src, p.Dst)
+	default:
+		rtx := ""
+		if p.Retransmit {
+			rtx = " rtx"
+		}
+		return fmt.Sprintf("data{flow=%d seq=%d size=%d %d->%d%s}", p.Flow, p.Seq, p.Size, p.Src, p.Dst, rtx)
+	}
+}

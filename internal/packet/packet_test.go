@@ -1,0 +1,41 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindPredicates(t *testing.T) {
+	d := &Packet{Kind: Data, Seq: 3}
+	a := &Packet{Kind: Ack, Ack: 4}
+	if !d.IsData() || d.IsAck() {
+		t.Error("data packet misclassified")
+	}
+	if !a.IsAck() || a.IsData() {
+		t.Error("ack packet misclassified")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Data.String() != "data" || Ack.String() != "ack" {
+		t.Errorf("kind strings: %q %q", Data, Ack)
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind string %q", got)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	d := &Packet{Kind: Data, Flow: 2, Seq: 7, Size: 1000, Src: 100, Dst: 1}
+	if got := d.String(); !strings.Contains(got, "seq=7") || !strings.Contains(got, "flow=2") {
+		t.Errorf("data String() = %q", got)
+	}
+	d.Retransmit = true
+	if got := d.String(); !strings.Contains(got, "rtx") {
+		t.Errorf("retransmit not marked in %q", got)
+	}
+	a := &Packet{Kind: Ack, Flow: 2, Ack: 8, Seq: 7}
+	if got := a.String(); !strings.Contains(got, "ack=8") {
+		t.Errorf("ack String() = %q", got)
+	}
+}

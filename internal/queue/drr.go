@@ -1,0 +1,190 @@
+package queue
+
+import (
+	"fmt"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+)
+
+// DRR is a deficit-round-robin fair queue (Shreedhar & Varghese, 1995):
+// one FIFO per flow served cyclically, each visit earning a quantum of
+// bytes of transmission credit. It bounds any flow's share regardless of
+// how aggressively it sends — the scheduling answer to the paper's opening
+// question of how gateways can keep statistical multiplexing effective.
+//
+// The buffer is shared: when the total occupancy reaches Capacity, the
+// arrival is dropped if its flow holds the longest queue (longest-queue
+// drop), otherwise a packet from the longest queue is evicted to make
+// room — so a greedy flow cannot squeeze out polite ones.
+type DRR struct {
+	capacity int
+	quantum  int
+
+	flows map[packet.FlowID]*drrFlow
+	// ring is the active-flow service order.
+	ring []*drrFlow
+	// next indexes the ring entry currently being served.
+	next  int
+	total int
+
+	evictions uint64
+}
+
+type drrFlow struct {
+	id      packet.FlowID
+	pkts    []*packet.Packet
+	deficit int
+	active  bool
+	// visited marks that the current service visit already granted this
+	// flow its quantum; it resets when the scheduler moves on.
+	visited bool
+}
+
+var _ Discipline = (*DRR)(nil)
+
+// NewDRR returns a deficit-round-robin queue with the given shared buffer
+// capacity (packets) and per-visit quantum (bytes; typically one MTU).
+func NewDRR(capacity, quantumBytes int) (*DRR, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("drr: capacity %d < 1", capacity)
+	}
+	if quantumBytes < 1 {
+		return nil, fmt.Errorf("drr: quantum %d < 1", quantumBytes)
+	}
+	return &DRR{
+		capacity: capacity,
+		quantum:  quantumBytes,
+		flows:    make(map[packet.FlowID]*drrFlow),
+	}, nil
+}
+
+// Enqueue adds p to its flow's queue, evicting from the longest queue when
+// the shared buffer is full.
+func (q *DRR) Enqueue(_ sim.Time, p *packet.Packet) bool {
+	f := q.flow(p.Flow)
+	if q.total >= q.capacity {
+		longest := q.longestFlow()
+		if longest == nil || longest == f {
+			// The arriving flow already holds the longest queue (or
+			// everything is empty, impossible at capacity): drop the
+			// arrival itself.
+			return false
+		}
+		q.evictFrom(longest)
+	}
+	f.pkts = append(f.pkts, p)
+	q.total++
+	if !f.active {
+		f.active = true
+		q.ring = append(q.ring, f)
+	}
+	return true
+}
+
+// Dequeue serves the ring in deficit-round-robin order: each visit grants
+// the flow one quantum of byte credit exactly once, the flow transmits
+// while its credit covers the head packet, and the scheduler then moves
+// on, carrying unused credit only for flows that remain backlogged.
+func (q *DRR) Dequeue(_ sim.Time) *packet.Packet {
+	if q.total == 0 {
+		return nil
+	}
+	for {
+		if q.next >= len(q.ring) {
+			q.next = 0
+		}
+		f := q.ring[q.next]
+		if len(f.pkts) == 0 {
+			q.deactivate(q.next)
+			continue
+		}
+		if !f.visited {
+			f.visited = true
+			f.deficit += q.quantum
+		}
+		if f.deficit >= f.pkts[0].Size {
+			p := f.pkts[0]
+			f.pkts = f.pkts[1:]
+			f.deficit -= p.Size
+			q.total--
+			if len(f.pkts) == 0 {
+				// A flow leaving the ring forfeits its remaining
+				// credit, as the algorithm requires.
+				f.deficit = 0
+				q.deactivate(q.next)
+			}
+			return p
+		}
+		// Credit exhausted for this visit: move to the next flow.
+		f.visited = false
+		q.next++
+	}
+}
+
+// Len returns the shared buffer occupancy in packets.
+func (q *DRR) Len() int { return q.total }
+
+// Cap returns the shared buffer capacity in packets.
+func (q *DRR) Cap() int { return q.capacity }
+
+// Evictions returns how many queued packets were displaced by
+// longest-queue drop.
+func (q *DRR) Evictions() uint64 { return q.evictions }
+
+// FlowQueueLen returns the queue length of one flow.
+func (q *DRR) FlowQueueLen(id packet.FlowID) int {
+	if f, ok := q.flows[id]; ok {
+		return len(f.pkts)
+	}
+	return 0
+}
+
+func (q *DRR) flow(id packet.FlowID) *drrFlow {
+	f, ok := q.flows[id]
+	if !ok {
+		f = &drrFlow{id: id}
+		q.flows[id] = f
+	}
+	return f
+}
+
+func (q *DRR) longestFlow() *drrFlow {
+	var longest *drrFlow
+	for _, f := range q.ring {
+		if longest == nil || len(f.pkts) > len(longest.pkts) {
+			longest = f
+		}
+	}
+	return longest
+}
+
+// evictFrom drops the newest packet of the given flow (drop-from-tail of
+// the longest queue).
+func (q *DRR) evictFrom(f *drrFlow) {
+	f.pkts = f.pkts[:len(f.pkts)-1]
+	q.total--
+	q.evictions++
+	if len(f.pkts) == 0 {
+		for i, rf := range q.ring {
+			if rf == f {
+				q.deactivate(i)
+				break
+			}
+		}
+	}
+}
+
+// deactivate removes the ring entry at index i, keeping next consistent.
+func (q *DRR) deactivate(i int) {
+	q.ring[i].active = false
+	q.ring[i].deficit = 0
+	q.ring[i].visited = false
+	q.ring = append(q.ring[:i], q.ring[i+1:]...)
+	if q.next > i {
+		q.next--
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+}

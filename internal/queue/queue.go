@@ -1,0 +1,95 @@
+// Package queue implements gateway queueing disciplines: drop-tail FIFO and
+// random early detection (RED), the two disciplines the paper compares, plus
+// an ECN-marking RED variant as an extension.
+//
+// A Discipline owns the packets buffered at one link egress. Enqueue either
+// accepts a packet or reports it dropped (the link layer counts drops);
+// Dequeue hands the next packet to the link for transmission.
+package queue
+
+import (
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+)
+
+// Discipline is a buffer management policy at a link egress.
+type Discipline interface {
+	// Enqueue offers a packet to the queue at the current instant.
+	// It reports whether the packet was accepted; a false return means
+	// the packet was dropped and the caller owns accounting for it.
+	Enqueue(now sim.Time, p *packet.Packet) bool
+	// Dequeue removes and returns the packet at the head of the queue,
+	// or nil if the queue is empty.
+	Dequeue(now sim.Time) *packet.Packet
+	// Len returns the instantaneous number of queued packets.
+	Len() int
+	// Cap returns the buffer capacity in packets.
+	Cap() int
+}
+
+// fifoRing is a slice-backed ring buffer shared by the disciplines.
+type fifoRing struct {
+	buf  []*packet.Packet
+	head int
+	n    int
+}
+
+func newFIFORing(capacity int) fifoRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return fifoRing{buf: make([]*packet.Packet, capacity)}
+}
+
+func (r *fifoRing) push(p *packet.Packet) bool {
+	if r.n == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+	return true
+}
+
+func (r *fifoRing) pop() *packet.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
+}
+
+func (r *fifoRing) len() int { return r.n }
+
+// FIFO is a drop-tail first-in first-out queue with a fixed packet capacity.
+type FIFO struct {
+	ring fifoRing
+	cap  int
+}
+
+var _ Discipline = (*FIFO)(nil)
+
+// NewFIFO returns a drop-tail queue holding at most capacity packets.
+// Capacities below one are clamped to one.
+func NewFIFO(capacity int) *FIFO {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FIFO{ring: newFIFORing(capacity), cap: capacity}
+}
+
+// Enqueue accepts p unless the buffer is full.
+func (q *FIFO) Enqueue(_ sim.Time, p *packet.Packet) bool {
+	return q.ring.push(p)
+}
+
+// Dequeue returns the oldest queued packet, or nil.
+func (q *FIFO) Dequeue(_ sim.Time) *packet.Packet { return q.ring.pop() }
+
+// Len returns the instantaneous queue length in packets.
+func (q *FIFO) Len() int { return q.ring.len() }
+
+// Cap returns the buffer capacity in packets.
+func (q *FIFO) Cap() int { return q.cap }

@@ -1,0 +1,128 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+)
+
+func pkt(seq int64) *packet.Packet {
+	return &packet.Packet{Kind: packet.Data, Seq: seq, Size: 1000}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	q := NewFIFO(10)
+	for i := int64(0); i < 10; i++ {
+		if !q.Enqueue(0, pkt(i)) {
+			t.Fatalf("enqueue %d rejected below capacity", i)
+		}
+	}
+	for i := int64(0); i < 10; i++ {
+		p := q.Dequeue(0)
+		if p == nil || p.Seq != i {
+			t.Fatalf("dequeue %d: got %v", i, p)
+		}
+	}
+	if q.Dequeue(0) != nil {
+		t.Error("dequeue from empty queue returned a packet")
+	}
+}
+
+func TestFIFODropTailAtCapacity(t *testing.T) {
+	q := NewFIFO(3)
+	for i := int64(0); i < 3; i++ {
+		if !q.Enqueue(0, pkt(i)) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if q.Enqueue(0, pkt(3)) {
+		t.Error("enqueue beyond capacity accepted")
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", q.Len())
+	}
+	// Draining one slot admits exactly one more.
+	q.Dequeue(0)
+	if !q.Enqueue(0, pkt(4)) {
+		t.Error("enqueue after drain rejected")
+	}
+	if q.Enqueue(0, pkt(5)) {
+		t.Error("second enqueue after single drain accepted")
+	}
+}
+
+func TestFIFOCapClampedToOne(t *testing.T) {
+	for _, c := range []int{0, -5} {
+		q := NewFIFO(c)
+		if q.Cap() != 1 {
+			t.Errorf("NewFIFO(%d).Cap() = %d, want 1", c, q.Cap())
+		}
+		if !q.Enqueue(0, pkt(1)) {
+			t.Error("single enqueue rejected")
+		}
+	}
+}
+
+func TestFIFOWrapAround(t *testing.T) {
+	q := NewFIFO(4)
+	seq := int64(0)
+	// Cycle through the ring many times to exercise wrap-around.
+	for round := 0; round < 25; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.Enqueue(0, pkt(seq)) {
+				t.Fatalf("enqueue rejected at round %d", round)
+			}
+			seq++
+		}
+		for i := 0; i < 3; i++ {
+			p := q.Dequeue(0)
+			if p == nil {
+				t.Fatalf("unexpected empty queue at round %d", round)
+			}
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len() = %d after balanced ops, want 0", q.Len())
+	}
+}
+
+// TestFIFOOrderProperty checks order preservation and conservation under
+// arbitrary enqueue/dequeue interleavings.
+func TestFIFOOrderProperty(t *testing.T) {
+	prop := func(ops []bool, capSeed uint8) bool {
+		capacity := int(capSeed%16) + 1
+		q := NewFIFO(capacity)
+		var nextIn, nextOut int64
+		for _, enq := range ops {
+			if enq {
+				if q.Enqueue(0, pkt(nextIn)) {
+					nextIn++
+				} else if q.Len() != capacity {
+					return false // rejected while not full
+				}
+			} else {
+				p := q.Dequeue(0)
+				switch {
+				case p == nil:
+					if q.Len() != 0 && nextOut != nextIn {
+						return false
+					}
+				case p.Seq != nextOut:
+					return false // order violated
+				default:
+					nextOut++
+				}
+			}
+		}
+		return int64(q.Len()) == nextIn-nextOut
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func now(ms int64) sim.Time {
+	return sim.Time(ms * 1e6)
+}

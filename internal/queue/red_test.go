@@ -1,0 +1,371 @@
+package queue
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tcpburst/internal/sim"
+)
+
+func redConfig(t *testing.T, mutate func(*REDConfig)) REDConfig {
+	t.Helper()
+	cfg := REDConfig{
+		Capacity:       50,
+		MinThreshold:   10,
+		MaxThreshold:   40,
+		Weight:         0.002,
+		MaxProb:        0.1,
+		MeanPacketTime: 258 * time.Microsecond,
+		RNG:            sim.NewRNG(1),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+func newRED(t *testing.T, mutate func(*REDConfig)) *RED {
+	t.Helper()
+	q, err := NewRED(redConfig(t, mutate))
+	if err != nil {
+		t.Fatalf("NewRED: %v", err)
+	}
+	return q
+}
+
+func TestREDConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*REDConfig)
+		substr string
+	}{
+		{"zero capacity", func(c *REDConfig) { c.Capacity = 0 }, "capacity"},
+		{"negative min", func(c *REDConfig) { c.MinThreshold = -1 }, "min threshold"},
+		{"max below min", func(c *REDConfig) { c.MaxThreshold = 5 }, "max threshold"},
+		{"zero weight", func(c *REDConfig) { c.Weight = 0 }, "weight"},
+		{"weight above one", func(c *REDConfig) { c.Weight = 1.5 }, "weight"},
+		{"zero max prob", func(c *REDConfig) { c.MaxProb = 0 }, "probability"},
+		{"nil rng", func(c *REDConfig) { c.RNG = nil }, "RNG"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewRED(redConfig(t, tc.mutate))
+			if err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("NewRED error = %v, want mention of %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+func TestREDNoDropsBelowMinThreshold(t *testing.T) {
+	q := newRED(t, nil)
+	// Keep the instantaneous queue at ~5, far below min threshold 10.
+	for i := int64(0); i < 10000; i++ {
+		if q.Len() >= 5 {
+			q.Dequeue(now(i))
+		}
+		if !q.Enqueue(now(i), pkt(i)) {
+			t.Fatalf("drop below min threshold at packet %d (avg %.2f)", i, q.Average())
+		}
+	}
+	if q.EarlyDrops() != 0 || q.ForcedDrops() != 0 {
+		t.Errorf("drops below min threshold: early=%d forced=%d", q.EarlyDrops(), q.ForcedDrops())
+	}
+}
+
+func TestREDForcedDropsAboveMaxThreshold(t *testing.T) {
+	q := newRED(t, func(c *REDConfig) { c.Weight = 0.05 })
+	// Hold the queue at 45 (> max threshold 40) — topping it back up after
+	// any early drop — until the EWMA crosses the max threshold.
+	var seq int64
+	for i := 0; i < 20000 && q.Average() < 40; i++ {
+		for attempts := 0; q.Len() < 45 && attempts < 100; attempts++ {
+			q.Enqueue(now(seq), pkt(seq))
+			seq++
+		}
+		q.Dequeue(now(seq))
+	}
+	if q.Average() < 40 {
+		t.Fatalf("average %.2f never crossed max threshold", q.Average())
+	}
+	// Now every arrival must be dropped.
+	before := q.ForcedDrops()
+	for i := int64(0); i < 100; i++ {
+		if q.Enqueue(now(seq), pkt(seq)) {
+			t.Fatal("packet accepted while average above max threshold")
+		}
+		seq++
+	}
+	if q.ForcedDrops() != before+100 {
+		t.Errorf("forced drops %d, want %d", q.ForcedDrops(), before+100)
+	}
+}
+
+func TestREDPhysicalOverflowIsForcedDrop(t *testing.T) {
+	// Weight 1.0 makes avg track the instantaneous queue, but we keep the
+	// thresholds far above capacity so only the buffer limit drops.
+	q := newRED(t, func(c *REDConfig) {
+		c.Capacity = 10
+		c.MinThreshold = 100
+		c.MaxThreshold = 200
+	})
+	for i := int64(0); i < 10; i++ {
+		if !q.Enqueue(now(0), pkt(i)) {
+			t.Fatalf("enqueue %d rejected below capacity", i)
+		}
+	}
+	if q.Enqueue(now(0), pkt(10)) {
+		t.Error("enqueue beyond physical capacity accepted")
+	}
+	if q.ForcedDrops() != 1 {
+		t.Errorf("forced drops = %d, want 1", q.ForcedDrops())
+	}
+}
+
+func TestREDEarlyDropRateBetweenThresholds(t *testing.T) {
+	// Hold the queue near 25 — the middle of [10, 40] — so pb ≈ maxp/2.
+	q := newRED(t, func(c *REDConfig) { c.Weight = 0.05 })
+	var seq int64
+	// Warm the EWMA to the plateau, topping up after early drops.
+	for i := 0; i < 5000; i++ {
+		for q.Len() < 25 {
+			q.Enqueue(now(seq), pkt(seq))
+			seq++
+		}
+		q.Dequeue(now(seq))
+	}
+	dropsBefore := q.EarlyDrops()
+	const trials = 20000
+	accepted := 0
+	for i := 0; i < trials; i++ {
+		if q.Enqueue(now(seq), pkt(seq)) {
+			accepted++
+		}
+		// Hold the plateau at 25 regardless of the admission outcome.
+		for q.Len() > 25 {
+			q.Dequeue(now(seq))
+		}
+		for attempts := 0; q.Len() < 25 && attempts < 10; attempts++ {
+			q.Enqueue(now(seq), pkt(seq))
+		}
+		seq++
+	}
+	drops := int(q.EarlyDrops() - dropsBefore)
+	rate := float64(drops) / trials
+	// With avg ≈ 25, pb ≈ 0.05; the count correction makes the effective
+	// rate somewhat higher. Accept a generous band that still rejects
+	// "no drops" and "everything drops".
+	if rate < 0.02 || rate > 0.25 {
+		t.Errorf("early drop rate %.4f (drops=%d, accepted=%d, avg=%.1f), want within [0.02,0.25]",
+			rate, drops, accepted, q.Average())
+	}
+}
+
+func TestREDAverageDecaysWhenIdle(t *testing.T) {
+	q := newRED(t, func(c *REDConfig) { c.Weight = 0.2 })
+	var seq int64
+	for q.Len() < 30 {
+		q.Enqueue(now(seq), pkt(seq))
+		seq++
+	}
+	for i := 0; i < 100; i++ {
+		q.Dequeue(now(seq))
+		q.Enqueue(now(seq), pkt(seq))
+		seq++
+	}
+	high := q.Average()
+	// Drain completely, then idle for a long time.
+	for q.Dequeue(now(seq)) != nil {
+	}
+	q.Enqueue(now(seq+40000), pkt(seq)) // 40 seconds later
+	if q.Average() >= high/10 {
+		t.Errorf("average %.3f did not decay from %.3f across idle period", q.Average(), high)
+	}
+}
+
+func TestREDAverageTracksPlateau(t *testing.T) {
+	q := newRED(t, func(c *REDConfig) {
+		c.MinThreshold = 100 // disable dropping to isolate the EWMA
+		c.MaxThreshold = 200
+		c.Capacity = 300
+	})
+	var seq int64
+	for q.Len() < 20 {
+		q.Enqueue(now(seq), pkt(seq))
+		seq++
+	}
+	for i := 0; i < 20000; i++ {
+		q.Dequeue(now(seq))
+		q.Enqueue(now(seq), pkt(seq))
+		seq++
+	}
+	// RED samples the queue at arrival, before the push, so a held
+	// plateau of 20 is observed as 19 by every arrival.
+	if got := q.Average(); got < 18.5 || got > 20.5 {
+		t.Errorf("EWMA = %.3f after long plateau at 20, want ~19-20", got)
+	}
+}
+
+func TestREDECNMarksInsteadOfDropping(t *testing.T) {
+	q := newRED(t, func(c *REDConfig) { c.ECN = true })
+	var seq int64
+	for q.Len() < 25 {
+		q.Enqueue(now(seq), pkt(seq))
+		seq++
+	}
+	marked := 0
+	for i := 0; i < 20000; i++ {
+		p := pkt(seq)
+		if !q.Enqueue(now(seq), p) {
+			t.Fatal("ECN RED dropped between thresholds")
+		}
+		if p.ECE {
+			marked++
+		}
+		q.Dequeue(now(seq))
+		seq++
+	}
+	if marked == 0 {
+		t.Error("ECN RED never marked a packet between thresholds")
+	}
+	if q.Marks() != uint64(marked) {
+		t.Errorf("Marks() = %d, want %d", q.Marks(), marked)
+	}
+	if q.EarlyDrops() != 0 {
+		t.Errorf("EarlyDrops() = %d with ECN, want 0", q.EarlyDrops())
+	}
+}
+
+// TestREDAverageBoundsProperty: the EWMA must stay within [0, capacity]
+// under arbitrary workloads.
+func TestREDAverageBoundsProperty(t *testing.T) {
+	prop := func(ops []bool, seed int64) bool {
+		q, err := NewRED(REDConfig{
+			Capacity:       20,
+			MinThreshold:   5,
+			MaxThreshold:   15,
+			Weight:         0.1,
+			MaxProb:        0.1,
+			MeanPacketTime: time.Millisecond,
+			RNG:            sim.NewRNG(seed),
+		})
+		if err != nil {
+			return false
+		}
+		var seq int64
+		for i, enq := range ops {
+			at := now(int64(i))
+			if enq {
+				q.Enqueue(at, pkt(seq))
+				seq++
+			} else {
+				q.Dequeue(at)
+			}
+			if q.Average() < 0 || q.Average() > 20 {
+				return false
+			}
+			if q.Len() < 0 || q.Len() > q.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultREDConfigValid(t *testing.T) {
+	cfg := DefaultREDConfig(50, 258*time.Microsecond, sim.NewRNG(1))
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("DefaultREDConfig invalid: %v", err)
+	}
+	if cfg.MinThreshold != 10 || cfg.MaxThreshold != 40 {
+		t.Errorf("thresholds %v/%v, want 10/40 (paper)", cfg.MinThreshold, cfg.MaxThreshold)
+	}
+}
+
+func TestGentleREDRampsAboveMaxThreshold(t *testing.T) {
+	// Hold the average between maxth and 2*maxth: plain RED force-drops
+	// everything there; gentle RED admits a fraction.
+	build := func(gentle bool) *RED {
+		return newRED(t, func(c *REDConfig) {
+			c.Weight = 0.05
+			c.Gentle = gentle
+			c.Capacity = 100
+		})
+	}
+	holdAt := func(q *RED, level int) {
+		var seq int64
+		for i := 0; i < 5000; i++ {
+			for attempts := 0; q.Len() < level && attempts < 50; attempts++ {
+				q.Enqueue(now(seq), pkt(seq))
+				seq++
+			}
+			q.Dequeue(now(seq))
+			seq++
+		}
+	}
+	plain, gentle := build(false), build(true)
+	holdAt(plain, 50) // avg ~49, between maxth 40 and 2*maxth 80
+	holdAt(gentle, 50)
+	if plain.Average() < 40 || gentle.Average() < 40 {
+		t.Fatalf("averages %.1f / %.1f never crossed maxth", plain.Average(), gentle.Average())
+	}
+
+	tryAdmit := func(q *RED) int {
+		admitted := 0
+		var seq int64 = 1 << 20
+		for i := 0; i < 2000; i++ {
+			if q.Enqueue(now(seq), pkt(seq)) {
+				admitted++
+				q.Dequeue(now(seq))
+			}
+			// Keep the plateau.
+			for attempts := 0; q.Len() < 50 && attempts < 10; attempts++ {
+				q.Enqueue(now(seq), pkt(seq))
+			}
+			for q.Len() > 50 {
+				q.Dequeue(now(seq))
+			}
+			seq++
+		}
+		return admitted
+	}
+	if got := tryAdmit(plain); got != 0 {
+		t.Errorf("plain RED admitted %d above maxth, want 0", got)
+	}
+	if got := tryAdmit(gentle); got == 0 {
+		t.Error("gentle RED admitted nothing in the ramp region")
+	}
+}
+
+func TestGentleREDStillForceDropsAtTwiceMax(t *testing.T) {
+	q := newRED(t, func(c *REDConfig) {
+		c.Weight = 1 // avg == instantaneous queue sampled at arrival
+		c.Gentle = true
+		c.Capacity = 200
+	})
+	// Climb the gentle ramp to 2*maxth = 80: admissions get ever rarer as
+	// the drop probability ramps toward 1, so bound the attempts.
+	var seq int64
+	for attempts := 0; q.Len() < 80 && attempts < 500000; attempts++ {
+		q.Enqueue(now(seq), pkt(seq))
+		seq++
+	}
+	if q.Len() < 80 {
+		t.Fatalf("queue only reached %d through the gentle ramp", q.Len())
+	}
+	before := q.ForcedDrops()
+	for i := 0; i < 50; i++ {
+		if q.Enqueue(now(seq), pkt(seq)) {
+			t.Fatal("admitted above twice the max threshold")
+		}
+		seq++
+	}
+	if q.ForcedDrops() != before+50 {
+		t.Errorf("forced drops %d, want %d", q.ForcedDrops(), before+50)
+	}
+}

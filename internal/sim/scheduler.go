@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the horizon or event exhaustion was reached.
+var ErrStopped = errors.New("simulation stopped")
+
+// Event is a scheduled callback. Events are ordered by time; ties are broken
+// by scheduling order, so the kernel is fully deterministic.
+type Event struct {
+	time     Time
+	seq      uint64
+	index    int // position in the heap; -1 once removed
+	canceled bool
+	fn       func()
+}
+
+// Time returns the instant at which the event fires.
+func (e *Event) Time() Time { return e.time }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventHeap is a min-heap of events ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is the discrete-event simulation kernel. It is not safe for
+// concurrent use: simulations are single-threaded by design so that results
+// are bit-for-bit reproducible.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Fired counts events that have executed; useful for progress metrics.
+	fired uint64
+}
+
+// NewScheduler returns a kernel with the clock at TimeZero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of scheduled, uncanceled events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at instant t. Scheduling in the past is a
+// programming error and returns nil without scheduling.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now || fn == nil {
+		return nil
+	}
+	ev := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant. Negative delays
+// clamp to zero (fire "now", after already-queued same-time events).
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel marks ev so that it will not fire. Canceling nil or an already
+// fired/canceled event is a no-op.
+func (s *Scheduler) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	ev.fn = nil
+}
+
+// Step executes the single next event, advancing the clock to its timestamp.
+// It reports false when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev, ok := heap.Pop(&s.events).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.time
+		fn := ev.fn
+		ev.fn = nil
+		s.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the horizon is passed, the event queue drains,
+// or Stop is called. The clock finishes at min(horizon, last event time)
+// unless stopped. Events scheduled exactly at the horizon still fire.
+func (s *Scheduler) Run(horizon Time) error {
+	if horizon < s.now {
+		return fmt.Errorf("run horizon %v precedes now %v", horizon, s.now)
+	}
+	s.stopped = false
+	for len(s.events) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.time > horizon {
+			s.now = horizon
+			return nil
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (s *Scheduler) RunAll() error {
+	s.stopped = false
+	for s.Step() {
+		if s.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+// Stop halts a Run/RunAll in progress after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// peek returns the next uncanceled event without removing it.
+func (s *Scheduler) peek() *Event {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// Timer is a restartable one-shot timer bound to a scheduler, mirroring the
+// retransmission-timer usage pattern in transport protocols: Reset reschedules,
+// Stop cancels, and the callback runs at expiry.
+type Timer struct {
+	sched *Scheduler
+	ev    *Event
+	fn    func()
+}
+
+// NewTimer returns an unarmed timer that runs fn at expiry.
+func NewTimer(sched *Scheduler, fn func()) *Timer {
+	return &Timer{sched: sched, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, replacing any pending expiry.
+func (t *Timer) Reset(d Duration) {
+	t.Stop()
+	t.ev = t.sched.After(d, t.fire)
+}
+
+// ResetAt (re)arms the timer to fire at instant at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.ev = t.sched.At(at, t.fire)
+}
+
+// Stop cancels any pending expiry. It is safe on an unarmed timer.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sched.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending expiry.
+func (t *Timer) Armed() bool {
+	return t.ev != nil && !t.ev.Canceled()
+}
+
+// Deadline returns the pending expiry instant, or TimeMax if unarmed.
+func (t *Timer) Deadline() Time {
+	if !t.Armed() {
+		return TimeMax
+	}
+	return t.ev.Time()
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}

@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerStartsAtZero(t *testing.T) {
+	s := NewScheduler()
+	if s.Now() != TimeZero {
+		t.Fatalf("Now() = %v, want %v", s.Now(), TimeZero)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestScheduleAndRunSingleEvent(t *testing.T) {
+	s := NewScheduler()
+	var firedAt Time = -1
+	s.After(time.Second, func() { firedAt = s.Now() })
+	if err := s.Run(TimeZero.Add(2 * time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if firedAt != TimeZero.Add(time.Second) {
+		t.Errorf("event fired at %v, want 1s", firedAt)
+	}
+	if got, want := s.Now(), TimeZero.Add(2*time.Second); got != want {
+		t.Errorf("clock finished at %v, want %v", got, want)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { order = append(order, i) })
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: order = %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	s.After(time.Second, func() {
+		fired = append(fired, s.Now())
+		s.After(time.Second, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if fired[1] != TimeZero.Add(2*time.Second) {
+		t.Errorf("nested event fired at %v, want 2s", fired[1])
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	ev := s.After(time.Second, func() { fired = true })
+	s.Cancel(ev)
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+}
+
+func TestCancelNilAndDoubleCancel(t *testing.T) {
+	s := NewScheduler()
+	s.Cancel(nil) // must not panic
+	ev := s.After(time.Second, func() {})
+	s.Cancel(ev)
+	s.Cancel(ev) // double cancel must not panic
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+}
+
+func TestSchedulingInPastReturnsNil(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Second, func() {})
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if ev := s.At(TimeZero, func() {}); ev != nil {
+		t.Error("At(past) returned a non-nil event")
+	}
+	if ev := s.At(s.Now(), func() {}); ev == nil {
+		t.Error("At(now) returned nil; scheduling at the current instant must work")
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if !fired {
+		t.Error("negative-delay event never fired")
+	}
+	if s.Now() != TimeZero {
+		t.Errorf("clock moved to %v for a clamped event", s.Now())
+	}
+}
+
+func TestRunHorizonLeavesLaterEvents(t *testing.T) {
+	s := NewScheduler()
+	early, late := false, false
+	s.After(time.Second, func() { early = true })
+	s.After(10*time.Second, func() { late = true })
+	if err := s.Run(TimeZero.Add(5 * time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !early || late {
+		t.Errorf("early=%v late=%v, want true/false", early, late)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", s.Pending())
+	}
+	// Resume past the later event.
+	if err := s.Run(TimeZero.Add(20 * time.Second)); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if !late {
+		t.Error("late event never fired after resuming")
+	}
+}
+
+func TestEventAtExactHorizonFires(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.After(time.Second, func() { fired = true })
+	if err := s.Run(TimeZero.Add(time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Error("event at the exact horizon did not fire")
+	}
+}
+
+func TestRunBackwardHorizonErrors(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Second, func() {})
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if err := s.Run(TimeZero); err == nil {
+		t.Error("Run(past horizon) succeeded, want error")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	err := s.Run(TimeZero.Add(time.Minute))
+	if err != ErrStopped {
+		t.Fatalf("Run returned %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Errorf("executed %d events before stop, want 3", count)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 5; i++ {
+		s.After(time.Millisecond, func() {})
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if s.Fired() != 5 {
+		t.Errorf("Fired() = %d, want 5", s.Fired())
+	}
+}
+
+// TestEventOrderProperty checks, for random schedules, that events always
+// fire in non-decreasing time order and that every uncanceled event fires
+// exactly once.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(delaysMs []uint16) bool {
+		s := NewScheduler()
+		var fired []Time
+		for _, d := range delaysMs {
+			s.After(Duration(d)*time.Millisecond, func() {
+				fired = append(fired, s.Now())
+			})
+		}
+		if err := s.RunAll(); err != nil {
+			return false
+		}
+		if len(fired) != len(delaysMs) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeapStressRandomCancel interleaves scheduling and canceling randomly
+// and checks bookkeeping stays consistent.
+func TestHeapStressRandomCancel(t *testing.T) {
+	s := NewScheduler()
+	rng := rand.New(rand.NewSource(42))
+	var live []*Event
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(3) == 0 && len(live) > 0 {
+			idx := rng.Intn(len(live))
+			s.Cancel(live[idx])
+			live = append(live[:idx], live[idx+1:]...)
+			continue
+		}
+		ev := s.After(Duration(rng.Intn(1000))*time.Millisecond, func() { fired++ })
+		live = append(live, ev)
+	}
+	want := len(live)
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if fired != want {
+		t.Errorf("fired %d events, want %d (uncanceled)", fired, want)
+	}
+}
+
+func TestTimerResetReplacesPending(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	tm := NewTimer(s, func() { count++ })
+	tm.Reset(time.Second)
+	tm.Reset(2 * time.Second) // replaces, does not add
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if count != 1 {
+		t.Errorf("timer fired %d times, want 1", count)
+	}
+	if s.Now() != TimeZero.Add(2*time.Second) {
+		t.Errorf("timer fired at %v, want 2s", s.Now())
+	}
+}
+
+func TestTimerStopAndArmed(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := NewTimer(s, func() { fired = true })
+	if tm.Armed() {
+		t.Error("new timer is armed")
+	}
+	tm.Stop() // stopping an unarmed timer is safe
+	tm.Reset(time.Second)
+	if !tm.Armed() {
+		t.Error("timer not armed after Reset")
+	}
+	if got, want := tm.Deadline(), TimeZero.Add(time.Second); got != want {
+		t.Errorf("Deadline() = %v, want %v", got, want)
+	}
+	tm.Stop()
+	if tm.Armed() {
+		t.Error("timer armed after Stop")
+	}
+	if tm.Deadline() != TimeMax {
+		t.Errorf("Deadline() after Stop = %v, want TimeMax", tm.Deadline())
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerRearmInsideCallback(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tm *Timer
+	tm = NewTimer(s, func() {
+		count++
+		if count < 3 {
+			tm.Reset(time.Second)
+		}
+	})
+	tm.Reset(time.Second)
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("timer fired %d times, want 3", count)
+	}
+}

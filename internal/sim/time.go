@@ -1,0 +1,66 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event scheduler with stable ordering, timers, and a
+// seeded random-variate generator.
+//
+// All simulated time is expressed as Time, a count of virtual nanoseconds
+// since the start of the simulation. Virtual time is unrelated to wall-clock
+// time; time.Time is deliberately not used because simulations must be
+// reproducible and independent of the host clock.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an instant in virtual simulation time, in nanoseconds since the
+// simulation epoch (t=0).
+type Time int64
+
+// Duration spans between two instants of virtual time, in nanoseconds.
+// It converts 1:1 with time.Duration so call sites can use readable
+// constructors such as 20*time.Millisecond.
+type Duration = time.Duration
+
+// Common instants.
+const (
+	// TimeZero is the simulation epoch.
+	TimeZero Time = 0
+	// TimeMax is the largest representable instant; used as "never".
+	TimeMax Time = math.MaxInt64
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the instant as a floating-point number of seconds since
+// the simulation epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String renders the instant as a duration since the epoch, e.g. "1.5s".
+func (t Time) String() string {
+	if t == TimeMax {
+		return "never"
+	}
+	return fmt.Sprintf("t=%s", Duration(t))
+}
+
+// SerializationDelay returns the time needed to clock size bytes onto a link
+// of the given rate in bits per second.
+func SerializationDelay(sizeBytes int, rateBps float64) Duration {
+	if rateBps <= 0 {
+		return 0
+	}
+	seconds := float64(sizeBytes) * 8 / rateBps
+	return Duration(seconds * float64(time.Second))
+}

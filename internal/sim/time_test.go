@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	base := TimeZero.Add(time.Second)
+	if got := base.Add(500 * time.Millisecond); got != Time(1500*time.Millisecond) {
+		t.Errorf("Add: got %v", got)
+	}
+	if got := base.Sub(TimeZero); got != time.Second {
+		t.Errorf("Sub: got %v", got)
+	}
+	if !TimeZero.Before(base) || base.Before(TimeZero) {
+		t.Error("Before ordering wrong")
+	}
+	if !base.After(TimeZero) || TimeZero.After(base) {
+		t.Error("After ordering wrong")
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := TimeZero.Add(1500 * time.Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+	if got := TimeZero.Seconds(); got != 0 {
+		t.Errorf("Seconds() = %v, want 0", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := TimeZero.Add(time.Second).String(); got != "t=1s" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := TimeMax.String(); got != "never" {
+		t.Errorf("TimeMax.String() = %q", got)
+	}
+}
+
+func TestTimeAddSubRoundTrip(t *testing.T) {
+	prop := func(startMs uint32, deltaMs uint32) bool {
+		start := TimeZero.Add(Duration(startMs) * time.Millisecond)
+		d := Duration(deltaMs) * time.Millisecond
+		return start.Add(d).Sub(start) == d
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	tests := []struct {
+		name  string
+		bytes int
+		rate  float64
+		want  Duration
+	}{
+		{"1000B at 8Mbps is 1ms", 1000, 8e6, time.Millisecond},
+		{"1000B at 100Mbps is 80us", 1000, 100e6, 80 * time.Microsecond},
+		{"40B ack at 31Mbps truncates to ns", 40, 31e6, 10322 * time.Nanosecond},
+		{"zero rate yields zero", 1000, 0, 0},
+		{"negative rate yields zero", 1000, -1, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SerializationDelay(tc.bytes, tc.rate); got != tc.want {
+				t.Errorf("SerializationDelay(%d, %g) = %v, want %v", tc.bytes, tc.rate, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSerializationDelayScalesLinearly(t *testing.T) {
+	prop := func(kb uint8) bool {
+		n := int(kb) + 1
+		one := SerializationDelay(1000, 10e6)
+		many := SerializationDelay(1000*n, 10e6)
+		// Allow 1ns rounding slack per packet.
+		diff := many - Duration(n)*one
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= Duration(n)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// poissonCounts synthesizes iid Poisson(lam) window counts.
+func poissonCounts(n int, lam float64, seed uint64) []float64 {
+	g := lcg(seed)
+	out := make([]float64, n)
+	for i := range out {
+		k, acc := 0, 0.0
+		for {
+			u := g.next()
+			for u == 0 {
+				u = g.next()
+			}
+			acc += -math.Log(u) / lam
+			if acc > 1 {
+				break
+			}
+			k++
+		}
+		out[i] = float64(k)
+	}
+	return out
+}
+
+func TestIDCPoissonIsOneAtAllScales(t *testing.T) {
+	counts := poissonCounts(16384, 20, 77)
+	ms, idc := IDCCurve(counts)
+	if len(ms) < 5 {
+		t.Fatalf("IDC curve too short: %v", ms)
+	}
+	for i, m := range ms {
+		if m > 64 {
+			break // few blocks at huge m: noisy
+		}
+		if idc[i] < 0.7 || idc[i] > 1.4 {
+			t.Errorf("Poisson IDC(m=%d) = %.3f, want ~1", m, idc[i])
+		}
+	}
+}
+
+func TestIDCGrowsForCorrelatedCounts(t *testing.T) {
+	// Positively correlated counts: IDC must grow with aggregation.
+	counts := smoothedNoise(8192, 64, 5)
+	for i := range counts {
+		counts[i] = counts[i] * 10 // keep a positive mean
+	}
+	idc1 := IndexOfDispersion(counts, 1)
+	idc64 := IndexOfDispersion(counts, 64)
+	if idc64 <= idc1*4 {
+		t.Errorf("IDC(64) = %.3f vs IDC(1) = %.3f: no growth for long-memory series", idc64, idc1)
+	}
+}
+
+func TestIDCDegenerate(t *testing.T) {
+	if IndexOfDispersion(nil, 1) != 0 {
+		t.Error("nil series IDC != 0")
+	}
+	if IndexOfDispersion([]float64{5}, 1) != 0 {
+		t.Error("single-sample IDC != 0")
+	}
+	if IndexOfDispersion(make([]float64, 100), 1) != 0 {
+		t.Error("zero-mean IDC != 0")
+	}
+}
+
+func TestPeakToMean(t *testing.T) {
+	if got := PeakToMean([]float64{2, 2, 2, 2}); got != 1 {
+		t.Errorf("constant series: %v, want 1", got)
+	}
+	if got := PeakToMean([]float64{1, 1, 1, 5}); got != 2.5 {
+		t.Errorf("peaky series: %v, want 2.5", got)
+	}
+	if PeakToMean(nil) != 0 || PeakToMean([]float64{0, 0}) != 0 {
+		t.Error("degenerate inputs must return 0")
+	}
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty input must return 0")
+	}
+}
+
+func TestQuantilesBatchMatchesSingle(t *testing.T) {
+	xs := whiteNoise(1000, 3)
+	qs := []float64{0.01, 0.5, 0.9, 0.99}
+	batch := Quantiles(xs, qs...)
+	for i, q := range qs {
+		if single := Quantile(xs, q); single != batch[i] {
+			t.Errorf("Quantiles[%v] = %v != Quantile %v", q, batch[i], single)
+		}
+	}
+	if got := Quantiles(nil, 0.5); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Quantiles(nil) = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}

@@ -1,0 +1,83 @@
+package stats
+
+import "math"
+
+// Simulation-output analysis: steady-state point estimates from a single
+// run carry autocorrelation, so naive standard errors are wrong. The batch
+// means method divides the series into contiguous batches whose means are
+// approximately independent, yielding honest confidence intervals; the
+// replication method (see core.RunReplications) does the same across
+// independent seeds.
+
+// CI is a point estimate with a symmetric confidence half-width.
+type CI struct {
+	Mean      float64
+	HalfWidth float64
+}
+
+// Low and High bound the interval.
+func (c CI) Low() float64  { return c.Mean - c.HalfWidth }
+func (c CI) High() float64 { return c.Mean + c.HalfWidth }
+
+// Contains reports whether v falls inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Low() && v <= c.High() }
+
+// BatchMeansCI estimates the steady-state mean of a (possibly
+// autocorrelated) series with a 95% confidence interval using the batch
+// means method with the given number of batches (10–30 is conventional).
+// Trailing observations that do not fill a batch are dropped. It returns a
+// zero-width interval when the series is too short (fewer than two
+// observations per batch or fewer than two batches).
+func BatchMeansCI(xs []float64, batches int) CI {
+	if batches < 2 {
+		batches = 2
+	}
+	size := len(xs) / batches
+	if size < 2 {
+		w := Summarize(xs)
+		return CI{Mean: w.Mean()}
+	}
+	var means Welford
+	for b := 0; b < batches; b++ {
+		batch := Summarize(xs[b*size : (b+1)*size])
+		means.Add(batch.Mean())
+	}
+	se := means.StdDev() / math.Sqrt(float64(batches))
+	return CI{
+		Mean:      means.Mean(),
+		HalfWidth: tQuantile975(batches-1) * se,
+	}
+}
+
+// ReplicationCI computes a 95% confidence interval for the mean of
+// independent replications (one value per seed).
+func ReplicationCI(values []float64) CI {
+	w := Summarize(values)
+	if w.Count() < 2 {
+		return CI{Mean: w.Mean()}
+	}
+	n := int(w.Count())
+	se := w.StdDev() / math.Sqrt(float64(n))
+	return CI{Mean: w.Mean(), HalfWidth: tQuantile975(n-1) * se}
+}
+
+// tQuantile975 returns the 0.975 quantile of Student's t distribution with
+// df degrees of freedom (tabulated for small df, normal approximation with
+// a continuity correction beyond).
+func tQuantile975(df int) float64 {
+	table := []float64{
+		0,                                                             // df=0 unused
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2-10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11-20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21-30
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	// Normal limit with a light finite-df correction.
+	return 1.96 + 2.4/float64(df)
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCIAccessors(t *testing.T) {
+	c := CI{Mean: 10, HalfWidth: 2}
+	if c.Low() != 8 || c.High() != 12 {
+		t.Errorf("bounds = [%v, %v]", c.Low(), c.High())
+	}
+	if !c.Contains(9) || c.Contains(13) || c.Contains(7.9) {
+		t.Error("Contains broken")
+	}
+}
+
+func TestBatchMeansCIIIDCoverage(t *testing.T) {
+	// For iid noise with known mean, the 95% interval should contain the
+	// true mean in roughly 95% of trials; check a loose lower bound.
+	const trials = 200
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		g := lcg(uint64(trial) + 1)
+		xs := make([]float64, 2000)
+		for i := range xs {
+			xs[i] = 5 + g.gaussian()
+		}
+		if BatchMeansCI(xs, 20).Contains(5) {
+			covered++
+		}
+	}
+	if covered < trials*85/100 {
+		t.Errorf("coverage %d/%d, want >= 85%%", covered, trials)
+	}
+	if covered == trials {
+		t.Log("note: full coverage; interval may be conservative")
+	}
+}
+
+func TestBatchMeansCIWiderForCorrelatedSeries(t *testing.T) {
+	// Autocorrelated series ⇒ batch means vary more ⇒ wider interval
+	// than iid noise of the same marginal variance.
+	iid := whiteNoise(4096, 3)
+	corr := smoothedNoise(4096, 64, 3)
+	// Rescale the correlated series to the same marginal stddev as iid.
+	wi, wc := Summarize(iid), Summarize(corr)
+	scale := wi.StdDev() / wc.StdDev()
+	for i := range corr {
+		corr[i] = (corr[i]-wc.Mean())*scale + wi.Mean()
+	}
+	ciIID := BatchMeansCI(iid, 16)
+	ciCorr := BatchMeansCI(corr, 16)
+	if ciCorr.HalfWidth <= ciIID.HalfWidth {
+		t.Errorf("correlated half-width %v <= iid %v", ciCorr.HalfWidth, ciIID.HalfWidth)
+	}
+}
+
+func TestBatchMeansCIDegenerate(t *testing.T) {
+	if ci := BatchMeansCI(nil, 10); ci.Mean != 0 || ci.HalfWidth != 0 {
+		t.Errorf("nil series: %+v", ci)
+	}
+	short := []float64{1, 2, 3}
+	ci := BatchMeansCI(short, 10)
+	if ci.HalfWidth != 0 || ci.Mean != 2 {
+		t.Errorf("short series: %+v", ci)
+	}
+	// batches < 2 clamps rather than panicking.
+	_ = BatchMeansCI([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 0)
+}
+
+func TestReplicationCI(t *testing.T) {
+	values := []float64{10, 12, 11, 9, 13}
+	ci := ReplicationCI(values)
+	if math.Abs(ci.Mean-11) > 1e-12 {
+		t.Errorf("mean = %v, want 11", ci.Mean)
+	}
+	// sd = sqrt(2.5), se = sd/sqrt(5), t(4) = 2.776.
+	wantHW := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(ci.HalfWidth-wantHW) > 1e-9 {
+		t.Errorf("half-width = %v, want %v", ci.HalfWidth, wantHW)
+	}
+	if hw := ReplicationCI([]float64{7}).HalfWidth; hw != 0 {
+		t.Errorf("single replication half-width = %v, want 0", hw)
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 60; df++ {
+		q := tQuantile975(df)
+		if q > prev {
+			t.Fatalf("t quantile not decreasing at df=%d: %v > %v", df, q, prev)
+		}
+		prev = q
+	}
+	if q := tQuantile975(1000); math.Abs(q-1.96) > 0.01 {
+		t.Errorf("large-df quantile = %v, want ~1.96", q)
+	}
+	if !math.IsInf(tQuantile975(0), 1) {
+		t.Error("df=0 must be infinite")
+	}
+}

@@ -1,0 +1,55 @@
+package stats
+
+// DelayDist accumulates one-way packet-delay observations (in seconds): a
+// running mean/variance plus a bounded systematic sample for quantile
+// estimates. Systematic (every k-th) sampling keeps memory constant
+// without a random source and is unbiased for quantiles as long as delays
+// are not periodic at exactly the sampling stride.
+type DelayDist struct {
+	w Welford
+
+	samples []float64
+	seen    uint64
+}
+
+const (
+	delayStride     = 8
+	maxDelaySamples = 1 << 14
+)
+
+// Observe folds one delay observation (seconds) in; negatives are ignored.
+func (d *DelayDist) Observe(seconds float64) {
+	if seconds < 0 {
+		return
+	}
+	d.w.Add(seconds)
+	if d.seen%delayStride == 0 && len(d.samples) < maxDelaySamples {
+		d.samples = append(d.samples, seconds)
+	}
+	d.seen++
+}
+
+// Count returns the number of observations.
+func (d *DelayDist) Count() uint64 { return d.w.Count() }
+
+// Mean returns the mean delay in seconds.
+func (d *DelayDist) Mean() float64 { return d.w.Mean() }
+
+// P95 returns the sampled 95th-percentile delay in seconds.
+func (d *DelayDist) P95() float64 { return Quantile(d.samples, 0.95) }
+
+// MaxSampled returns the largest sampled delay in seconds.
+func (d *DelayDist) MaxSampled() float64 { return Quantile(d.samples, 1) }
+
+// Merge folds another accumulator's running moments into this one and
+// concatenates samples up to the cap.
+func (d *DelayDist) Merge(o *DelayDist) {
+	d.w.Merge(o.w)
+	for _, s := range o.samples {
+		if len(d.samples) >= maxDelaySamples {
+			break
+		}
+		d.samples = append(d.samples, s)
+	}
+	d.seen += o.seen
+}

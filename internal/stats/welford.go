@@ -1,0 +1,163 @@
+// Package stats provides the statistical machinery of the paper's
+// evaluation: the coefficient of variation of windowed packet counts (the
+// burstiness measure), its analytic value for aggregated Poisson traffic,
+// Jain's fairness index, and Hurst-parameter estimators for the
+// self-similarity comparison the paper argues against.
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance in a single numerically stable
+// pass (Welford's online algorithm).
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// PopVariance returns the population (biased) variance.
+func (w *Welford) PopVariance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// COV returns the coefficient of variation — standard deviation over mean —
+// the paper's burstiness measure. It returns 0 for a zero mean.
+func (w *Welford) COV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / w.mean
+}
+
+// Merge folds another accumulator into this one (parallel Welford
+// combination by Chan et al.).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	delta := o.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += o.m2 + delta*delta*n1*n2/total
+	w.n += o.n
+}
+
+// Summarize computes a Welford accumulator over a slice in one call.
+func Summarize(xs []float64) Welford {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w
+}
+
+// COV computes the coefficient of variation of a series directly.
+func COV(xs []float64) float64 {
+	w := Summarize(xs)
+	return w.COV()
+}
+
+// PoissonAggregateCOV returns the analytic coefficient of variation of the
+// number of arrivals per window for n independent Poisson sources of rate
+// lambda (packets/second) observed over windows of length windowSeconds:
+// counts are Poisson(n·λ·T), whose c.o.v. is 1/sqrt(n·λ·T). This is the
+// paper's "aggregated Poisson" reference curve in Figure 2.
+func PoissonAggregateCOV(n int, lambda, windowSeconds float64) float64 {
+	m := float64(n) * lambda * windowSeconds
+	if m <= 0 {
+		return 0
+	}
+	return 1 / math.Sqrt(m)
+}
+
+// JainIndex returns Jain's fairness index of the allocations xs:
+// (Σx)² / (n·Σx²). It is 1 for perfectly equal shares and approaches 1/n
+// as one flow starves the rest. Empty or all-zero input yields 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length series, or 0 when undefined (mismatched lengths, fewer than
+// two points, or a degenerate series).
+func Correlation(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	wx, wy := Summarize(x), Summarize(y)
+	sx, sy := math.Sqrt(wx.PopVariance()), math.Sqrt(wy.PopVariance())
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	mx, my := wx.Mean(), wy.Mean()
+	var cov float64
+	for i := range x {
+		cov += (x[i] - mx) * (y[i] - my)
+	}
+	cov /= float64(len(x))
+	return cov / (sx * sy)
+}
+
+// MeanPairwiseCorrelation returns the average Pearson correlation over all
+// pairs of the given series — a synchronization index: near 1 when the
+// series move in lockstep, near 0 when independent. It returns 0 with
+// fewer than two series.
+func MeanPairwiseCorrelation(series [][]float64) float64 {
+	if len(series) < 2 {
+		return 0
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(series); i++ {
+		for j := i + 1; j < len(series); j++ {
+			sum += Correlation(series[i], series[j])
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}

@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	w := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if w.Count() != 8 {
+		t.Errorf("Count = %d, want 8", w.Count())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	if !almostEqual(w.PopVariance(), 4, 1e-12) {
+		t.Errorf("PopVariance = %v, want 4", w.PopVariance())
+	}
+	if !almostEqual(w.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want 32/7", w.Variance())
+	}
+	if !almostEqual(w.COV(), math.Sqrt(32.0/7)/5, 1e-12) {
+		t.Errorf("COV = %v", w.COV())
+	}
+}
+
+func TestWelfordEdgeCases(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.COV() != 0 || w.StdDev() != 0 {
+		t.Error("empty accumulator must be all zeros")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Errorf("single value: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+	// Zero mean: COV defined as 0 to avoid division by zero.
+	z := Summarize([]float64{-1, 1})
+	if z.COV() != 0 {
+		t.Errorf("zero-mean COV = %v, want 0", z.COV())
+	}
+}
+
+func TestWelfordMatchesNaiveComputation(t *testing.T) {
+	prop := func(xs []float64) bool {
+		// Constrain magnitudes to keep the naive two-pass method stable.
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				return true
+			}
+			xs[i] = math.Mod(xs[i], 1e6)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		w := Summarize(xs)
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(naiveVar))
+		return almostEqual(w.Mean(), mean, 1e-9*math.Max(1, math.Abs(mean))) &&
+			almostEqual(w.Variance(), naiveVar, 1e-6*scale)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeMatchesCombined(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) {
+				return true
+			}
+			a[i] = math.Mod(a[i], 1e6)
+		}
+		for i := range b {
+			if math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				return true
+			}
+			b[i] = math.Mod(b[i], 1e6)
+		}
+		wa, wb := Summarize(a), Summarize(b)
+		wa.Merge(wb)
+		combined := Summarize(append(append([]float64{}, a...), b...))
+		if wa.Count() != combined.Count() {
+			return false
+		}
+		if wa.Count() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(combined.Variance()))
+		return almostEqual(wa.Mean(), combined.Mean(), 1e-7*math.Max(1, math.Abs(combined.Mean()))) &&
+			almostEqual(wa.Variance(), combined.Variance(), 1e-6*scale)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonAggregateCOV(t *testing.T) {
+	// Counts over T from n Poisson(λ) sources are Poisson(nλT):
+	// c.o.v. = 1/sqrt(nλT).
+	if got := PoissonAggregateCOV(20, 100, 0.044); !almostEqual(got, 1/math.Sqrt(88), 1e-12) {
+		t.Errorf("PoissonAggregateCOV = %v", got)
+	}
+	if got := PoissonAggregateCOV(0, 100, 1); got != 0 {
+		t.Errorf("zero sources: %v, want 0", got)
+	}
+	if got := PoissonAggregateCOV(10, 0, 1); got != 0 {
+		t.Errorf("zero rate: %v, want 0", got)
+	}
+	// More sources → smoother: strictly decreasing in n.
+	prev := math.Inf(1)
+	for n := 1; n <= 60; n++ {
+		cov := PoissonAggregateCOV(n, 100, 0.044)
+		if cov >= prev {
+			t.Fatalf("analytic c.o.v. not decreasing at n=%d", n)
+		}
+		prev = cov
+	}
+}
+
+func TestCOVAgainstSimulatedPoisson(t *testing.T) {
+	// Empirical check: synthetic Poisson counts match the analytic curve.
+	// Use a deterministic LCG to avoid importing math/rand here.
+	seed := uint64(12345)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	const lam = 30.0 // mean events per window
+	counts := make([]float64, 20000)
+	for i := range counts {
+		// Poisson via inversion of exponential gaps.
+		n, acc := 0, 0.0
+		for {
+			u := next()
+			for u == 0 {
+				u = next()
+			}
+			acc += -math.Log(u) / lam
+			if acc > 1 {
+				break
+			}
+			n++
+		}
+		counts[i] = float64(n)
+	}
+	got := COV(counts)
+	want := 1 / math.Sqrt(lam)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("simulated Poisson c.o.v. = %v, want ~%v", got, want)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"equal shares", []float64{5, 5, 5, 5}, 1},
+		{"one hog", []float64{1, 0, 0, 0}, 0.25},
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0}, 0},
+		{"two-to-one", []float64{2, 1}, 9.0 / 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := JainIndex(tc.in); !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("JainIndex(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, math.Abs(math.Mod(x, 1e6)))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		j := JainIndex(clean)
+		return j >= 0 && j <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if got := Correlation(x, x); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("self-correlation = %v, want 1", got)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if got := Correlation(x, neg); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("anti-correlation = %v, want -1", got)
+	}
+	if got := Correlation(x, []float64{2, 4, 6, 8, 10}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("scaled correlation = %v, want 1", got)
+	}
+	// Degenerate inputs.
+	if Correlation(x, x[:3]) != 0 {
+		t.Error("mismatched lengths must return 0")
+	}
+	if Correlation([]float64{1}, []float64{2}) != 0 {
+		t.Error("single point must return 0")
+	}
+	if Correlation(x, []float64{7, 7, 7, 7, 7}) != 0 {
+		t.Error("constant series must return 0")
+	}
+}
+
+func TestCorrelationIndependentNearZero(t *testing.T) {
+	a := whiteNoise(8192, 21)
+	b := whiteNoise(8192, 22)
+	if got := Correlation(a, b); math.Abs(got) > 0.05 {
+		t.Errorf("independent noise correlation = %v, want ~0", got)
+	}
+}
+
+func TestMeanPairwiseCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	z := []float64{4, 3, 2, 1}
+	// Pairs: (x,y)=1, (x,z)=-1, (y,z)=-1 → mean -1/3.
+	got := MeanPairwiseCorrelation([][]float64{x, y, z})
+	if !almostEqual(got, -1.0/3, 1e-12) {
+		t.Errorf("mean pairwise = %v, want -1/3", got)
+	}
+	if MeanPairwiseCorrelation([][]float64{x}) != 0 {
+		t.Error("single series must return 0")
+	}
+	if MeanPairwiseCorrelation(nil) != 0 {
+		t.Error("nil must return 0")
+	}
+}

@@ -1,0 +1,161 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+)
+
+// lossyDrop drops data packets (and optionally ACKs) with probability p.
+func lossyDrop(rng *sim.RNG, p float64, dropAcks bool) func(*packet.Packet) bool {
+	return func(pkt *packet.Packet) bool {
+		if pkt.IsAck() && !dropAcks {
+			return false
+		}
+		return rng.Float64() < p
+	}
+}
+
+// orderedSink wraps deliveries to assert strict in-order, exactly-once
+// delivery at the application boundary.
+type orderTracker struct {
+	next int64
+	bad  bool
+}
+
+// TestReliableInOrderDeliveryUnderRandomLoss is the core transport
+// invariant: every variant must deliver every packet exactly once, in
+// order, for a range of loss rates and seeds, on both the data and the ACK
+// path.
+func TestReliableInOrderDeliveryUnderRandomLoss(t *testing.T) {
+	variants := []Variant{Tahoe, Reno, NewReno, Vegas}
+	lossRates := []float64{0.01, 0.05, 0.2}
+	for _, v := range variants {
+		for _, rate := range lossRates {
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%s/loss%.0f%%/seed%d", v, rate*100, seed)
+				t.Run(name, func(t *testing.T) {
+					c := newConn(t, v, nil)
+					rng := sim.NewRNG(seed)
+					c.fwd.drop = lossyDrop(rng.Fork(1), rate, false)
+					c.rev.drop = lossyDrop(rng.Fork(2), rate/2, true)
+					const n = 150
+					c.submit(n)
+					c.run(t, 10*time.Minute)
+					if got := c.sink.Delivered(); got != n {
+						t.Fatalf("delivered %d, want %d", got, n)
+					}
+					if got := c.sink.RcvNxt(); got != n {
+						t.Fatalf("rcvNxt = %d, want %d", got, n)
+					}
+					if f := c.sender.FlightSize(); f != 0 {
+						t.Errorf("flight = %d after full delivery", f)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSequencesDeliveredInOrder verifies the sink never hands the
+// application a gap or regression even while the wire reorders nothing but
+// losses force retransmissions.
+func TestSequencesDeliveredInOrder(t *testing.T) {
+	c := newConn(t, Reno, nil)
+	rng := sim.NewRNG(7)
+	c.fwd.drop = lossyDrop(rng, 0.1, false)
+
+	// Track the sink's advancement after every event step: RcvNxt and
+	// Delivered must advance together and never regress.
+	lastNxt := int64(0)
+	c.submit(300)
+	deadline := sim.TimeZero.Add(10 * time.Minute)
+	tracker := orderTracker{}
+	for c.sched.Now() < deadline {
+		if !c.sched.Step() {
+			break
+		}
+		nxt := c.sink.RcvNxt()
+		if nxt < lastNxt {
+			tracker.bad = true
+			break
+		}
+		if uint64(nxt) != c.sink.Delivered() {
+			t.Fatalf("RcvNxt %d != Delivered %d", nxt, c.sink.Delivered())
+		}
+		lastNxt = nxt
+	}
+	if tracker.bad {
+		t.Fatal("receive sequence regressed")
+	}
+	if c.sink.Delivered() != 300 {
+		t.Fatalf("delivered %d, want 300", c.sink.Delivered())
+	}
+}
+
+// TestConservationNoLoss: on a clean path, transmissions equal submissions
+// (no spurious retransmits) across variants and workload shapes.
+func TestConservationNoLoss(t *testing.T) {
+	shapes := []struct {
+		name  string
+		drive func(c *conn, t *testing.T)
+	}{
+		{"bulk", func(c *conn, t *testing.T) {
+			c.submit(400)
+			c.run(t, 30*time.Second)
+		}},
+		{"trickle", func(c *conn, t *testing.T) {
+			for i := 0; i < 100; i++ {
+				c.submit(1)
+				c.run(t, 7*time.Millisecond)
+			}
+			c.run(t, 5*time.Second)
+		}},
+		{"bursts", func(c *conn, t *testing.T) {
+			for i := 0; i < 10; i++ {
+				c.submit(30)
+				c.run(t, 500*time.Millisecond)
+			}
+			c.run(t, 10*time.Second)
+		}},
+	}
+	for _, v := range []Variant{Tahoe, Reno, NewReno, Vegas} {
+		for _, shape := range shapes {
+			t.Run(v.String()+"/"+shape.name, func(t *testing.T) {
+				c := newConn(t, v, nil)
+				shape.drive(c, t)
+				cnt := c.sender.Counters()
+				if cnt.DataSent != cnt.Submitted {
+					t.Errorf("sent %d != submitted %d on clean path", cnt.DataSent, cnt.Submitted)
+				}
+				if c.sink.Delivered() != cnt.Submitted {
+					t.Errorf("delivered %d != submitted %d", c.sink.Delivered(), cnt.Submitted)
+				}
+			})
+		}
+	}
+}
+
+// TestSpuriousTimeoutRecovery: if the RTO fires because ACKs were merely
+// delayed (severed then restored path), the connection must still converge.
+func TestPathSeveredThenRestored(t *testing.T) {
+	c := newConn(t, Reno, nil)
+	c.submit(100)
+	c.run(t, 100*time.Millisecond)
+	// Sever both directions for two seconds.
+	c.fwd.drop = func(*packet.Packet) bool { return true }
+	c.rev.drop = func(*packet.Packet) bool { return true }
+	c.run(t, 2*time.Second)
+	c.fwd.drop = nil
+	c.rev.drop = nil
+	c.run(t, 30*time.Second)
+	if got := c.sink.Delivered(); got != 100 {
+		t.Errorf("delivered %d after path restoration, want 100", got)
+	}
+	if got := c.sender.Counters().Timeouts; got == 0 {
+		t.Error("no timeouts recorded despite a severed path")
+	}
+}

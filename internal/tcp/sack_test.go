@@ -1,0 +1,175 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"tcpburst/internal/packet"
+)
+
+func TestSinkSACKBlocks(t *testing.T) {
+	h := newSinkHarness(t, func(c *Config) { c.Variant = SACK })
+	h.deliver(0) // in order: ack 1, no SACK
+	h.deliver(2) // hole at 1
+	h.deliver(3)
+	h.deliver(5) // second hole at 4
+
+	acks := h.out.log
+	if len(acks) != 4 {
+		t.Fatalf("acks = %d, want 4", len(acks))
+	}
+	if acks[0].SACK != nil {
+		t.Error("in-order ACK carried SACK blocks")
+	}
+	// After seq 5: ooo = {2,3,5} → blocks [5,6) (trigger first) and [2,4).
+	last := acks[3]
+	if len(last.SACK) != 2 {
+		t.Fatalf("SACK blocks = %v, want 2 blocks", last.SACK)
+	}
+	if last.SACK[0] != (packet.SACKBlock{First: 5, Last: 6}) {
+		t.Errorf("first block %v, want triggering [5,6)", last.SACK[0])
+	}
+	if last.SACK[1] != (packet.SACKBlock{First: 2, Last: 4}) {
+		t.Errorf("second block %v, want [2,4)", last.SACK[1])
+	}
+}
+
+func TestSinkSACKBlockLimit(t *testing.T) {
+	h := newSinkHarness(t, func(c *Config) { c.Variant = SACK })
+	// Six isolated holes → six candidate blocks; only four may ship.
+	for _, seq := range []int64{2, 4, 6, 8, 10, 12} {
+		h.deliver(seq)
+	}
+	last := h.out.log[len(h.out.log)-1]
+	if len(last.SACK) != maxSACKBlocks {
+		t.Errorf("SACK blocks = %d, want %d", len(last.SACK), maxSACKBlocks)
+	}
+}
+
+func TestSACKBlockCovers(t *testing.T) {
+	b := packet.SACKBlock{First: 3, Last: 6}
+	for seq, want := range map[int64]bool{2: false, 3: true, 5: true, 6: false} {
+		if b.Covers(seq) != want {
+			t.Errorf("Covers(%d) = %v, want %v", seq, !want, want)
+		}
+	}
+}
+
+func TestSACKRepairsMultipleLossesInOneRTT(t *testing.T) {
+	c := newConn(t, SACK, nil)
+	c.submit(1000)
+	c.run(t, 90*time.Millisecond)
+	next := int64(c.fwd.dataSent())
+	// Three losses in one window: Reno would almost certainly need a
+	// timeout; SACK repairs them all from the scoreboard.
+	c.fwd.drop = dropSeqOnce(next, next+2, next+5)
+	c.run(t, 900*time.Millisecond)
+	cnt := c.sender.Counters()
+	if cnt.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0 (scoreboard repair)", cnt.Timeouts)
+	}
+	if cnt.FastRetransmits != 1 {
+		t.Errorf("fast retransmits = %d, want one episode", cnt.FastRetransmits)
+	}
+	// Exactly the three lost packets are retransmitted — no go-back-N.
+	if got := cnt.Retransmits; got != 3 {
+		t.Errorf("retransmits = %d, want exactly 3", got)
+	}
+	c.run(t, 5*time.Second)
+	if c.sender.FlightSize() != 0 {
+		t.Errorf("flight = %d after recovery", c.sender.FlightSize())
+	}
+}
+
+func TestSACKNeverRetransmitsSACKedData(t *testing.T) {
+	c := newConn(t, SACK, nil)
+	c.submit(500)
+	c.run(t, 90*time.Millisecond)
+	next := int64(c.fwd.dataSent())
+	c.fwd.drop = dropSeqOnce(next, next+4)
+	c.run(t, 5*time.Second)
+	// Count transmissions per sequence: packets between the losses were
+	// SACKed and must have been sent exactly once.
+	sent := make(map[int64]int)
+	for _, p := range c.fwd.log {
+		if p.IsData() {
+			sent[p.Seq]++
+		}
+	}
+	for seq := next + 1; seq < next+4; seq++ {
+		if sent[seq] != 1 {
+			t.Errorf("seq %d transmitted %d times; SACKed data must not be resent", seq, sent[seq])
+		}
+	}
+	if sent[next] != 2 || sent[next+4] != 2 {
+		t.Errorf("lost packets retransmitted %d/%d times, want 2/2", sent[next], sent[next+4])
+	}
+}
+
+func TestSACKTimeoutClearsScoreboard(t *testing.T) {
+	c := newConn(t, SACK, nil)
+	// Single packet lost with no dup ACKs possible: timeout path.
+	c.fwd.drop = dropSeqOnce(0)
+	c.submit(1)
+	c.run(t, 5*time.Second)
+	cnt := c.sender.Counters()
+	if cnt.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", cnt.Timeouts)
+	}
+	if c.sink.Delivered() != 1 {
+		t.Fatalf("delivered %d, want 1", c.sink.Delivered())
+	}
+	if len(c.sender.sacked) != 0 {
+		t.Errorf("scoreboard has %d entries after timeout", len(c.sender.sacked))
+	}
+}
+
+func TestSACKReliabilityUnderHeavyLoss(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		c := newConn(t, SACK, nil)
+		rng := newLossRNG(seed)
+		c.fwd.drop = func(p *packet.Packet) bool {
+			return p.IsData() && rng() < 0.15
+		}
+		const n = 200
+		c.submit(n)
+		c.run(t, 10*time.Minute)
+		if got := c.sink.Delivered(); got != n {
+			t.Fatalf("seed %d: delivered %d, want %d", seed, got, n)
+		}
+	}
+}
+
+// newLossRNG returns a deterministic uniform [0,1) source for loss tests.
+func newLossRNG(seed int64) func() float64 {
+	state := uint64(seed)*2685821657736338717 + 1
+	return func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state>>11) / float64(1<<53)
+	}
+}
+
+func TestSACKOutperformsRenoUnderBurstLoss(t *testing.T) {
+	// Drop a three-packet burst out of each connection's window and
+	// compare recovery: SACK should need no timeouts where Reno does.
+	mk := func(v Variant) *conn {
+		c := newConn(t, v, nil)
+		c.submit(1000)
+		c.run(t, 90*time.Millisecond)
+		next := int64(c.fwd.dataSent())
+		c.fwd.drop = dropSeqOnce(next, next+1, next+2)
+		c.run(t, 3*time.Second)
+		return c
+	}
+	sack := mk(SACK)
+	reno := mk(Reno)
+	if got := sack.sender.Counters().Timeouts; got != 0 {
+		t.Errorf("sack timeouts = %d, want 0", got)
+	}
+	if sack.sender.Counters().Retransmits > reno.sender.Counters().Retransmits {
+		t.Errorf("sack retransmitted %d > reno %d; scoreboard should be more precise",
+			sack.sender.Counters().Retransmits, reno.sender.Counters().Retransmits)
+	}
+}

@@ -1,0 +1,162 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tcpburst/internal/packet"
+)
+
+// Scenario matrix: every congestion-control variant is driven through a
+// library of adversarial loss patterns; each scenario states the universal
+// outcome (full, in-order delivery) plus optional variant-specific checks.
+
+type lossScenario struct {
+	name string
+	// install arms the loss pattern on a freshly ramped connection;
+	// next is the next new sequence number at install time.
+	install func(c *conn, next int64)
+	// packets to submit in total.
+	packets int
+	// horizon for full recovery.
+	horizon time.Duration
+}
+
+func scenarios() []lossScenario {
+	return []lossScenario{
+		{
+			name:    "single-loss",
+			install: func(c *conn, next int64) { c.fwd.drop = dropSeqOnce(next) },
+			packets: 300, horizon: 30 * time.Second,
+		},
+		{
+			name:    "double-loss-same-window",
+			install: func(c *conn, next int64) { c.fwd.drop = dropSeqOnce(next, next+2) },
+			packets: 300, horizon: 30 * time.Second,
+		},
+		{
+			name:    "burst-loss-five",
+			install: func(c *conn, next int64) { c.fwd.drop = dropSeqOnce(next, next+1, next+2, next+3, next+4) },
+			packets: 300, horizon: 60 * time.Second,
+		},
+		{
+			name:    "retransmission-lost-too",
+			install: func(c *conn, next int64) { c.fwd.drop = dropSeqTimes(next, 2) },
+			packets: 300, horizon: 60 * time.Second,
+		},
+		{
+			name: "periodic-loss-every-25th",
+			install: func(c *conn, next int64) {
+				c.fwd.drop = func(p *packet.Packet) bool {
+					return p.IsData() && !p.Retransmit && p.Seq >= next && (p.Seq-next)%25 == 0
+				}
+			},
+			packets: 300, horizon: 2 * time.Minute,
+		},
+		{
+			name: "ack-decimation",
+			install: func(c *conn, next int64) {
+				i := 0
+				c.rev.drop = func(p *packet.Packet) bool {
+					i++
+					return p.IsAck() && i%3 == 0
+				}
+			},
+			packets: 300, horizon: 2 * time.Minute,
+		},
+		{
+			name: "tail-loss",
+			install: func(c *conn, next int64) {
+				// The last packets of the transfer are lost: no dup
+				// ACKs possible, only timers recover.
+				c.fwd.drop = func(p *packet.Packet) bool {
+					return p.IsData() && !p.Retransmit && p.Seq >= 297
+				}
+			},
+			packets: 300, horizon: 2 * time.Minute,
+		},
+	}
+}
+
+func TestVariantScenarioMatrix(t *testing.T) {
+	for _, v := range []Variant{Tahoe, Reno, NewReno, Vegas, SACK} {
+		for _, sc := range scenarios() {
+			t.Run(fmt.Sprintf("%s/%s", v, sc.name), func(t *testing.T) {
+				c := newConn(t, v, nil)
+				// Ramp first so losses hit an established window.
+				c.submit(60)
+				c.run(t, 200*time.Millisecond)
+				next := int64(c.fwd.dataSent())
+				sc.install(c, next)
+				c.submit(sc.packets - 60)
+				c.run(t, sim2dur(sc.horizon))
+
+				if got := c.sink.Delivered(); got != uint64(sc.packets) {
+					t.Fatalf("delivered %d, want %d (timeouts=%d fastrtx=%d)",
+						got, sc.packets,
+						c.sender.Counters().Timeouts, c.sender.Counters().FastRetransmits)
+				}
+				if got := c.sink.RcvNxt(); got != int64(sc.packets) {
+					t.Fatalf("rcvNxt = %d, want %d", got, sc.packets)
+				}
+				if f := c.sender.FlightSize(); f != 0 {
+					t.Errorf("flight = %d after completion", f)
+				}
+				if b := c.sender.Backlog(); b != 0 {
+					t.Errorf("backlog = %d after completion", b)
+				}
+			})
+		}
+	}
+}
+
+// sim2dur exists to keep the scenario table readable (time.Duration and
+// sim.Duration are the same type).
+func sim2dur(d time.Duration) time.Duration { return d }
+
+// TestScenarioEfficiencyOrdering: across the double-loss scenario the
+// retransmission counts must reflect recovery sophistication:
+// SACK <= NewReno <= Reno-family go-back-N behavior.
+func TestScenarioEfficiencyOrdering(t *testing.T) {
+	rtx := map[Variant]uint64{}
+	for _, v := range []Variant{Reno, NewReno, SACK} {
+		c := newConn(t, v, nil)
+		c.submit(60)
+		c.run(t, 200*time.Millisecond)
+		next := int64(c.fwd.dataSent())
+		c.fwd.drop = dropSeqOnce(next, next+2, next+4)
+		c.submit(240)
+		c.run(t, 30*time.Second)
+		if c.sink.Delivered() != 300 {
+			t.Fatalf("%v: delivered %d", v, c.sink.Delivered())
+		}
+		rtx[v] = c.sender.Counters().Retransmits
+	}
+	if rtx[SACK] > rtx[NewReno] {
+		t.Errorf("SACK retransmits %d > NewReno %d", rtx[SACK], rtx[NewReno])
+	}
+	if rtx[SACK] > rtx[Reno] {
+		t.Errorf("SACK retransmits %d > Reno %d", rtx[SACK], rtx[Reno])
+	}
+	if rtx[SACK] != 3 {
+		t.Errorf("SACK retransmits = %d, want exactly the 3 losses", rtx[SACK])
+	}
+}
+
+// TestVariantTimeoutAvoidanceOrdering: on a triple-loss window, SACK and
+// NewReno avoid the retransmission timeout entirely.
+func TestVariantTimeoutAvoidanceOrdering(t *testing.T) {
+	for _, v := range []Variant{NewReno, SACK} {
+		c := newConn(t, v, nil)
+		c.submit(60)
+		c.run(t, 200*time.Millisecond)
+		next := int64(c.fwd.dataSent())
+		c.fwd.drop = dropSeqOnce(next, next+1, next+2)
+		c.submit(140)
+		c.run(t, 900*time.Millisecond) // under the 1s initial RTO
+		if got := c.sender.Counters().Timeouts; got != 0 {
+			t.Errorf("%v: %d timeouts on a triple-loss window, want 0", v, got)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package tcp
+
+import (
+	"math"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+	"tcpburst/internal/transport"
+)
+
+// segment records per-packet send state for outstanding data.
+type segment struct {
+	sentAt sim.Time
+	rtxed  bool
+}
+
+// congestionControl is the variant-specific half of the sender. Hooks run
+// after the sender has classified the incoming event and updated sequence
+// and timing state; they adjust cwnd/ssthresh and trigger retransmissions
+// through the sender's helpers.
+type congestionControl interface {
+	// onNewAck runs for every cumulative-ACK advance. acked is the number
+	// of packets newly covered; rtt is the sample for this ACK, or zero
+	// if invalid (retransmitted segment — Karn's algorithm).
+	onNewAck(s *Sender, acked int64, rtt sim.Duration)
+	// onDupAck runs for every duplicate ACK; count is the running total
+	// since the last cumulative advance.
+	onDupAck(s *Sender, count int)
+	// onTimeout runs when the retransmission timer expires, before the
+	// sender performs its go-back-N resend.
+	onTimeout(s *Sender)
+}
+
+// Sender is a TCP sending endpoint. It is driven entirely by simulator
+// events (application submissions and received ACKs) and is not safe for
+// concurrent use.
+type Sender struct {
+	cfg Config
+	cc  congestionControl
+
+	// Sequence state (packet-counted).
+	sndUna    int64 // lowest unacknowledged sequence
+	sndNxt    int64 // next sequence to transmit
+	submitted int64 // application packets available (seq < submitted exist)
+
+	// Congestion state; owned here so tracing is uniform across variants.
+	cwnd       float64
+	ssthresh   float64
+	dupAcks    int
+	inRecovery bool
+	recover    int64 // snd_nxt at loss detection (NewReno partial acks)
+	ecnRecover int64 // snd_nxt at the last ECN response (once per window)
+
+	// Outstanding segment records, keyed by sequence.
+	segs map[int64]*segment
+
+	// sacked is the selective-acknowledgment scoreboard (SACK variant
+	// only): outstanding sequences the receiver has reported holding.
+	sacked map[int64]bool
+	// sackHigh is one past the highest SACKed sequence; only unSACKed
+	// packets below it may be presumed lost (something sent after them
+	// has arrived).
+	sackHigh int64
+
+	// RTT estimation (Jacobson/Karn).
+	srtt    sim.Duration
+	rttvar  sim.Duration
+	rto     sim.Duration
+	backoff int
+
+	rtxTimer *sim.Timer
+	counters Counters
+}
+
+var (
+	_ transport.Source = (*Sender)(nil)
+	_ transport.Agent  = (*Sender)(nil)
+)
+
+// NewSender returns a sender for the given connection, or an error for an
+// invalid configuration.
+func NewSender(cfg Config) (*Sender, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Sender{
+		cfg:      cfg,
+		cwnd:     cfg.InitialCwnd,
+		ssthresh: cfg.InitialSsthresh,
+		rto:      cfg.InitialRTO,
+		backoff:  1,
+		segs:     make(map[int64]*segment),
+	}
+	switch cfg.Variant {
+	case Vegas:
+		s.cc = newVegasCC(cfg.Vegas)
+	case SACK:
+		s.cc = &sackCC{}
+		s.sacked = make(map[int64]bool)
+	default:
+		s.cc = &renoCC{flavor: cfg.Variant}
+	}
+	s.rtxTimer = sim.NewTimer(cfg.Sched, s.onTimeout)
+	return s, nil
+}
+
+// Variant returns the sender's congestion-control variant.
+func (s *Sender) Variant() Variant { return s.cfg.Variant }
+
+// Cwnd returns the current congestion window in packets.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Ssthresh returns the current slow-start threshold in packets.
+func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+
+// SRTT returns the smoothed RTT estimate (zero before the first sample).
+func (s *Sender) SRTT() sim.Duration { return s.srtt }
+
+// RTO returns the current retransmission timeout.
+func (s *Sender) RTO() sim.Duration { return s.rto }
+
+// InRecovery reports whether the sender is in fast recovery.
+func (s *Sender) InRecovery() bool { return s.inRecovery }
+
+// Counters returns a copy of the connection counters.
+func (s *Sender) Counters() Counters { return s.counters }
+
+// Backlog returns application packets submitted but not yet transmitted.
+func (s *Sender) Backlog() int64 { return s.submitted - s.sndNxt }
+
+// FlightSize returns the number of unacknowledged in-flight packets.
+func (s *Sender) FlightSize() int64 { return s.sndNxt - s.sndUna }
+
+// Submit adds one application packet to the send buffer and transmits as
+// much as the window permits.
+func (s *Sender) Submit() {
+	s.submitted++
+	s.counters.Submitted++
+	s.trySend()
+}
+
+// Receive processes an inbound packet; only ACKs are meaningful to the
+// sender.
+func (s *Sender) Receive(p *packet.Packet) {
+	if !p.IsAck() {
+		return
+	}
+	s.counters.AcksReceived++
+	if s.sacked != nil {
+		for _, b := range p.SACK {
+			for seq := b.First; seq < b.Last; seq++ {
+				if seq >= s.sndUna {
+					s.sacked[seq] = true
+				}
+			}
+			if b.Last > s.sackHigh {
+				s.sackHigh = b.Last
+			}
+		}
+	}
+	switch {
+	case p.Ack > s.sndUna:
+		s.handleNewAck(p)
+	case p.Ack == s.sndUna && s.FlightSize() > 0:
+		s.counters.DupAcksReceived++
+		s.dupAcks++
+		s.cc.onDupAck(s, s.dupAcks)
+	default:
+		// Stale ACK below snd_una: ignore.
+	}
+	s.trySend()
+}
+
+// window returns the effective send window in whole packets.
+func (s *Sender) window() int64 {
+	w := int64(s.cwnd)
+	if w < 1 {
+		w = 1
+	}
+	if max := int64(s.cfg.MaxWindow); w > max {
+		w = max
+	}
+	return w
+}
+
+// trySend transmits new data while the window and send buffer allow. When
+// the window opens after an idle spell this sends the whole permitted burst
+// back-to-back — the modulation behavior under study.
+func (s *Sender) trySend() {
+	for s.sndNxt < s.submitted && s.sndNxt-s.sndUna < s.window() {
+		if s.isSACKed(s.sndNxt) {
+			// Already held by the receiver (rewound past it after a
+			// partial repair): skip rather than resend.
+			s.sndNxt++
+			continue
+		}
+		s.transmit(s.sndNxt)
+		s.sndNxt++
+	}
+}
+
+// isSACKed reports whether the receiver has selectively acknowledged seq.
+func (s *Sender) isSACKed(seq int64) bool {
+	return s.sacked != nil && s.sacked[seq]
+}
+
+// clearSACKed empties the scoreboard (timeout: the receiver may renege).
+func (s *Sender) clearSACKed() {
+	for seq := range s.sacked {
+		delete(s.sacked, seq)
+	}
+	s.sackHigh = 0
+}
+
+// transmit puts the packet with the given sequence on the wire, tracking
+// retransmission state.
+func (s *Sender) transmit(seq int64) {
+	now := s.cfg.Sched.Now()
+	seg, seen := s.segs[seq]
+	if seen {
+		seg.rtxed = true
+		seg.sentAt = now
+		s.counters.Retransmits++
+	} else {
+		seg = &segment{sentAt: now}
+		s.segs[seq] = seg
+	}
+	s.counters.DataSent++
+	p := &packet.Packet{
+		Kind:       packet.Data,
+		Flow:       s.cfg.Flow,
+		Src:        s.cfg.Src,
+		Dst:        s.cfg.Dst,
+		Seq:        seq,
+		Size:       s.cfg.PacketSize,
+		SentAt:     now,
+		Retransmit: seg.rtxed,
+	}
+	if !s.rtxTimer.Armed() {
+		s.rtxTimer.Reset(s.currentRTO())
+	}
+	s.cfg.Out.Send(p)
+}
+
+// retransmitHead resends the oldest unacknowledged packet and restarts the
+// retransmission timer; used by fast retransmit.
+func (s *Sender) retransmitHead() {
+	if s.FlightSize() <= 0 {
+		return
+	}
+	s.transmit(s.sndUna)
+	s.rtxTimer.Reset(s.currentRTO())
+}
+
+// handleNewAck advances snd_una, samples the RTT per Karn's algorithm, and
+// hands window management to the variant.
+func (s *Sender) handleNewAck(p *packet.Packet) {
+	now := s.cfg.Sched.Now()
+	acked := p.Ack - s.sndUna
+
+	// Karn's algorithm: never sample RTT from a retransmitted segment —
+	// the ACK could match either transmission. SentAt is stamped by the
+	// sender and echoed by the sink, so it is always meaningful here.
+	var rtt sim.Duration
+	if !p.Retransmit {
+		rtt = now.Sub(p.SentAt)
+		s.updateRTT(rtt)
+	}
+	s.backoff = 1
+
+	for seq := s.sndUna; seq < p.Ack; seq++ {
+		delete(s.segs, seq)
+		if s.sacked != nil {
+			delete(s.sacked, seq)
+		}
+	}
+	s.sndUna = p.Ack
+	if s.sndNxt < s.sndUna {
+		// A go-back-N rewind can leave sndNxt behind a late ACK.
+		s.sndNxt = s.sndUna
+	}
+	s.dupAcks = 0
+
+	// ECN extension: an echoed congestion-experienced mark elicits the
+	// same multiplicative decrease as a loss, at most once per window of
+	// data, but without any retransmission.
+	if p.ECE && !s.inRecovery && s.sndUna > s.ecnRecover {
+		s.halveSsthresh()
+		s.cwnd = s.ssthresh
+		s.ecnRecover = s.sndNxt
+	}
+
+	s.cc.onNewAck(s, acked, rtt)
+
+	if s.FlightSize() > 0 {
+		s.rtxTimer.Reset(s.currentRTO())
+	} else {
+		s.rtxTimer.Stop()
+	}
+}
+
+// onTimeout fires when the retransmission timer expires: exponential
+// backoff, variant window collapse, and a go-back-N rewind so the head of
+// the window is retransmitted first.
+func (s *Sender) onTimeout() {
+	if s.FlightSize() <= 0 {
+		return
+	}
+	s.counters.Timeouts++
+	if s.backoff < 64 {
+		s.backoff *= 2
+	}
+	s.dupAcks = 0
+	s.cc.onTimeout(s)
+	// Go-back-N: everything past snd_una is presumed lost and will be
+	// resent as the window reopens.
+	s.sndNxt = s.sndUna
+	s.trySend()
+	if s.FlightSize() > 0 {
+		s.rtxTimer.Reset(s.currentRTO())
+	}
+}
+
+// updateRTT folds a sample into the Jacobson estimator.
+func (s *Sender) updateRTT(sample sim.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	s.rto = s.clampRTO(rto)
+}
+
+// currentRTO returns the backed-off, clamped retransmission timeout.
+func (s *Sender) currentRTO() sim.Duration {
+	return s.clampRTO(s.rto * sim.Duration(s.backoff))
+}
+
+func (s *Sender) clampRTO(rto sim.Duration) sim.Duration {
+	if rto < s.cfg.MinRTO {
+		return s.cfg.MinRTO
+	}
+	if rto > s.cfg.MaxRTO {
+		return s.cfg.MaxRTO
+	}
+	return rto
+}
+
+// halveSsthresh applies the standard loss response target:
+// ssthresh = max(flight/2, 2).
+func (s *Sender) halveSsthresh() {
+	half := float64(s.FlightSize()) / 2
+	s.ssthresh = math.Max(half, 2)
+}
+
+// segSentAt returns the last transmission time of seq, or zero time if the
+// segment is not outstanding.
+func (s *Sender) segSentAt(seq int64) (sim.Time, bool) {
+	seg, ok := s.segs[seq]
+	if !ok {
+		return 0, false
+	}
+	return seg.sentAt, true
+}

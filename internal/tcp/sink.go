@@ -1,0 +1,211 @@
+package tcp
+
+import (
+	"fmt"
+	"sort"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+	"tcpburst/internal/stats"
+	"tcpburst/internal/transport"
+)
+
+// Sink is the receiving endpoint of a TCP connection. It delivers packets
+// to the application in order, generates cumulative acknowledgments —
+// immediately for out-of-order arrivals (producing the duplicate ACKs that
+// drive fast retransmit) and optionally delayed for in-order ones — and
+// echoes the timing information the sender needs for RTT sampling.
+type Sink struct {
+	cfg Config
+
+	rcvNxt    int64
+	ooo       map[int64]bool // buffered out-of-order sequences
+	delivered uint64         // in-order packets handed to the application
+	dupsRcvd  uint64         // duplicate data packets discarded
+	acksSent  uint64
+	delays    stats.DelayDist
+
+	// Delayed-ACK state: at most one in-order packet may wait for a
+	// coalescing partner, bounded by the delayed-ACK timer.
+	pendingAck bool
+	pendingPkt ackEcho
+	delayTimer *sim.Timer
+}
+
+// ackEcho carries the fields of a data packet that the ACK must echo.
+type ackEcho struct {
+	seq    int64
+	sentAt sim.Time
+	rtxed  bool
+	ece    bool
+}
+
+var _ transport.Agent = (*Sink)(nil)
+
+// NewSink returns the receiving endpoint for cfg. The sink sends ACKs from
+// cfg.Dst back to cfg.Src, so the same Config describes both endpoints;
+// Out must be the server-side egress wire.
+func NewSink(cfg Config) (*Sink, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Sched == nil {
+		return nil, fmt.Errorf("tcp sink flow %d: nil scheduler", cfg.Flow)
+	}
+	if cfg.Out == nil {
+		return nil, fmt.Errorf("tcp sink flow %d: nil wire", cfg.Flow)
+	}
+	s := &Sink{cfg: cfg, ooo: make(map[int64]bool)}
+	s.delayTimer = sim.NewTimer(cfg.Sched, s.onDelayTimeout)
+	return s, nil
+}
+
+// Delivered returns the number of packets handed to the application in
+// order — the per-flow throughput measure of Figure 3.
+func (s *Sink) Delivered() uint64 { return s.delivered }
+
+// AcksSent returns the number of acknowledgments generated.
+func (s *Sink) AcksSent() uint64 { return s.acksSent }
+
+// DuplicatesReceived returns the count of data packets discarded because
+// they had already been delivered.
+func (s *Sink) DuplicatesReceived() uint64 { return s.dupsRcvd }
+
+// RcvNxt returns the next expected sequence number.
+func (s *Sink) RcvNxt() int64 { return s.rcvNxt }
+
+// Delays returns the one-way network delay statistics of received data
+// packets (transmission to arrival, including queueing).
+func (s *Sink) Delays() *stats.DelayDist { return &s.delays }
+
+// Receive processes one inbound data packet.
+func (s *Sink) Receive(p *packet.Packet) {
+	if !p.IsData() {
+		return
+	}
+	if p.Seq >= s.rcvNxt && !s.ooo[p.Seq] {
+		// First copy of this packet: sample its one-way delay.
+		s.delays.Observe(s.cfg.Sched.Now().Sub(p.SentAt).Seconds())
+	}
+	echo := ackEcho{seq: p.Seq, sentAt: p.SentAt, rtxed: p.Retransmit, ece: p.ECE}
+
+	switch {
+	case p.Seq == s.rcvNxt:
+		s.rcvNxt++
+		s.delivered++
+		// Drain any contiguous out-of-order run.
+		for s.ooo[s.rcvNxt] {
+			delete(s.ooo, s.rcvNxt)
+			s.rcvNxt++
+			s.delivered++
+		}
+		if len(s.ooo) > 0 {
+			// Still a hole above us: keep the dup-ACK clock running
+			// by acknowledging immediately.
+			s.sendAck(echo)
+			return
+		}
+		if !s.cfg.DelayedAcks {
+			s.sendAck(echo)
+			return
+		}
+		if s.pendingAck {
+			// Second in-order packet: coalesce into one ACK now.
+			s.delayTimer.Stop()
+			s.pendingAck = false
+			s.sendAck(echo)
+			return
+		}
+		s.pendingAck = true
+		s.pendingPkt = echo
+		s.delayTimer.Reset(s.cfg.DelayedAckTimeout)
+
+	case p.Seq > s.rcvNxt:
+		// Out of order: buffer and acknowledge immediately (duplicate
+		// ACK), flushing any delayed ACK first.
+		s.flushPending()
+		s.ooo[p.Seq] = true
+		s.sendAck(echo)
+
+	default:
+		// Below rcvNxt: already delivered; re-ACK so the sender can
+		// make progress if its state is behind.
+		s.dupsRcvd++
+		s.flushPending()
+		s.sendAck(echo)
+	}
+}
+
+// onDelayTimeout fires when an in-order packet has waited the maximum
+// delayed-ACK interval without a partner.
+func (s *Sink) onDelayTimeout() {
+	if s.pendingAck {
+		s.pendingAck = false
+		s.sendAck(s.pendingPkt)
+	}
+}
+
+// flushPending releases a delayed ACK immediately.
+func (s *Sink) flushPending() {
+	if s.pendingAck {
+		s.delayTimer.Stop()
+		s.pendingAck = false
+		s.sendAck(s.pendingPkt)
+	}
+}
+
+// sendAck emits a cumulative acknowledgment echoing the data packet's
+// timing fields (SentAt and the Karn retransmission mark). A SACK receiver
+// additionally reports its out-of-order holdings.
+func (s *Sink) sendAck(echo ackEcho) {
+	s.acksSent++
+	p := &packet.Packet{
+		Kind:       packet.Ack,
+		Flow:       s.cfg.Flow,
+		Src:        s.cfg.Dst,
+		Dst:        s.cfg.Src,
+		Seq:        echo.seq,
+		Ack:        s.rcvNxt,
+		Size:       s.cfg.AckSize,
+		SentAt:     echo.sentAt,
+		Retransmit: echo.rtxed,
+		ECE:        echo.ece,
+	}
+	if s.cfg.Variant == SACK && len(s.ooo) > 0 {
+		p.SACK = s.sackBlocks(echo.seq)
+	}
+	s.cfg.Out.Send(p)
+}
+
+// maxSACKBlocks bounds the blocks per ACK, as TCP option space does.
+const maxSACKBlocks = 4
+
+// sackBlocks assembles the out-of-order buffer into at most maxSACKBlocks
+// contiguous [first, last) ranges, placing the block containing the
+// segment that triggered this ACK first (RFC 2018 §4).
+func (s *Sink) sackBlocks(trigger int64) []packet.SACKBlock {
+	seqs := make([]int64, 0, len(s.ooo))
+	for seq := range s.ooo {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	var blocks []packet.SACKBlock
+	for i := 0; i < len(seqs); {
+		j := i + 1
+		for j < len(seqs) && seqs[j] == seqs[j-1]+1 {
+			j++
+		}
+		blocks = append(blocks, packet.SACKBlock{First: seqs[i], Last: seqs[j-1] + 1})
+		i = j
+	}
+	// Move the triggering block to the front.
+	for i, b := range blocks {
+		if b.Covers(trigger) {
+			blocks[0], blocks[i] = blocks[i], blocks[0]
+			break
+		}
+	}
+	if len(blocks) > maxSACKBlocks {
+		blocks = blocks[:maxSACKBlocks]
+	}
+	return blocks
+}

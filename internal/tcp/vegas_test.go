@@ -1,0 +1,181 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVegasDefaults(t *testing.T) {
+	p := DefaultVegasParams()
+	if p.Alpha != 1 || p.Beta != 3 || p.Gamma != 1 {
+		t.Errorf("DefaultVegasParams() = %+v, want 1/3/1", p)
+	}
+}
+
+func TestVegasSlowStartDoublesEveryOtherRTT(t *testing.T) {
+	c := newConn(t, Vegas, nil)
+	c.submit(2000)
+	// Reno doubles per RTT; Vegas per two RTTs. After 6 RTTs (120 ms) on
+	// a loss-free pipe, Reno has sent ~127 packets, Vegas far fewer.
+	reno := newConn(t, Reno, nil)
+	reno.submit(2000)
+	c.run(t, 120*time.Millisecond)
+	reno.run(t, 120*time.Millisecond)
+	if v, r := c.fwd.dataSent(), reno.fwd.dataSent(); v*2 > r {
+		t.Errorf("vegas sent %d vs reno %d; Vegas slow start should be ~half speed", v, r)
+	}
+}
+
+func TestVegasReachesFullWindowWithoutLoss(t *testing.T) {
+	// On an uncongested pipe (no queueing, RTT constant), diff stays 0 <
+	// gamma, so Vegas keeps slow-starting up to the advertised window and
+	// delivers the whole backlog.
+	c := newConn(t, Vegas, nil)
+	c.submit(500)
+	c.run(t, 10*time.Second)
+	if got := c.sink.Delivered(); got != 500 {
+		t.Errorf("delivered %d, want 500", got)
+	}
+	cnt := c.sender.Counters()
+	if cnt.Retransmits != 0 || cnt.Timeouts != 0 {
+		t.Errorf("retransmits=%d timeouts=%d on clean path", cnt.Retransmits, cnt.Timeouts)
+	}
+}
+
+func TestVegasFastRetransmitOnTripleDupAck(t *testing.T) {
+	c := newConn(t, Vegas, nil)
+	c.submit(1000)
+	c.run(t, 200*time.Millisecond)
+	next := int64(c.fwd.dataSent())
+	c.fwd.drop = dropSeqOnce(next)
+	c.run(t, 500*time.Millisecond)
+	cnt := c.sender.Counters()
+	if cnt.FastRetransmits < 1 {
+		t.Errorf("fast retransmits = %d, want >= 1", cnt.FastRetransmits)
+	}
+	if cnt.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0", cnt.Timeouts)
+	}
+}
+
+func TestVegasQuarterDecreaseOnLoss(t *testing.T) {
+	c := newConn(t, Vegas, nil)
+	c.submit(5000)
+	c.run(t, 400*time.Millisecond)
+	before := c.sender.Cwnd()
+	if before < 8 {
+		t.Fatalf("setup: cwnd = %v, want ramped window", before)
+	}
+	next := int64(c.fwd.dataSent())
+	c.fwd.drop = dropSeqOnce(next)
+	lowest := before
+	for i := 0; i < 150; i++ {
+		c.run(t, 2*time.Millisecond)
+		if w := c.sender.Cwnd(); w < lowest {
+			lowest = w
+		}
+	}
+	if c.sender.Counters().FastRetransmits < 1 {
+		t.Fatal("no fast retransmit recorded")
+	}
+	// Vegas reduces by ~1/4, not 1/2: the window must dip but stay above
+	// half of its pre-loss value.
+	if lowest > before*0.85 {
+		t.Errorf("cwnd never dipped after loss: %v -> lowest %v", before, lowest)
+	}
+	if lowest < before*0.45 {
+		t.Errorf("cwnd dipped to %v from %v: that is Reno-style halving, want ~3/4", lowest, before)
+	}
+}
+
+func TestVegasGentleFirstTimeout(t *testing.T) {
+	c := newConn(t, Vegas, nil)
+	c.submit(8)
+	c.run(t, 100*time.Millisecond)
+	if c.sink.Delivered() != 8 {
+		t.Fatalf("setup: delivered %d, want 8", c.sink.Delivered())
+	}
+	cwndBefore := c.sender.Cwnd()
+	if cwndBefore < 3 {
+		t.Fatalf("setup: cwnd = %v", cwndBefore)
+	}
+	// Submit one final packet and drop it: no dup ACKs are possible, so
+	// only the retransmission timer can recover it.
+	c.fwd.drop = dropSeqOnce(8)
+	c.submit(1)
+	c.run(t, 3*time.Second)
+	cnt := c.sender.Counters()
+	if cnt.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", cnt.Timeouts)
+	}
+	if c.sink.Delivered() != 9 {
+		t.Fatalf("delivered %d, want 9", c.sink.Delivered())
+	}
+	// A first (fine-grained) expiry reduces the window by a quarter
+	// rather than collapsing it to 1.
+	if got := c.sender.Cwnd(); got < 2 {
+		t.Errorf("cwnd = %v after first Vegas timeout, want >= 2 (3/4 reduction)", got)
+	}
+}
+
+func TestVegasRepeatedTimeoutCollapses(t *testing.T) {
+	c := newConn(t, Vegas, nil)
+	c.fwd.drop = dropSeqTimes(0, 2) // the retransmission is lost too
+	c.submit(1)
+	c.run(t, 10*time.Second)
+	cnt := c.sender.Counters()
+	if cnt.Timeouts != 2 {
+		t.Fatalf("timeouts = %d, want 2", cnt.Timeouts)
+	}
+	if c.sink.Delivered() != 1 {
+		t.Fatalf("delivered %d, want 1", c.sink.Delivered())
+	}
+}
+
+func TestVegasFineGrainedEarlyRetransmit(t *testing.T) {
+	// With a window too small for three duplicate ACKs, Vegas's check on
+	// the first/second duplicate must still retransmit once the segment
+	// is older than the fine-grained timeout.
+	c := newConn(t, Vegas, func(cfg *Config) { cfg.MaxWindow = 3 })
+	c.submit(20)
+	c.run(t, 300*time.Millisecond) // establish srtt and drain
+	next := int64(c.fwd.dataSent())
+	c.fwd.drop = dropSeqOnce(next)
+	// Trickle one packet per 70ms (> fine timeout ≈ 3·RTT = 60ms) so the
+	// dup ACK arrives after the fine-grained deadline has passed.
+	for i := 0; i < 4; i++ {
+		c.submit(1)
+		c.run(t, 70*time.Millisecond)
+	}
+	c.run(t, 5*time.Second)
+	cnt := c.sender.Counters()
+	if cnt.FastRetransmits < 1 {
+		t.Errorf("fine-grained retransmit never fired (fastRtx=%d timeouts=%d)",
+			cnt.FastRetransmits, cnt.Timeouts)
+	}
+	if got := c.sink.Delivered(); got != 24 {
+		t.Errorf("delivered %d, want 24", got)
+	}
+}
+
+func TestVegasStabilizesNearDemandWhenAppLimited(t *testing.T) {
+	// An application-limited Vegas flow must not inflate cwnd far past
+	// its demand the way Reno does: after the initial ramp, cwnd should
+	// sit well below the advertised window because diff stays small only
+	// while the path is uncongested — with zero queueing diff is always
+	// 0, so Vegas keeps slow-starting; the distinguishing behavior is
+	// that it gets there at half of Reno's pace and without overshoot
+	// retransmissions.
+	c := newConn(t, Vegas, nil)
+	for i := 0; i < 50; i++ {
+		c.submit(1)
+		c.run(t, 10*time.Millisecond)
+	}
+	cnt := c.sender.Counters()
+	if cnt.Retransmits != 0 {
+		t.Errorf("app-limited Vegas retransmitted %d packets", cnt.Retransmits)
+	}
+	if got := c.sink.Delivered(); got != 50 {
+		t.Errorf("delivered %d, want 50", got)
+	}
+}

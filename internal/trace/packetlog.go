@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+)
+
+// EventKind classifies packet-level events at an observation point.
+type EventKind int
+
+// Packet event kinds.
+const (
+	EventArrival EventKind = iota + 1
+	EventDrop
+)
+
+// String returns the event name.
+func (k EventKind) String() string {
+	switch k {
+	case EventArrival:
+		return "arrival"
+	case EventDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// PacketEvent is one observed packet event.
+type PacketEvent struct {
+	At    sim.Time
+	Kind  EventKind
+	Point string // observation point, e.g. the link name
+	Flow  packet.FlowID
+	Seq   int64
+	Data  bool // data packet (vs ACK)
+	Size  int
+	Rtx   bool
+}
+
+// PacketLog is a bounded ring of packet events — the equivalent of an ns
+// trace file, capped so long simulations keep the most recent window of
+// activity. It is not safe for concurrent use (simulations are
+// single-threaded).
+type PacketLog struct {
+	buf     []PacketEvent
+	start   int
+	n       int
+	dropped uint64 // events displaced by the ring bound
+}
+
+// NewPacketLog returns a log keeping at most capacity events (minimum 1).
+func NewPacketLog(capacity int) *PacketLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PacketLog{buf: make([]PacketEvent, capacity)}
+}
+
+// Record appends one event, displacing the oldest when full.
+func (l *PacketLog) Record(ev PacketEvent) {
+	if l.n == len(l.buf) {
+		l.buf[l.start] = ev
+		l.start = (l.start + 1) % len(l.buf)
+		l.dropped++
+		return
+	}
+	l.buf[(l.start+l.n)%len(l.buf)] = ev
+	l.n++
+}
+
+// RecordPacket is a convenience wrapper building the event from a packet.
+func (l *PacketLog) RecordPacket(at sim.Time, kind EventKind, point string, p *packet.Packet) {
+	l.Record(PacketEvent{
+		At:    at,
+		Kind:  kind,
+		Point: point,
+		Flow:  p.Flow,
+		Seq:   p.Seq,
+		Data:  p.IsData(),
+		Size:  p.Size,
+		Rtx:   p.Retransmit,
+	})
+}
+
+// Len returns the number of retained events.
+func (l *PacketLog) Len() int { return l.n }
+
+// Displaced returns how many events were evicted by the ring bound.
+func (l *PacketLog) Displaced() uint64 { return l.dropped }
+
+// Events returns the retained events in chronological order.
+func (l *PacketLog) Events() []PacketEvent {
+	out := make([]PacketEvent, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.buf[(l.start+i)%len(l.buf)]
+	}
+	return out
+}
+
+// Filter returns the retained events matching keep, in order.
+func (l *PacketLog) Filter(keep func(PacketEvent) bool) []PacketEvent {
+	var out []PacketEvent
+	for _, ev := range l.Events() {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// CSV renders the retained events as an ns-style trace table.
+func (l *PacketLog) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("time_s,event,point,flow,seq,kind,size,rtx\n")
+	for _, ev := range l.Events() {
+		kind := "ack"
+		if ev.Data {
+			kind = "data"
+		}
+		fmt.Fprintf(&sb, "%.6f,%s,%s,%d,%d,%s,%d,%t\n",
+			ev.At.Seconds(), ev.Kind, ev.Point, ev.Flow, ev.Seq, kind, ev.Size, ev.Rtx)
+	}
+	return sb.String()
+}

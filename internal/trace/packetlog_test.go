@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+)
+
+func ev(ms int64, kind EventKind, flow packet.FlowID, seq int64) PacketEvent {
+	return PacketEvent{
+		At:   sim.TimeZero.Add(time.Duration(ms) * time.Millisecond),
+		Kind: kind, Point: "gw", Flow: flow, Seq: seq, Data: true, Size: 1000,
+	}
+}
+
+func TestPacketLogOrderedEvents(t *testing.T) {
+	l := NewPacketLog(10)
+	for i := int64(0); i < 5; i++ {
+		l.Record(ev(i, EventArrival, 1, i))
+	}
+	events := l.Events()
+	if len(events) != 5 || l.Len() != 5 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != int64(i) {
+			t.Fatalf("out of order: %v", events)
+		}
+	}
+	if l.Displaced() != 0 {
+		t.Errorf("Displaced = %d, want 0", l.Displaced())
+	}
+}
+
+func TestPacketLogRingEviction(t *testing.T) {
+	l := NewPacketLog(3)
+	for i := int64(0); i < 10; i++ {
+		l.Record(ev(i, EventArrival, 1, i))
+	}
+	events := l.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d, want 3", len(events))
+	}
+	// The newest three survive.
+	for i, want := range []int64{7, 8, 9} {
+		if events[i].Seq != want {
+			t.Fatalf("retained %v, want seqs 7..9", events)
+		}
+	}
+	if l.Displaced() != 7 {
+		t.Errorf("Displaced = %d, want 7", l.Displaced())
+	}
+}
+
+func TestPacketLogMinimumCapacity(t *testing.T) {
+	l := NewPacketLog(0)
+	l.Record(ev(0, EventDrop, 2, 5))
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.Events()[0]; got.Kind != EventDrop || got.Flow != 2 {
+		t.Errorf("event = %+v", got)
+	}
+}
+
+func TestPacketLogFilter(t *testing.T) {
+	l := NewPacketLog(10)
+	l.Record(ev(0, EventArrival, 1, 0))
+	l.Record(ev(1, EventDrop, 1, 1))
+	l.Record(ev(2, EventArrival, 2, 0))
+	l.Record(ev(3, EventDrop, 2, 1))
+	drops := l.Filter(func(e PacketEvent) bool { return e.Kind == EventDrop })
+	if len(drops) != 2 || drops[0].Flow != 1 || drops[1].Flow != 2 {
+		t.Errorf("drops = %v", drops)
+	}
+}
+
+func TestPacketLogRecordPacket(t *testing.T) {
+	l := NewPacketLog(4)
+	p := &packet.Packet{Kind: packet.Data, Flow: 3, Seq: 9, Size: 1000, Retransmit: true}
+	l.RecordPacket(sim.TimeZero.Add(time.Second), EventDrop, "gw->server", p)
+	got := l.Events()[0]
+	if got.Flow != 3 || got.Seq != 9 || !got.Rtx || !got.Data || got.Point != "gw->server" {
+		t.Errorf("event = %+v", got)
+	}
+}
+
+func TestPacketLogCSV(t *testing.T) {
+	l := NewPacketLog(4)
+	l.Record(ev(1500, EventArrival, 7, 42))
+	out := l.CSV()
+	if !strings.HasPrefix(out, "time_s,event,point,flow,seq,kind,size,rtx\n") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1.500000,arrival,gw,7,42,data,1000,false") {
+		t.Errorf("row wrong:\n%s", out)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventArrival.String() != "arrival" || EventDrop.String() != "drop" {
+		t.Error("kind strings wrong")
+	}
+	if !strings.Contains(EventKind(9).String(), "9") {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+// TestPacketLogRetainsNewestProperty: after any sequence of records, the
+// log holds the most recent min(n, cap) events in order.
+func TestPacketLogRetainsNewestProperty(t *testing.T) {
+	prop := func(count uint16, capSeed uint8) bool {
+		capacity := int(capSeed%32) + 1
+		n := int(count % 500)
+		l := NewPacketLog(capacity)
+		for i := 0; i < n; i++ {
+			l.Record(ev(int64(i), EventArrival, 1, int64(i)))
+		}
+		events := l.Events()
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if len(events) != want {
+			return false
+		}
+		for i, e := range events {
+			if e.Seq != int64(n-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package trace records time series from a running simulation: the
+// congestion-window traces behind the paper's Figures 5–12 and queue-length
+// traces for gateway analysis.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tcpburst/internal/sim"
+)
+
+// Sample is one (time, value) observation.
+type Sample struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series is a named sequence of samples.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Last returns the most recent sample value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	return s.Samples[len(s.Samples)-1].Value
+}
+
+// Values returns just the sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, smp := range s.Samples {
+		out[i] = smp.Value
+	}
+	return out
+}
+
+// Sampler polls a set of probes at a fixed interval of virtual time —
+// the paper samples congestion windows every 0.1 s.
+type Sampler struct {
+	sched    *sim.Scheduler
+	interval sim.Duration
+	probes   []probe
+	running  bool
+	pending  *sim.Event
+}
+
+type probe struct {
+	series *Series
+	read   func() float64
+}
+
+// NewSampler returns a stopped sampler, or an error for a non-positive
+// interval.
+func NewSampler(sched *sim.Scheduler, interval sim.Duration) (*Sampler, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("sampler: nil scheduler")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("sampler: interval %v <= 0", interval)
+	}
+	return &Sampler{sched: sched, interval: interval}, nil
+}
+
+// Track adds a probe and returns the series it fills.
+func (s *Sampler) Track(name string, read func() float64) *Series {
+	series := &Series{Name: name}
+	s.probes = append(s.probes, probe{series: series, read: read})
+	return series
+}
+
+// Start begins sampling, taking the first sample immediately.
+func (s *Sampler) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.tick()
+}
+
+// Stop halts sampling.
+func (s *Sampler) Stop() {
+	s.running = false
+	if s.pending != nil {
+		s.sched.Cancel(s.pending)
+		s.pending = nil
+	}
+}
+
+// Series returns all tracked series.
+func (s *Sampler) Series() []*Series {
+	out := make([]*Series, len(s.probes))
+	for i, p := range s.probes {
+		out[i] = p.series
+	}
+	return out
+}
+
+func (s *Sampler) tick() {
+	if !s.running {
+		return
+	}
+	now := s.sched.Now()
+	for _, p := range s.probes {
+		p.series.Samples = append(p.series.Samples, Sample{At: now, Value: p.read()})
+	}
+	s.pending = s.sched.After(s.interval, s.tick)
+}
+
+// WriteCSV renders the series as CSV with a shared time column. Series are
+// assumed to be sampled on the same clock (as Sampler guarantees); rows
+// beyond a shorter series are left empty.
+func WriteCSV(sb *strings.Builder, series []*Series) {
+	sb.WriteString("time_s")
+	maxLen := 0
+	for _, s := range series {
+		sb.WriteString(",")
+		sb.WriteString(s.Name)
+		if len(s.Samples) > maxLen {
+			maxLen = len(s.Samples)
+		}
+	}
+	sb.WriteString("\n")
+	for i := 0; i < maxLen; i++ {
+		wroteTime := false
+		var row strings.Builder
+		for _, s := range series {
+			if i < len(s.Samples) {
+				if !wroteTime {
+					fmt.Fprintf(sb, "%.3f", s.Samples[i].At.Seconds())
+					wroteTime = true
+				}
+				fmt.Fprintf(&row, ",%g", s.Samples[i].Value)
+			} else {
+				row.WriteString(",")
+			}
+		}
+		if !wroteTime {
+			sb.WriteString("0")
+		}
+		sb.WriteString(row.String())
+		sb.WriteString("\n")
+	}
+}

@@ -1,0 +1,124 @@
+package traffic
+
+import (
+	"fmt"
+
+	"tcpburst/internal/sim"
+	"tcpburst/internal/transport"
+)
+
+// ParetoOnOffConfig describes a heavy-tailed on/off source: the canonical
+// ingredient of self-similar aggregate traffic (Willinger et al.). During an
+// "on" period packets are emitted at a fixed interval; on and off period
+// lengths are Pareto distributed.
+type ParetoOnOffConfig struct {
+	// PacketInterval is the emission interval during on periods.
+	PacketInterval sim.Duration
+	// MeanOn and MeanOff are the mean burst and idle durations.
+	MeanOn, MeanOff sim.Duration
+	// Shape is the Pareto tail index alpha; values in (1,2] give finite
+	// mean but infinite variance (classically 1.5).
+	Shape float64
+	// Dst receives one Submit call per generated packet. Required.
+	Dst transport.Source
+	// Sched is the simulation kernel. Required.
+	Sched *sim.Scheduler
+	// RNG supplies the Pareto variates. Required.
+	RNG *sim.RNG
+}
+
+// ParetoOnOff is a heavy-tailed on/off packet source.
+type ParetoOnOff struct {
+	cfg       ParetoOnOffConfig
+	running   bool
+	on        bool
+	burstEnds sim.Time
+	pending   *sim.Event
+	generated uint64
+	bursts    uint64
+}
+
+var _ Generator = (*ParetoOnOff)(nil)
+
+// NewParetoOnOff returns a stopped source, or an error for an invalid
+// configuration.
+func NewParetoOnOff(cfg ParetoOnOffConfig) (*ParetoOnOff, error) {
+	switch {
+	case cfg.PacketInterval <= 0:
+		return nil, fmt.Errorf("pareto: packet interval %v <= 0", cfg.PacketInterval)
+	case cfg.MeanOn <= 0 || cfg.MeanOff <= 0:
+		return nil, fmt.Errorf("pareto: mean on %v / off %v must be positive", cfg.MeanOn, cfg.MeanOff)
+	case cfg.Shape <= 1:
+		return nil, fmt.Errorf("pareto: shape %v <= 1 has infinite mean", cfg.Shape)
+	case cfg.Dst == nil:
+		return nil, fmt.Errorf("pareto: nil destination")
+	case cfg.Sched == nil:
+		return nil, fmt.Errorf("pareto: nil scheduler")
+	case cfg.RNG == nil:
+		return nil, fmt.Errorf("pareto: nil RNG")
+	}
+	return &ParetoOnOff{cfg: cfg}, nil
+}
+
+// Start begins with an off period so sources started together desynchronize.
+func (g *ParetoOnOff) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.scheduleOff()
+}
+
+// Stop cancels any pending emission or state change.
+func (g *ParetoOnOff) Stop() {
+	g.running = false
+	if g.pending != nil {
+		g.cfg.Sched.Cancel(g.pending)
+		g.pending = nil
+	}
+}
+
+// Generated returns the number of packets produced so far.
+func (g *ParetoOnOff) Generated() uint64 { return g.generated }
+
+// Bursts returns the number of on periods begun.
+func (g *ParetoOnOff) Bursts() uint64 { return g.bursts }
+
+// paretoDuration draws a Pareto-distributed duration with the given mean:
+// mean = xm * alpha/(alpha-1), so xm = mean*(alpha-1)/alpha.
+func (g *ParetoOnOff) paretoDuration(mean sim.Duration) sim.Duration {
+	xm := float64(mean) * (g.cfg.Shape - 1) / g.cfg.Shape
+	d := sim.Duration(g.cfg.RNG.Pareto(g.cfg.Shape, xm))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func (g *ParetoOnOff) scheduleOff() {
+	g.on = false
+	g.pending = g.cfg.Sched.After(g.paretoDuration(g.cfg.MeanOff), g.beginBurst)
+}
+
+func (g *ParetoOnOff) beginBurst() {
+	if !g.running {
+		return
+	}
+	g.on = true
+	g.bursts++
+	g.burstEnds = g.cfg.Sched.Now().Add(g.paretoDuration(g.cfg.MeanOn))
+	g.emit()
+}
+
+func (g *ParetoOnOff) emit() {
+	if !g.running || !g.on {
+		return
+	}
+	if g.cfg.Sched.Now().After(g.burstEnds) {
+		g.scheduleOff()
+		return
+	}
+	g.generated++
+	g.cfg.Dst.Submit()
+	g.pending = g.cfg.Sched.After(g.cfg.PacketInterval, g.emit)
+}

@@ -1,0 +1,116 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"tcpburst/internal/sim"
+	"tcpburst/internal/stats"
+)
+
+func paretoCfg(sched *sim.Scheduler, dst *countingSource, rng *sim.RNG) ParetoOnOffConfig {
+	return ParetoOnOffConfig{
+		PacketInterval: 2 * time.Millisecond,
+		MeanOn:         100 * time.Millisecond,
+		MeanOff:        200 * time.Millisecond,
+		Shape:          1.5,
+		Dst:            dst,
+		Sched:          sched,
+		RNG:            rng,
+	}
+}
+
+func TestParetoOnOffValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	dst := &countingSource{sched: sched}
+	rng := sim.NewRNG(1)
+	mutations := []func(*ParetoOnOffConfig){
+		func(c *ParetoOnOffConfig) { c.PacketInterval = 0 },
+		func(c *ParetoOnOffConfig) { c.MeanOn = 0 },
+		func(c *ParetoOnOffConfig) { c.MeanOff = 0 },
+		func(c *ParetoOnOffConfig) { c.Shape = 1 }, // infinite mean
+		func(c *ParetoOnOffConfig) { c.Dst = nil },
+		func(c *ParetoOnOffConfig) { c.Sched = nil },
+		func(c *ParetoOnOffConfig) { c.RNG = nil },
+	}
+	for i, mutate := range mutations {
+		cfg := paretoCfg(sched, dst, rng)
+		mutate(&cfg)
+		if _, err := NewParetoOnOff(cfg); err == nil {
+			t.Errorf("mutation %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestParetoOnOffGeneratesBursts(t *testing.T) {
+	sched := sim.NewScheduler()
+	dst := &countingSource{sched: sched}
+	g, err := NewParetoOnOff(paretoCfg(sched, dst, sim.NewRNG(4)))
+	if err != nil {
+		t.Fatalf("NewParetoOnOff: %v", err)
+	}
+	g.Start()
+	if err := sched.Run(sim.TimeZero.Add(60 * time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if g.Generated() == 0 || g.Bursts() == 0 {
+		t.Fatalf("generated=%d bursts=%d, want activity", g.Generated(), g.Bursts())
+	}
+	// Mean rate: on-fraction 1/3 × 500 pkt/s ≈ 167 pkt/s. Heavy tails
+	// converge slowly; just check the order of magnitude.
+	rate := float64(g.Generated()) / 60
+	if rate < 30 || rate > 500 {
+		t.Errorf("mean rate %.1f pkt/s, want on the order of 167", rate)
+	}
+}
+
+func TestParetoOnOffBurstierThanPoisson(t *testing.T) {
+	// The defining property: windowed counts from a heavy-tailed on/off
+	// source have a much higher c.o.v. than a Poisson source of the same
+	// mean rate.
+	sched := sim.NewScheduler()
+	dst := &countingSource{sched: sched}
+	g, err := NewParetoOnOff(paretoCfg(sched, dst, sim.NewRNG(8)))
+	if err != nil {
+		t.Fatalf("NewParetoOnOff: %v", err)
+	}
+	g.Start()
+	horizon := sim.TimeZero.Add(120 * time.Second)
+	if err := sched.Run(horizon); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wc, err := stats.NewWindowCounter(100 * time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewWindowCounter: %v", err)
+	}
+	wc.Open(sim.TimeZero)
+	for _, at := range dst.times {
+		wc.Observe(at)
+	}
+	counts := wc.Close(horizon)
+	cov := stats.COV(counts)
+	meanRate := float64(g.Generated()) / 120
+	poissonCOV := stats.PoissonAggregateCOV(1, meanRate, 0.1)
+	if cov < 2*poissonCOV {
+		t.Errorf("on/off c.o.v. %.3f vs poisson-equivalent %.3f: not bursty", cov, poissonCOV)
+	}
+}
+
+func TestParetoOnOffStop(t *testing.T) {
+	sched := sim.NewScheduler()
+	dst := &countingSource{sched: sched}
+	g, err := NewParetoOnOff(paretoCfg(sched, dst, sim.NewRNG(2)))
+	if err != nil {
+		t.Fatalf("NewParetoOnOff: %v", err)
+	}
+	g.Start()
+	sched.After(5*time.Second, g.Stop)
+	if err := sched.Run(sim.TimeZero.Add(60 * time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, at := range dst.times {
+		if at.After(sim.TimeZero.Add(5 * time.Second)) {
+			t.Fatalf("packet generated at %v after Stop", at)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package traffic implements application-level workload generators. The
+// paper's clients generate Poisson traffic — single packets with
+// exponentially distributed inter-generation times — which the transport
+// layer then modulates. CBR and heavy-tailed Pareto on/off sources support
+// the baseline and self-similarity extensions.
+package traffic
+
+import (
+	"fmt"
+
+	"tcpburst/internal/sim"
+	"tcpburst/internal/transport"
+)
+
+// Generator is a workload source bound to a transport endpoint.
+type Generator interface {
+	// Start begins generating at the current instant.
+	Start()
+	// Stop ceases generation; safe to call more than once.
+	Stop()
+	// Generated returns the number of application packets produced.
+	Generated() uint64
+}
+
+// PoissonConfig describes a Poisson packet source.
+type PoissonConfig struct {
+	// MeanInterval is the mean packet inter-generation time 1/λ
+	// (paper: 0.01 s).
+	MeanInterval sim.Duration
+	// Dst receives one Submit call per generated packet. Required.
+	Dst transport.Source
+	// Sched is the simulation kernel. Required.
+	Sched *sim.Scheduler
+	// RNG supplies the exponential variates. Required.
+	RNG *sim.RNG
+}
+
+// Poisson emits single packets with exponentially distributed
+// inter-generation times.
+type Poisson struct {
+	cfg       PoissonConfig
+	running   bool
+	pending   *sim.Event
+	generated uint64
+}
+
+var _ Generator = (*Poisson)(nil)
+
+// NewPoisson returns a stopped Poisson source, or an error for an invalid
+// configuration.
+func NewPoisson(cfg PoissonConfig) (*Poisson, error) {
+	switch {
+	case cfg.MeanInterval <= 0:
+		return nil, fmt.Errorf("poisson: mean interval %v <= 0", cfg.MeanInterval)
+	case cfg.Dst == nil:
+		return nil, fmt.Errorf("poisson: nil destination")
+	case cfg.Sched == nil:
+		return nil, fmt.Errorf("poisson: nil scheduler")
+	case cfg.RNG == nil:
+		return nil, fmt.Errorf("poisson: nil RNG")
+	}
+	return &Poisson{cfg: cfg}, nil
+}
+
+// Start schedules the first packet one exponential interval from now.
+func (g *Poisson) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.scheduleNext()
+}
+
+// Stop cancels any pending generation.
+func (g *Poisson) Stop() {
+	g.running = false
+	if g.pending != nil {
+		g.cfg.Sched.Cancel(g.pending)
+		g.pending = nil
+	}
+}
+
+// Generated returns the number of packets produced so far.
+func (g *Poisson) Generated() uint64 { return g.generated }
+
+func (g *Poisson) scheduleNext() {
+	g.pending = g.cfg.Sched.After(g.cfg.RNG.ExpDuration(g.cfg.MeanInterval), g.emit)
+}
+
+func (g *Poisson) emit() {
+	if !g.running {
+		return
+	}
+	g.generated++
+	g.cfg.Dst.Submit()
+	g.scheduleNext()
+}
+
+// CBRConfig describes a constant-bit-rate source.
+type CBRConfig struct {
+	// Interval is the fixed packet inter-generation time.
+	Interval sim.Duration
+	// Dst receives one Submit call per generated packet. Required.
+	Dst transport.Source
+	// Sched is the simulation kernel. Required.
+	Sched *sim.Scheduler
+}
+
+// CBR emits packets at a fixed interval.
+type CBR struct {
+	cfg       CBRConfig
+	running   bool
+	pending   *sim.Event
+	generated uint64
+}
+
+var _ Generator = (*CBR)(nil)
+
+// NewCBR returns a stopped constant-rate source, or an error for an invalid
+// configuration.
+func NewCBR(cfg CBRConfig) (*CBR, error) {
+	switch {
+	case cfg.Interval <= 0:
+		return nil, fmt.Errorf("cbr: interval %v <= 0", cfg.Interval)
+	case cfg.Dst == nil:
+		return nil, fmt.Errorf("cbr: nil destination")
+	case cfg.Sched == nil:
+		return nil, fmt.Errorf("cbr: nil scheduler")
+	}
+	return &CBR{cfg: cfg}, nil
+}
+
+// Start schedules the first packet one interval from now.
+func (g *CBR) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.pending = g.cfg.Sched.After(g.cfg.Interval, g.emit)
+}
+
+// Stop cancels any pending generation.
+func (g *CBR) Stop() {
+	g.running = false
+	if g.pending != nil {
+		g.cfg.Sched.Cancel(g.pending)
+		g.pending = nil
+	}
+}
+
+// Generated returns the number of packets produced so far.
+func (g *CBR) Generated() uint64 { return g.generated }
+
+func (g *CBR) emit() {
+	if !g.running {
+		return
+	}
+	g.generated++
+	g.cfg.Dst.Submit()
+	g.pending = g.cfg.Sched.After(g.cfg.Interval, g.emit)
+}

@@ -1,0 +1,28 @@
+// Package transport defines the interfaces shared by all transport-layer
+// agents and implements UDP, the unmodulated baseline protocol: packets
+// submitted by the application go straight to the wire with no flow or
+// congestion control.
+package transport
+
+import (
+	"tcpburst/internal/packet"
+)
+
+// Wire is anything that can carry a packet toward its destination; in
+// practice it is the host's egress *link.Link.
+type Wire interface {
+	Send(p *packet.Packet)
+}
+
+// Source is the application-facing side of a sending transport agent. The
+// traffic generator calls Submit once per application packet; the transport
+// decides when (or whether) the packet actually reaches the wire.
+type Source interface {
+	// Submit hands one application packet to the transport.
+	Submit()
+}
+
+// Agent consumes packets delivered to an endpoint by the network.
+type Agent interface {
+	Receive(p *packet.Packet)
+}

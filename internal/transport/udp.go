@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"fmt"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+	"tcpburst/internal/stats"
+)
+
+// UDPConfig describes one UDP sending endpoint.
+type UDPConfig struct {
+	// Flow identifies the conversation.
+	Flow packet.FlowID
+	// Src and Dst are the endpoint addresses.
+	Src, Dst packet.Addr
+	// PacketSize is the wire size of each datagram in bytes.
+	PacketSize int
+	// Out carries packets toward Dst. Required.
+	Out Wire
+	// Now, when set, stamps each datagram's SentAt for delay measurement.
+	Now func() sim.Time
+}
+
+// UDPSender transmits each submitted application packet immediately; it is
+// the paper's control protocol showing that, without congestion control,
+// aggregate traffic keeps the application traffic's statistics.
+type UDPSender struct {
+	cfg  UDPConfig
+	next int64
+	sent uint64
+}
+
+var (
+	_ Source = (*UDPSender)(nil)
+	_ Agent  = (*UDPSender)(nil)
+)
+
+// NewUDPSender returns a sender, or an error for an invalid configuration.
+func NewUDPSender(cfg UDPConfig) (*UDPSender, error) {
+	if cfg.Out == nil {
+		return nil, fmt.Errorf("udp flow %d: nil wire", cfg.Flow)
+	}
+	if cfg.PacketSize <= 0 {
+		return nil, fmt.Errorf("udp flow %d: packet size %d <= 0", cfg.Flow, cfg.PacketSize)
+	}
+	return &UDPSender{cfg: cfg}, nil
+}
+
+// Submit sends one datagram immediately.
+func (u *UDPSender) Submit() {
+	p := &packet.Packet{
+		Kind: packet.Data,
+		Flow: u.cfg.Flow,
+		Src:  u.cfg.Src,
+		Dst:  u.cfg.Dst,
+		Seq:  u.next,
+		Size: u.cfg.PacketSize,
+	}
+	if u.cfg.Now != nil {
+		p.SentAt = u.cfg.Now()
+	}
+	u.next++
+	u.sent++
+	u.cfg.Out.Send(p)
+}
+
+// Sent returns the number of datagrams transmitted.
+func (u *UDPSender) Sent() uint64 { return u.sent }
+
+// Receive ignores inbound packets: UDP has no acknowledgments.
+func (u *UDPSender) Receive(*packet.Packet) {}
+
+// UDPSink counts datagrams delivered to the receiving application and,
+// when built with a clock, measures their one-way delays.
+type UDPSink struct {
+	delivered uint64
+	now       func() sim.Time
+	delays    stats.DelayDist
+}
+
+var _ Agent = (*UDPSink)(nil)
+
+// NewUDPSink returns a sink that only counts deliveries.
+func NewUDPSink() *UDPSink { return &UDPSink{} }
+
+// NewUDPSinkWithClock returns a sink that additionally samples one-way
+// delays using the given clock.
+func NewUDPSinkWithClock(now func() sim.Time) *UDPSink {
+	return &UDPSink{now: now}
+}
+
+// Receive counts one delivered datagram.
+func (s *UDPSink) Receive(p *packet.Packet) {
+	if !p.IsData() {
+		return
+	}
+	s.delivered++
+	if s.now != nil {
+		s.delays.Observe(s.now().Sub(p.SentAt).Seconds())
+	}
+}
+
+// Delivered returns the number of datagrams received.
+func (s *UDPSink) Delivered() uint64 { return s.delivered }
+
+// Delays returns the one-way delay statistics (empty without a clock).
+func (s *UDPSink) Delays() *stats.DelayDist { return &s.delays }

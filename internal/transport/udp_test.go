@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"testing"
+
+	"tcpburst/internal/packet"
+)
+
+// captureWire records sent packets.
+type captureWire struct {
+	pkts []*packet.Packet
+}
+
+func (w *captureWire) Send(p *packet.Packet) { w.pkts = append(w.pkts, p) }
+
+func TestUDPSenderValidation(t *testing.T) {
+	if _, err := NewUDPSender(UDPConfig{PacketSize: 1000}); err == nil {
+		t.Error("nil wire accepted")
+	}
+	if _, err := NewUDPSender(UDPConfig{Out: &captureWire{}}); err == nil {
+		t.Error("zero packet size accepted")
+	}
+}
+
+func TestUDPSenderTransmitsImmediately(t *testing.T) {
+	w := &captureWire{}
+	u, err := NewUDPSender(UDPConfig{Flow: 3, Src: 100, Dst: 1, PacketSize: 1000, Out: w})
+	if err != nil {
+		t.Fatalf("NewUDPSender: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		u.Submit()
+	}
+	if len(w.pkts) != 5 {
+		t.Fatalf("sent %d packets, want 5", len(w.pkts))
+	}
+	for i, p := range w.pkts {
+		if p.Seq != int64(i) {
+			t.Errorf("packet %d has seq %d", i, p.Seq)
+		}
+		if p.Flow != 3 || p.Src != 100 || p.Dst != 1 || p.Size != 1000 || !p.IsData() {
+			t.Errorf("packet %d malformed: %v", i, p)
+		}
+	}
+	if u.Sent() != 5 {
+		t.Errorf("Sent() = %d, want 5", u.Sent())
+	}
+}
+
+func TestUDPSenderIgnoresInbound(t *testing.T) {
+	w := &captureWire{}
+	u, err := NewUDPSender(UDPConfig{PacketSize: 100, Out: w})
+	if err != nil {
+		t.Fatalf("NewUDPSender: %v", err)
+	}
+	u.Receive(&packet.Packet{Kind: packet.Ack, Ack: 5})
+	if len(w.pkts) != 0 {
+		t.Error("UDP sender reacted to an inbound packet")
+	}
+}
+
+func TestUDPSinkCountsDataOnly(t *testing.T) {
+	s := NewUDPSink()
+	s.Receive(&packet.Packet{Kind: packet.Data, Seq: 0})
+	s.Receive(&packet.Packet{Kind: packet.Data, Seq: 1})
+	s.Receive(&packet.Packet{Kind: packet.Ack, Ack: 1})
+	if s.Delivered() != 2 {
+		t.Errorf("Delivered() = %d, want 2 (ACKs not counted)", s.Delivered())
+	}
+}
