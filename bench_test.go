@@ -19,6 +19,7 @@
 package tcpburst
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -364,6 +365,39 @@ func BenchmarkFIFOEnqueueDequeue(b *testing.B) {
 		q.Dequeue(0)
 	}
 }
+
+// benchSweep runs a small but non-trivial sweep (2 cells x 4 client counts)
+// through the experiment runner with the given worker count, reporting the
+// runner's own telemetry so serial and parallel numbers are comparable.
+func benchSweep(b *testing.B, jobs int) {
+	base := core.DefaultConfig(0, core.Reno, core.FIFO)
+	base.Duration = 5 * time.Second
+	opts := core.SweepOptions{
+		Base:    base,
+		Clients: []int{8, 16, 24, 32},
+		Cells: []core.Cell{
+			{Protocol: core.Reno, Gateway: core.FIFO},
+			{Protocol: core.Vegas, Gateway: core.FIFO},
+		},
+		Exec: core.ExecOptions{Jobs: jobs},
+	}
+	var sweep *core.Sweep
+	var err error
+	for i := 0; i < b.N; i++ {
+		sweep, err = core.RunSweepContext(context.Background(), opts)
+		if err != nil {
+			b.Fatalf("sweep: %v", err)
+		}
+	}
+	b.ReportMetric(sweep.Stats.EventsPerSec(), "sim_events/s")
+	b.ReportMetric(sweep.Stats.Speedup(), "speedup")
+}
+
+// BenchmarkSweepSerial and BenchmarkSweepParallel measure the experiment
+// runner itself: the same sweep on one worker versus the full pool. The
+// parallel run returns byte-identical results; the win is wall time.
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
 
 // BenchmarkExperimentPacketsPerSecond measures the simulator's own speed:
 // simulated packets processed per wall-clock second for a full experiment.

@@ -8,16 +8,26 @@
 //
 //	burstreport > report.md             # full fidelity (several minutes)
 //	burstreport -duration 30s -step 10  # quick look
+//	burstreport -progress -stats        # live progress + telemetry
+//
+// All sweep points and window-trace runs fan out across a worker pool
+// (-jobs); sweep points additionally reuse the persistent result cache
+// (-cache), so regenerating a report after a warm pass only re-simulates
+// the traced figures.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"tcpburst/internal/core"
+	"tcpburst/internal/runcache"
+	"tcpburst/internal/runner"
 )
 
 func main() {
@@ -34,10 +44,32 @@ func run(w io.Writer, args []string) error {
 		duration = fs.Duration("duration", 200*time.Second, "simulated test time per point")
 		step     = fs.Int("step", 4, "client-count step for the sweep")
 		maxN     = fs.Int("max-clients", 60, "largest client count")
+		jobs     = fs.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cache    = fs.Bool("cache", true, "reuse cached sweep results from previous runs")
+		cacheDir = fs.String("cache-dir", "", "result cache directory (default ~/.cache/tcpburst)")
+		progress = fs.Bool("progress", false, "render a live progress line on stderr")
+		stats    = fs.Bool("stats", false, "print run telemetry on stderr when done")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	exec := core.ExecOptions{Jobs: *jobs}
+	if *cache {
+		store, err := runcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "burstreport: cache disabled:", err)
+		} else {
+			exec.Cache = store
+		}
+	}
+	var prog *runner.Progress
+	if *progress {
+		prog = runner.NewProgress(os.Stderr)
+		exec.OnEvent = prog.Observe
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	base := core.DefaultConfig(0, core.Reno, core.FIFO)
 	base.Seed = *seed
@@ -55,15 +87,28 @@ func run(w io.Writer, args []string) error {
 
 	fmt.Fprintf(os.Stderr, "sweep: %d client counts x %d cells at %s each...\n",
 		len(clients), len(core.PaperCells()), *duration)
-	sweep, err := core.RunSweep(core.SweepOptions{Base: base, Clients: clients})
+	sweep, err := core.RunSweepContext(ctx, core.SweepOptions{Base: base, Clients: clients, Exec: exec})
 	if err != nil {
+		if prog != nil {
+			prog.Finish()
+		}
 		return err
 	}
 
 	fmt.Fprintf(w, "# TCP burstiness report (seed %d, %s per point)\n\n", *seed, *duration)
 	writeTable1(w, base)
 	writeSweepSection(w, sweep)
-	return writeTraceSection(w, base, *maxN)
+	traceStats, err := writeTraceSection(ctx, w, base, *maxN, exec)
+	if prog != nil {
+		prog.Finish()
+	}
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, sweep.Stats.Add(traceStats).Table())
+	}
+	return nil
 }
 
 func writeTable1(w io.Writer, base core.Config) {
@@ -104,11 +149,11 @@ func writeSweepSection(w io.Writer, sweep *core.Sweep) {
 	fmt.Fprintln(w)
 }
 
-func writeTraceSection(w io.Writer, base core.Config, maxN int) error {
+func writeTraceSection(ctx context.Context, w io.Writer, base core.Config, maxN int, exec core.ExecOptions) (runner.Stats, error) {
 	fmt.Fprintf(w, "## Figures 5–12 — window evolution\n\n")
 	fmt.Fprintf(w, "| figure | protocol | clients | mean cwnd | timeouts | fast rtx | sync idx | Jain |\n")
 	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|\n")
-	rows := []struct {
+	allRows := []struct {
 		fig     int
 		proto   core.Protocol
 		clients int
@@ -117,7 +162,9 @@ func writeTraceSection(w io.Writer, base core.Config, maxN int) error {
 		{8, core.Reno, 39}, {9, core.Reno, 60},
 		{10, core.Vegas, 20}, {11, core.Vegas, 30}, {12, core.Vegas, 60},
 	}
-	for _, row := range rows {
+	rows := allRows[:0]
+	cfgs := make([]core.Config, 0, len(allRows))
+	for _, row := range allRows {
 		if row.clients > maxN {
 			continue
 		}
@@ -126,10 +173,17 @@ func writeTraceSection(w io.Writer, base core.Config, maxN int) error {
 		cfg.Protocol = row.proto
 		cfg.Gateway = core.FIFO
 		cfg.CwndSampleInterval = 100 * time.Millisecond
-		res, err := core.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("figure %d: %w", row.fig, err)
-		}
+		rows = append(rows, row)
+		cfgs = append(cfgs, cfg)
+	}
+	// Traced runs bypass the cache (the digest has no series), but they
+	// still fan out across the worker pool.
+	results, stats, err := core.RunBatch(ctx, cfgs, exec)
+	if err != nil {
+		return stats, fmt.Errorf("window-evolution figures: %w", err)
+	}
+	for i, row := range rows {
+		res := results[i]
 		var sum float64
 		var count int
 		for _, s := range res.CwndTraces {
@@ -147,7 +201,7 @@ func writeTraceSection(w io.Writer, base core.Config, maxN int) error {
 			res.Timeouts, res.FastRetransmits, res.CwndSyncIndex, res.JainFairness)
 	}
 	fmt.Fprintln(w)
-	return nil
+	return stats, nil
 }
 
 // pickSummaryPoints selects representative client counts: the smallest,

@@ -28,7 +28,11 @@ func TestHelpers(t *testing.T) {
 
 func TestReportQuick(t *testing.T) {
 	var sb strings.Builder
-	err := run(&sb, []string{"-duration", "5s", "-step", "30", "-max-clients", "30"})
+	// -cache-dir keeps the test hermetic: nothing lands in the user cache.
+	err := run(&sb, []string{
+		"-duration", "5s", "-step", "30", "-max-clients", "30",
+		"-cache-dir", t.TempDir(),
+	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

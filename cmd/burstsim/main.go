@@ -5,16 +5,24 @@
 // Usage:
 //
 //	burstsim -clients 39 -proto reno -queue fifo -duration 200s
+//	burstsim -clients 39 -cache -stats     # reuse/store the result on disk
+//
+// With -cache the run is served from the persistent result store when the
+// same configuration has been simulated before (-flows always simulates:
+// the per-flow breakdown is not part of the cached digest).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"tcpburst/internal/core"
+	"tcpburst/internal/runcache"
 )
 
 func main() {
@@ -41,6 +49,9 @@ func run(w io.Writer, args []string) error {
 		redMax   = fs.Float64("redmax", 0, "RED max threshold (0 = default)")
 		redW     = fs.Float64("redw", 0, "RED EWMA weight (0 = default)")
 		redMaxP  = fs.Float64("redmaxp", 0, "RED max drop probability (0 = default)")
+		cache    = fs.Bool("cache", false, "reuse/store the result in the persistent cache")
+		cacheDir = fs.String("cache-dir", "", "result cache directory (default ~/.cache/tcpburst)")
+		stats    = fs.Bool("stats", false, "print run telemetry on stderr when done")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,9 +87,25 @@ func run(w io.Writer, args []string) error {
 		cfg.REDMaxProb = *redMaxP
 	}
 
-	res, err := core.Run(cfg)
+	exec := core.ExecOptions{Jobs: 1}
+	if *cache && !*perFlow {
+		store, err := runcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "burstsim: cache disabled:", err)
+		} else {
+			exec.Cache = store
+		}
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	results, telemetry, err := core.RunBatch(ctx, []core.Config{cfg}, exec)
 	if err != nil {
 		return err
+	}
+	res := results[0]
+	if *stats {
+		fmt.Fprint(os.Stderr, telemetry.Table())
 	}
 	if *asJSON {
 		raw, err := res.MarshalSummaryJSON()

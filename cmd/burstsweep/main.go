@@ -11,17 +11,26 @@
 //	burstsweep -all -out results/          # all figures into a directory
 //	burstsweep -table1                     # print Table 1
 //	burstsweep -fig 3 -duration 50s -step 8  # faster, coarser sweep
+//	burstsweep -fig 2 -progress -stats    # live progress + telemetry table
+//
+// Every (cell, clients) job fans out across a worker pool (-jobs) and
+// completed runs land in a persistent result cache (-cache, -cache-dir),
+// so re-running a sweep after one warm pass is near-instant.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"time"
 
 	"tcpburst/internal/core"
+	"tcpburst/internal/runcache"
+	"tcpburst/internal/runner"
 )
 
 func main() {
@@ -42,6 +51,11 @@ func run(args []string) error {
 		duration = fs.Duration("duration", 200*time.Second, "simulated test time per point")
 		step     = fs.Int("step", 4, "client-count step for the sweep")
 		maxN     = fs.Int("max-clients", 60, "largest client count")
+		jobs     = fs.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cache    = fs.Bool("cache", true, "reuse cached results from previous runs")
+		cacheDir = fs.String("cache-dir", "", "result cache directory (default ~/.cache/tcpburst)")
+		progress = fs.Bool("progress", false, "render a live progress line on stderr")
+		stats    = fs.Bool("stats", false, "print run telemetry on stderr when done")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,12 +93,35 @@ func run(args []string) error {
 		}
 	}
 
+	exec := core.ExecOptions{Jobs: *jobs}
+	if *cache {
+		store, err := runcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "burstsweep: cache disabled:", err)
+		} else {
+			exec.Cache = store
+		}
+	}
+	var prog *runner.Progress
+	if *progress {
+		prog = runner.NewProgress(os.Stderr)
+		exec.OnEvent = prog.Observe
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	clients := sweepClients(*step, *maxN)
 	fmt.Fprintf(os.Stderr, "sweeping %d client counts x %d cells (%s each)...\n",
 		len(clients), len(core.PaperCells()), *duration)
-	sweep, err := core.RunSweep(core.SweepOptions{Base: base, Clients: clients})
+	sweep, err := core.RunSweepContext(ctx, core.SweepOptions{Base: base, Clients: clients, Exec: exec})
+	if prog != nil {
+		prog.Finish()
+	}
 	if err != nil {
 		return err
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, sweep.Stats.Table())
 	}
 
 	emit := func(figNo int) error {

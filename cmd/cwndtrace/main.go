@@ -8,17 +8,24 @@
 //
 //	cwndtrace -proto reno -clients 39 -trace-clients 1,20,39 > fig8.csv
 //	cwndtrace -proto reno -clients 38 -summary
+//
+// Traced runs always simulate — window series are not part of the
+// persistent result cache's digest — but the run still reports its
+// telemetry (-stats) and honors Ctrl-C cancellation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
 	"tcpburst/internal/core"
+	"tcpburst/internal/runner"
 	"tcpburst/internal/trace"
 )
 
@@ -41,6 +48,8 @@ func run(args []string) error {
 		traceArg = fs.String("trace-clients", "", "comma-separated 1-based client indices (default: 1, N/2, N)")
 		summary  = fs.Bool("summary", false, "print per-20s stability summary instead of CSV")
 		withQ    = fs.Bool("qlen", false, "also trace the gateway queue length")
+		progress = fs.Bool("progress", false, "render a live progress line on stderr")
+		stats    = fs.Bool("stats", false, "print run telemetry on stderr when done")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,9 +78,25 @@ func run(args []string) error {
 	cfg.TraceClients = traceClients
 	cfg.TraceQueue = *withQ
 
-	res, err := core.Run(cfg)
+	exec := core.ExecOptions{Jobs: 1}
+	var prog *runner.Progress
+	if *progress {
+		prog = runner.NewProgress(os.Stderr)
+		exec.OnEvent = prog.Observe
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	results, telemetry, err := core.RunBatch(ctx, []core.Config{cfg}, exec)
+	if prog != nil {
+		prog.Finish()
+	}
 	if err != nil {
 		return err
+	}
+	res := results[0]
+	if *stats {
+		fmt.Fprint(os.Stderr, telemetry.Table())
 	}
 
 	if *summary {

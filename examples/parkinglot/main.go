@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,9 +23,12 @@ func main() {
 	fmt.Printf("%-8s %8s %10s %10s %10s %10s %9s\n",
 		"protocol", "queue", "long", "hop1", "hop2", "longShare", "covHop2")
 
+	// The four protocol/queue combinations are independent, so run them
+	// through the parallel batch engine instead of a serial loop.
+	var cfgs []core.ChainConfig
 	for _, p := range []core.Protocol{core.Reno, core.Vegas} {
 		for _, q := range []core.GatewayQueue{core.FIFO, core.DRR} {
-			res, err := core.RunParkingLot(core.ChainConfig{
+			cfgs = append(cfgs, core.ChainConfig{
 				LongClients: 20,
 				Hop1Clients: 20,
 				Hop2Clients: 20,
@@ -32,13 +36,16 @@ func main() {
 				Gateway:     q,
 				Duration:    60 * time.Second,
 			})
-			if err != nil {
-				log.Fatalf("run %v/%v: %v", p, q, err)
-			}
-			fmt.Printf("%-8s %8s %10d %10d %10d %9.1f%% %9.4f\n",
-				p, q, res.Long.Delivered, res.Hop1.Delivered, res.Hop2.Delivered,
-				res.LongShareHop2*100, res.COVHop2)
 		}
+	}
+	results, _, err := core.RunChainBatch(context.Background(), cfgs, core.ExecOptions{})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	for i, res := range results {
+		fmt.Printf("%-8s %8s %10d %10d %10d %9.1f%% %9.4f\n",
+			cfgs[i].Protocol, cfgs[i].Gateway, res.Long.Delivered, res.Hop1.Delivered, res.Hop2.Delivered,
+			res.LongShareHop2*100, res.COVHop2)
 	}
 
 	fmt.Println()

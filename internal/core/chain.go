@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"tcpburst/internal/link"
@@ -102,6 +104,8 @@ type ChainResult struct {
 	// LongShareHop2 is the long flows' fraction of hop-2 deliveries —
 	// the multi-bottleneck fairness headline.
 	LongShareHop2 float64
+	// SimEvents counts the kernel events executed — run telemetry.
+	SimEvents uint64
 }
 
 // chainFlow is one client's bundle in the chain experiment.
@@ -129,6 +133,12 @@ func (f *chainFlow) timeouts() uint64 {
 
 // RunParkingLot executes the two-hop experiment.
 func RunParkingLot(cfg ChainConfig) (*ChainResult, error) {
+	return RunParkingLotContext(context.Background(), cfg)
+}
+
+// RunParkingLotContext is RunParkingLot with cancellation, polled from
+// inside the event loop exactly as in RunContext.
+func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -363,12 +373,17 @@ func RunParkingLot(cfg ChainConfig) (*ChainResult, error) {
 			f.gen.Start()
 		}
 	}
+	watchContext(ctx, sched)
+
 	horizon := sim.TimeZero.Add(cfg.Duration)
 	if err := sched.Run(horizon); err != nil {
+		if errors.Is(err, sim.ErrStopped) && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("run parking lot: %w", err)
 	}
 
-	res := &ChainResult{Config: cfg}
+	res := &ChainResult{Config: cfg, SimEvents: sched.Fired()}
 	res.Long = summarizeChainGroup(longFlows)
 	res.Hop1 = summarizeChainGroup(hop1Flows)
 	res.Hop2 = summarizeChainGroup(hop2Flows)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -133,6 +135,10 @@ type Result struct {
 	// unless at least two clients were traced.
 	CwndSyncIndex float64
 
+	// SimEvents counts the discrete events the kernel executed for this
+	// run — the work measure behind the runner's events/sec telemetry.
+	SimEvents uint64
+
 	// Flows holds per-client outcomes.
 	Flows []FlowResult
 	// ByProtocol aggregates per-protocol totals; with a homogeneous
@@ -156,6 +162,15 @@ type ProtocolTotals struct {
 
 // Run executes one experiment to completion and returns its measurements.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the simulation polls ctx from
+// inside the event loop (every 100 ms of virtual time) and aborts with
+// ctx.Err() once it is canceled or past its deadline. The poll events are
+// scheduled unconditionally so runs with and without a cancelable context
+// execute identical event sequences.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -263,8 +278,13 @@ func Run(cfg Config) (*Result, error) {
 		sampler.Start()
 	}
 
+	watchContext(ctx, sched)
+
 	horizon := sim.TimeZero.Add(cfg.Duration)
 	if err := sched.Run(horizon); err != nil {
+		if errors.Is(err, sim.ErrStopped) && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("run experiment: %w", err)
 	}
 	for _, f := range flows {
@@ -277,7 +297,25 @@ func Run(cfg Config) (*Result, error) {
 	res := collect(cfg, flows, counter, horizon, bottleneck, serverOut, accessLinks, reverseLinks, redQ, cwndSeries, queueSeries)
 	res.Queue = summarizeQueue(queueSamples, cfg.BufferPackets)
 	res.PacketLog = pktLog
+	res.SimEvents = sched.Fired()
 	return res, nil
+}
+
+// watchContext wires ctx into the single-threaded event loop: a recurring
+// probe event checks ctx and stops the scheduler once it is done. Polling
+// in virtual time keeps the kernel deterministic — the probe never touches
+// simulation state or RNG streams.
+func watchContext(ctx context.Context, sched *sim.Scheduler) {
+	const probe = 100 * time.Millisecond // virtual time between polls
+	var tick func()
+	tick = func() {
+		if ctx.Err() != nil {
+			sched.Stop()
+			return
+		}
+		sched.After(probe, tick)
+	}
+	sched.After(probe, tick)
 }
 
 // decreaseIndicator maps a congestion-window trace to a binary series that

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"tcpburst/internal/runner"
 	"tcpburst/internal/stats"
 )
 
@@ -31,24 +33,40 @@ type Replicated struct {
 	Delivered          stats.CI
 	Timeouts           stats.CI
 	TimeoutDupAckRatio stats.CI
+
+	// Stats carries the runner's execution telemetry for the batch.
+	Stats runner.Stats
 }
 
 // RunReplications runs cfg once per seed and aggregates the headline
 // metrics with 95% confidence intervals. At least one seed is required;
-// two or more are needed for non-zero interval widths.
+// two or more are needed for non-zero interval widths. Replications run
+// across the default worker pool; use RunReplicationsContext to control
+// parallelism, caching, and cancellation.
 func RunReplications(cfg Config, seeds []int64) (*Replicated, error) {
+	return RunReplicationsContext(context.Background(), cfg, seeds, ExecOptions{})
+}
+
+// RunReplicationsContext is RunReplications with execution control: the
+// per-seed runs fan out across the runner's worker pool and can be served
+// from the persistent result cache.
+func RunReplicationsContext(ctx context.Context, cfg Config, seeds []int64, exec ExecOptions) (*Replicated, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("replications: no seeds")
 	}
-	rep := &Replicated{Seeds: append([]int64(nil), seeds...)}
-	var covs, losses, delivered, timeouts, ratios []float64
-	for _, seed := range seeds {
+	cfgs := make([]Config, len(seeds))
+	for i, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		res, err := Run(c)
-		if err != nil {
-			return nil, fmt.Errorf("replication seed %d: %w", seed, err)
-		}
+		cfgs[i] = c
+	}
+	results, telemetry, err := RunBatch(ctx, cfgs, exec)
+	if err != nil {
+		return nil, fmt.Errorf("replications: %w", err)
+	}
+	rep := &Replicated{Seeds: append([]int64(nil), seeds...), Stats: telemetry}
+	var covs, losses, delivered, timeouts, ratios []float64
+	for _, res := range results {
 		rep.Results = append(rep.Results, res)
 		covs = append(covs, res.COV)
 		losses = append(losses, res.LossPct)

@@ -16,11 +16,13 @@ type Summary struct {
 	ModulationFactor float64 `json:"modulationFactor"`
 	MeanWindowCount  float64 `json:"meanWindowCount"`
 
-	Generated   uint64  `json:"generated"`
-	Delivered   uint64  `json:"delivered"`
-	DataSent    uint64  `json:"dataSent"`
-	LossPct     float64 `json:"lossPct"`
-	Utilization float64 `json:"utilization"`
+	Generated       uint64  `json:"generated"`
+	Delivered       uint64  `json:"delivered"`
+	DataSent        uint64  `json:"dataSent"`
+	ForwardDrops    uint64  `json:"forwardDrops"`
+	BottleneckDrops uint64  `json:"bottleneckDrops"`
+	LossPct         float64 `json:"lossPct"`
+	Utilization     float64 `json:"utilization"`
 
 	Timeouts           uint64  `json:"timeouts"`
 	FastRetransmits    uint64  `json:"fastRetransmits"`
@@ -40,9 +42,14 @@ type Summary struct {
 	WireLosses uint64 `json:"wireLosses,omitempty"`
 	AckDrops   uint64 `json:"ackDrops,omitempty"`
 
-	REDEarlyDrops  uint64 `json:"redEarlyDrops,omitempty"`
-	REDForcedDrops uint64 `json:"redForcedDrops,omitempty"`
-	REDMarks       uint64 `json:"redMarks,omitempty"`
+	REDEarlyDrops  uint64  `json:"redEarlyDrops,omitempty"`
+	REDForcedDrops uint64  `json:"redForcedDrops,omitempty"`
+	REDMarks       uint64  `json:"redMarks,omitempty"`
+	REDFinalAvg    float64 `json:"redFinalAvg,omitempty"`
+
+	// SimEvents is the kernel's executed-event count — run telemetry, kept
+	// in the digest so cached results still report throughput.
+	SimEvents uint64 `json:"simEvents,omitempty"`
 }
 
 // Summary flattens the result for serialization.
@@ -60,6 +67,8 @@ func (r *Result) Summary() Summary {
 		Generated:          r.Generated,
 		Delivered:          r.Delivered,
 		DataSent:           r.DataSent,
+		ForwardDrops:       r.ForwardDrops,
+		BottleneckDrops:    r.BottleneckDrops,
 		LossPct:            r.LossPct,
 		Utilization:        r.Utilization,
 		Timeouts:           r.Timeouts,
@@ -76,11 +85,13 @@ func (r *Result) Summary() Summary {
 		QueueFullFrac:      r.Queue.FullFrac,
 		WireLosses:         r.WireLosses,
 		AckDrops:           r.AckDrops,
+		SimEvents:          r.SimEvents,
 	}
 	if r.RED != nil {
 		s.REDEarlyDrops = r.RED.EarlyDrops
 		s.REDForcedDrops = r.RED.ForcedDrops
 		s.REDMarks = r.RED.Marks
+		s.REDFinalAvg = r.RED.FinalAvg
 	}
 	return s
 }
@@ -88,4 +99,52 @@ func (r *Result) Summary() Summary {
 // MarshalSummaryJSON renders the summary as indented JSON.
 func (r *Result) MarshalSummaryJSON() ([]byte, error) {
 	return json.MarshalIndent(r.Summary(), "", "  ")
+}
+
+// ResultFromSummary reconstructs the scalar portion of a Result from a
+// cached digest. cfg must be the defaulted configuration whose content
+// hash the summary was stored under — the cache key guarantees the match.
+// Series-typed fields (WindowCounts, Flows, traces, packet logs) are not
+// part of the digest and stay empty, which is why the runner only caches
+// runs that request none of them (see cacheable).
+func ResultFromSummary(cfg Config, s Summary) *Result {
+	r := &Result{
+		Config:             cfg,
+		COV:                s.COV,
+		AnalyticCOV:        s.AnalyticCOV,
+		MeanWindowCount:    s.MeanWindowCount,
+		Generated:          s.Generated,
+		Delivered:          s.Delivered,
+		DataSent:           s.DataSent,
+		ForwardDrops:       s.ForwardDrops,
+		BottleneckDrops:    s.BottleneckDrops,
+		AckDrops:           s.AckDrops,
+		WireLosses:         s.WireLosses,
+		LossPct:            s.LossPct,
+		Utilization:        s.Utilization,
+		Timeouts:           s.Timeouts,
+		FastRetransmits:    s.FastRetransmits,
+		TimeoutDupAckRatio: s.TimeoutDupAckRatio,
+		JainFairness:       s.JainFairness,
+		Hurst:              s.Hurst,
+		CwndSyncIndex:      s.CwndSyncIndex,
+		DelayMeanSec:       s.DelayMeanSec,
+		DelayP95Sec:        s.DelayP95Sec,
+		Queue: QueueStats{
+			Mean:     s.QueueMean,
+			P95:      s.QueueP95,
+			Max:      s.QueueMax,
+			FullFrac: s.QueueFullFrac,
+		},
+		SimEvents: s.SimEvents,
+	}
+	if cfg.Gateway == RED {
+		r.RED = &REDStats{
+			EarlyDrops:  s.REDEarlyDrops,
+			ForcedDrops: s.REDForcedDrops,
+			Marks:       s.REDMarks,
+			FinalAvg:    s.REDFinalAvg,
+		}
+	}
+	return r
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+
+	"tcpburst/internal/runner"
 )
 
 // Cell names one protocol/discipline combination in a sweep, e.g.
@@ -48,6 +51,15 @@ type Sweep struct {
 	Clients []int
 	Cells   []Cell
 	Points  []SweepPoint
+
+	// Stats carries the runner's execution telemetry (jobs ran/cached,
+	// wall time, events/sec) for the sweep that produced the points.
+	Stats runner.Stats
+
+	// index maps (cell, clients) to its point; built lazily and rebuilt
+	// whenever Points has grown, so hand-assembled sweeps work too.
+	index   map[Cell]map[int]*SweepPoint
+	indexed int
 }
 
 // SweepOptions parameterizes RunSweep.
@@ -59,6 +71,8 @@ type SweepOptions struct {
 	Clients []int
 	// Cells lists the protocol/queue combinations; nil means PaperCells.
 	Cells []Cell
+	// Exec configures parallelism, caching, and progress for the runs.
+	Exec ExecOptions
 }
 
 // DefaultSweepClients returns the paper's x-axis: every 4 clients from 4 to
@@ -75,6 +89,14 @@ func DefaultSweepClients() []int {
 
 // RunSweep runs every (cell, clients) combination and collects the results.
 func RunSweep(opts SweepOptions) (*Sweep, error) {
+	return RunSweepContext(context.Background(), opts)
+}
+
+// RunSweepContext is RunSweep with cancellation. Every (cell, clients) job
+// fans out across the runner's worker pool (opts.Exec.Jobs wide); each job
+// is independently seeded and deterministic, so the assembled sweep is
+// byte-identical to a serial run regardless of worker count.
+func RunSweepContext(ctx context.Context, opts SweepOptions) (*Sweep, error) {
 	cells := opts.Cells
 	if len(cells) == 0 {
 		cells = PaperCells()
@@ -83,21 +105,56 @@ func RunSweep(opts SweepOptions) (*Sweep, error) {
 	if len(clients) == 0 {
 		clients = DefaultSweepClients()
 	}
-	sw := &Sweep{Clients: clients, Cells: cells}
+	cfgs := make([]Config, 0, len(clients)*len(cells))
 	for _, n := range clients {
 		for _, cell := range cells {
 			cfg := opts.Base
 			cfg.Clients = n
 			cfg.Protocol = cell.Protocol
 			cfg.Gateway = cell.Gateway
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %s n=%d: %w", cell, n, err)
-			}
-			sw.Points = append(sw.Points, SweepPoint{Cell: cell, Clients: n, Result: res})
+			cfgs = append(cfgs, cfg)
 		}
 	}
+	results, stats, err := RunBatch(ctx, cfgs, opts.Exec)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	sw := &Sweep{Clients: clients, Cells: cells, Stats: stats}
+	i := 0
+	for _, n := range clients {
+		for _, cell := range cells {
+			sw.Points = append(sw.Points, SweepPoint{Cell: cell, Clients: n, Result: results[i]})
+			i++
+		}
+	}
+	sw.reindex()
 	return sw, nil
+}
+
+// reindex rebuilds the (cell, clients) lookup map over Points.
+func (s *Sweep) reindex() {
+	s.index = make(map[Cell]map[int]*SweepPoint, len(s.Cells))
+	for i := range s.Points {
+		p := &s.Points[i]
+		m := s.index[p.Cell]
+		if m == nil {
+			m = make(map[int]*SweepPoint)
+			s.index[p.Cell] = m
+		}
+		m[p.Clients] = p
+	}
+	s.indexed = len(s.Points)
+}
+
+// lookup resolves (cell, clients) through the index, rebuilding it if
+// Points changed since the last build. CSV rendering and the sweep
+// analyses hit this C×N times per call, so the old linear scan over all
+// points was O(points²) per render.
+func (s *Sweep) lookup(cell Cell, clients int) *SweepPoint {
+	if s.index == nil || s.indexed != len(s.Points) {
+		s.reindex()
+	}
+	return s.index[cell][clients]
 }
 
 // Column extracts one metric for one cell across the sweep's client counts,
@@ -105,10 +162,8 @@ func RunSweep(opts SweepOptions) (*Sweep, error) {
 func (s *Sweep) Column(cell Cell, metric func(*Result) float64) []float64 {
 	out := make([]float64, 0, len(s.Clients))
 	for _, n := range s.Clients {
-		for _, p := range s.Points {
-			if p.Cell == cell && p.Clients == n {
-				out = append(out, metric(p.Result))
-			}
+		if p := s.lookup(cell, n); p != nil {
+			out = append(out, metric(p.Result))
 		}
 	}
 	return out
@@ -116,12 +171,7 @@ func (s *Sweep) Column(cell Cell, metric func(*Result) float64) []float64 {
 
 // Point returns the sweep point for (cell, clients), or nil.
 func (s *Sweep) Point(cell Cell, clients int) *SweepPoint {
-	for i := range s.Points {
-		if s.Points[i].Cell == cell && s.Points[i].Clients == clients {
-			return &s.Points[i]
-		}
-	}
-	return nil
+	return s.lookup(cell, clients)
 }
 
 // Standard metric extractors for the paper's figures.
