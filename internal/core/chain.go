@@ -148,18 +148,30 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 
+	var pool *packet.Pool
+	if !base.DisablePacketPool {
+		pool = packet.NewPool()
+	}
+
 	const (
 		serverAddr2 packet.Addr = 1 // final server behind hop 2
 		exit1Addr   packet.Addr = 2 // hop-1 cross traffic's destination at gw2
 	)
 	server := node.NewHost(serverAddr2)
+	server.SetPool(pool)
 	exit1 := node.NewHost(exit1Addr)
+	exit1.SetPool(pool)
 	gw1 := node.NewGateway(10)
+	gw1.SetPool(pool)
 	gw2 := node.NewGateway(11)
+	gw2.SetPool(pool)
 
 	mkBottleneckQ := func(stream int64) (queue.Discipline, error) {
 		chainCfg := base
 		q, _, err := buildGatewayQueue(chainCfg, rng.Fork(stream))
+		if drr, ok := q.(*queue.DRR); ok {
+			drr.OnEvict(pool.Put)
+		}
 		return q, err
 	}
 	q1, err := mkBottleneckQ(1 << 23)
@@ -173,14 +185,14 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 
 	hop1, err := link.New(sched, link.Config{
 		Name: "gw1->gw2", RateBps: base.BottleneckRateBps,
-		Delay: base.BottleneckDelay, Queue: q1, Dst: gw2,
+		Delay: base.BottleneckDelay, Queue: q1, Dst: gw2, Pool: pool,
 	})
 	if err != nil {
 		return nil, err
 	}
 	hop2, err := link.New(sched, link.Config{
 		Name: "gw2->server", RateBps: base.BottleneckRateBps,
-		Delay: base.BottleneckDelay, Queue: q2, Dst: server,
+		Delay: base.BottleneckDelay, Queue: q2, Dst: server, Pool: pool,
 	})
 	if err != nil {
 		return nil, err
@@ -188,21 +200,21 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 	// Reverse path: server -> gw2 -> gw1, amply provisioned.
 	rev2, err := link.New(sched, link.Config{
 		Name: "server->gw2", RateBps: base.BottleneckRateBps,
-		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw2,
+		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw2, Pool: pool,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rev1, err := link.New(sched, link.Config{
 		Name: "gw2->gw1", RateBps: base.BottleneckRateBps,
-		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw1,
+		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw1, Pool: pool,
 	})
 	if err != nil {
 		return nil, err
 	}
 	revExit, err := link.New(sched, link.Config{
 		Name: "exit1->gw2", RateBps: base.BottleneckRateBps,
-		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw2,
+		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw2, Pool: pool,
 	})
 	if err != nil {
 		return nil, err
@@ -210,7 +222,7 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 	// Forward local delivery from gw2 to exit1.
 	toExit1, err := link.New(sched, link.Config{
 		Name: "gw2->exit1", RateBps: base.ClientRateBps,
-		Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: exit1,
+		Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: exit1, Pool: pool,
 	})
 	if err != nil {
 		return nil, err
@@ -272,16 +284,17 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 			flowID := nextFlow
 			nextFlow++
 			host := node.NewHost(addr)
+			host.SetPool(pool)
 			access, err := link.New(sched, link.Config{
 				Name: fmt.Sprintf("c%d->gw", int(flowID)), RateBps: base.ClientRateBps,
-				Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: attach,
+				Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: attach, Pool: pool,
 			})
 			if err != nil {
 				return nil, err
 			}
 			reverse, err := link.New(sched, link.Config{
 				Name: fmt.Sprintf("gw->c%d", int(flowID)), RateBps: base.ClientRateBps,
-				Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: host,
+				Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: host, Pool: pool,
 			})
 			if err != nil {
 				return nil, err
@@ -300,7 +313,7 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 					MaxWindow: base.MaxWindow, MinRTO: base.MinRTO,
 					DelayedAcks:       cfg.Protocol == RenoDelayAck,
 					DelayedAckTimeout: base.DelayedAckTimeout,
-					Vegas:             base.Vegas, Sched: sched,
+					Vegas:             base.Vegas, Sched: sched, Pool: pool,
 				}
 				sendCfg := tcpCfg
 				sendCfg.Out = access
@@ -321,12 +334,13 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 			} else {
 				sender, err := transport.NewUDPSender(transport.UDPConfig{
 					Flow: flowID, Src: addr, Dst: dstAddr,
-					PacketSize: base.PacketSize, Out: access,
+					PacketSize: base.PacketSize, Out: access, Pool: pool,
 				})
 				if err != nil {
 					return nil, err
 				}
 				sink := transport.NewUDPSink()
+				sink.SetPool(pool)
 				host.Bind(flowID, sender)
 				dstHost.Bind(flowID, sink)
 				f.udpS, f.udpK = sender, sink

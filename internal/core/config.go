@@ -282,6 +282,12 @@ type Config struct {
 	// arrival/drop events at the bottleneck in an ns-style trace ring
 	// (Result.PacketLog).
 	PacketLogCapacity int
+
+	// DisablePacketPool runs the experiment without the per-simulation
+	// packet pool, allocating every packet. Debug knob: results are
+	// bit-identical either way (the equivalence tests enforce this); the
+	// pooled path is just faster.
+	DisablePacketPool bool
 }
 
 // DefaultConfig returns the paper's Table 1 parameters for n clients using

@@ -179,13 +179,28 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 
+	// One packet pool per simulation: single-threaded, deterministic, and
+	// torn down with the run. nil (DisablePacketPool) makes every Get a
+	// fresh allocation and every Put a no-op — same behavior, slower.
+	var pool *packet.Pool
+	if !cfg.DisablePacketPool {
+		pool = packet.NewPool()
+	}
+
 	server := node.NewHost(serverAddr)
+	server.SetPool(pool)
 	gateway := node.NewGateway(0)
+	gateway.SetPool(pool)
 
 	// Bottleneck gateway→server link with the discipline under study.
 	bottleneckQ, redQ, err := buildGatewayQueue(cfg, rng)
 	if err != nil {
 		return nil, err
+	}
+	if drr, ok := bottleneckQ.(*queue.DRR); ok {
+		// Longest-queue eviction consumes the displaced packet inside the
+		// discipline; reclaim it there.
+		drr.OnEvict(pool.Put)
 	}
 	bottleneckLinkCfg := link.Config{
 		Name:    "gw->server",
@@ -193,6 +208,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		Delay:   cfg.BottleneckDelay,
 		Queue:   bottleneckQ,
 		Dst:     server,
+		Pool:    pool,
 	}
 	if cfg.WireLossProb > 0 {
 		bottleneckLinkCfg.LossProb = cfg.WireLossProb
@@ -223,6 +239,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		Delay:   cfg.BottleneckDelay,
 		Queue:   queue.NewFIFO(reverseBuf),
 		Dst:     gateway,
+		Pool:    pool,
 	})
 	if err != nil {
 		return nil, err
@@ -251,7 +268,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	})
 
-	flows, accessLinks, reverseLinks, err := buildClients(cfg, sched, rng, gateway, server, serverOut)
+	flows, accessLinks, reverseLinks, err := buildClients(cfg, sched, rng, pool, gateway, server, serverOut)
 	if err != nil {
 		return nil, err
 	}
@@ -429,6 +446,7 @@ func buildClients(
 	cfg Config,
 	sched *sim.Scheduler,
 	rng *sim.RNG,
+	pool *packet.Pool,
 	gateway *node.Gateway,
 	server *node.Host,
 	serverOut *link.Link,
@@ -449,6 +467,7 @@ func buildClients(
 		addr := clientAddrOff + packet.Addr(i)
 		flowID := packet.FlowID(i + 1)
 		host := node.NewHost(addr)
+		host.SetPool(pool)
 
 		delay := cfg.ClientDelay
 		if jitterRNG != nil {
@@ -461,6 +480,7 @@ func buildClients(
 			Delay:   delay,
 			Queue:   queue.NewFIFO(cfg.AccessBufferPackets),
 			Dst:     gateway,
+			Pool:    pool,
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -471,6 +491,7 @@ func buildClients(
 			Delay:   delay,
 			Queue:   queue.NewFIFO(cfg.AccessBufferPackets),
 			Dst:     host,
+			Pool:    pool,
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -498,6 +519,7 @@ func buildClients(
 				DelayedAckTimeout: cfg.DelayedAckTimeout,
 				Vegas:             cfg.Vegas,
 				Sched:             sched,
+				Pool:              pool,
 			}
 			sendCfg := tcpCfg
 			sendCfg.Out = access
@@ -523,11 +545,13 @@ func buildClients(
 				PacketSize: cfg.PacketSize,
 				Out:        access,
 				Now:        sched.Now,
+				Pool:       pool,
 			})
 			if err != nil {
 				return nil, nil, nil, err
 			}
 			sink := transport.NewUDPSinkWithClock(sched.Now)
+			sink.SetPool(pool)
 			host.Bind(flowID, sender)
 			server.Bind(flowID, sink)
 			f.udpSend, f.udpSink = sender, sink

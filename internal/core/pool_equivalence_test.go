@@ -1,0 +1,98 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestPooledMatchesUnpooled is the packet pool's determinism contract:
+// recycling packets through the per-simulation pool must not change a
+// single bit of any result. Every paper cell runs at several client
+// counts both pooled and unpooled, and the full summaries are compared
+// byte for byte.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-cell equivalence matrix is slow")
+	}
+	clientCounts := []int{20, 39, 60}
+	// SACK rides along beyond the paper cells: its ACKs carry reused
+	// per-packet block slices, the pool's trickiest sharing hazard.
+	cells := append(PaperCells(), Cell{Protocol: Sack, Gateway: FIFO})
+	for _, cell := range cells {
+		for _, n := range clientCounts {
+			cell, n := cell, n
+			t.Run(fmt.Sprintf("%s/n%d", cell, n), func(t *testing.T) {
+				t.Parallel()
+				cfg := DefaultConfig(n, cell.Protocol, cell.Gateway)
+				cfg.Duration = 2 * time.Second
+
+				pooled := cfg
+				pooledRes, err := Run(pooled)
+				if err != nil {
+					t.Fatalf("pooled run: %v", err)
+				}
+				unpooled := cfg
+				unpooled.DisablePacketPool = true
+				unpooledRes, err := Run(unpooled)
+				if err != nil {
+					t.Fatalf("unpooled run: %v", err)
+				}
+
+				// Compare configs stripped of the debug flag itself.
+				pooledSum, err := json.Marshal(pooledRes.Summary())
+				if err != nil {
+					t.Fatalf("marshal pooled summary: %v", err)
+				}
+				unpooledSum, err := json.Marshal(unpooledRes.Summary())
+				if err != nil {
+					t.Fatalf("marshal unpooled summary: %v", err)
+				}
+				if string(pooledSum) != string(unpooledSum) {
+					t.Errorf("pooled and unpooled summaries differ:\npooled:   %s\nunpooled: %s",
+						pooledSum, unpooledSum)
+				}
+			})
+		}
+	}
+}
+
+// TestPooledMatchesUnpooledParkingLot extends the contract to the two-hop
+// topology, which has its own pool wiring.
+func TestPooledMatchesUnpooledParkingLot(t *testing.T) {
+	base := DefaultConfig(1, Reno, FIFO)
+	base.Duration = 2 * time.Second
+	mk := func(disable bool) ChainConfig {
+		b := base
+		b.DisablePacketPool = disable
+		return ChainConfig{
+			LongClients: 4, Hop1Clients: 3, Hop2Clients: 3,
+			Protocol: Reno, Gateway: FIFO,
+			Duration: 2 * time.Second,
+			Base:     b,
+		}
+	}
+	pooled, err := RunParkingLot(mk(false))
+	if err != nil {
+		t.Fatalf("pooled run: %v", err)
+	}
+	unpooled, err := RunParkingLot(mk(true))
+	if err != nil {
+		t.Fatalf("unpooled run: %v", err)
+	}
+	// Blank out the configs (they differ in the debug flag by design).
+	pooled.Config = ChainConfig{}
+	unpooled.Config = ChainConfig{}
+	pj, err := json.Marshal(pooled)
+	if err != nil {
+		t.Fatalf("marshal pooled: %v", err)
+	}
+	uj, err := json.Marshal(unpooled)
+	if err != nil {
+		t.Fatalf("marshal unpooled: %v", err)
+	}
+	if string(pj) != string(uj) {
+		t.Errorf("parking-lot pooled and unpooled results differ:\npooled:   %s\nunpooled: %s", pj, uj)
+	}
+}

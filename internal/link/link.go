@@ -35,6 +35,10 @@ type Config struct {
 	LossProb float64
 	// LossRNG supplies the loss coin flips; required iff LossProb > 0.
 	LossRNG *sim.RNG
+	// Pool, when non-nil, receives packets the link consumes: queue drops
+	// (after the OnDrop hook runs) and wire losses. A nil Pool leaves
+	// consumed packets to the garbage collector.
+	Pool *packet.Pool
 }
 
 // Stats aggregates link counters.
@@ -59,6 +63,14 @@ type Link struct {
 
 	busy  bool
 	stats Stats
+
+	// inflight is the packet currently being serialized. Exactly one
+	// packet occupies the transmitter at a time, so a single field (plus
+	// the prebound callbacks below) replaces a heap-allocated closure per
+	// departure.
+	inflight        *packet.Packet
+	serializeDoneFn func()    // prebound l.serializeDone
+	deliverFn       func(any) // prebound l.deliver
 
 	// onArrival, if set, observes every packet offered to the link before
 	// the queue admission decision. The gateway metrics tap hangs here.
@@ -86,7 +98,10 @@ func New(sched *sim.Scheduler, cfg Config) (*Link, error) {
 	case cfg.LossProb > 0 && cfg.LossRNG == nil:
 		return nil, fmt.Errorf("link %q: loss probability without RNG", cfg.Name)
 	}
-	return &Link{sched: sched, cfg: cfg}, nil
+	l := &Link{sched: sched, cfg: cfg}
+	l.serializeDoneFn = l.serializeDone
+	l.deliverFn = l.deliver
+	return l, nil
 }
 
 // Name returns the link label.
@@ -122,6 +137,7 @@ func (l *Link) Send(p *packet.Packet) {
 		if l.onDrop != nil {
 			l.onDrop(now, p)
 		}
+		l.cfg.Pool.Put(p)
 		return
 	}
 	if !l.busy {
@@ -137,19 +153,31 @@ func (l *Link) transmitNext() {
 		return
 	}
 	l.busy = true
-	txTime := sim.SerializationDelay(p.Size, l.cfg.RateBps)
-	l.sched.After(txTime, func() {
-		l.stats.Departures++
-		l.stats.DeliveredBytes += uint64(p.Size)
-		if l.cfg.LossProb > 0 && l.cfg.LossRNG.Float64() < l.cfg.LossProb {
-			// Lost on the wire: it consumed transmission time but
-			// never arrives.
-			l.stats.WireLosses++
-		} else {
-			// The wire is pipelined: propagation of this packet
-			// overlaps serialization of the next.
-			l.sched.After(l.cfg.Delay, func() { l.cfg.Dst.Receive(p) })
-		}
-		l.transmitNext()
-	})
+	l.inflight = p
+	l.sched.After(sim.SerializationDelay(p.Size, l.cfg.RateBps), l.serializeDoneFn)
+}
+
+// serializeDone fires when the inflight packet's last bit leaves the
+// transmitter: count the departure, launch propagation (or lose the packet
+// on the wire), and start serializing the next queued packet.
+func (l *Link) serializeDone() {
+	p := l.inflight
+	l.inflight = nil
+	l.stats.Departures++
+	l.stats.DeliveredBytes += uint64(p.Size)
+	if l.cfg.LossProb > 0 && l.cfg.LossRNG.Float64() < l.cfg.LossProb {
+		// Lost on the wire: it consumed transmission time but
+		// never arrives.
+		l.stats.WireLosses++
+		l.cfg.Pool.Put(p)
+	} else {
+		// The wire is pipelined: propagation of this packet
+		// overlaps serialization of the next.
+		l.sched.AfterCall(l.cfg.Delay, l.deliverFn, p)
+	}
+	l.transmitNext()
+}
+
+func (l *Link) deliver(arg any) {
+	l.cfg.Dst.Receive(arg.(*packet.Packet))
 }

@@ -21,6 +21,7 @@ type Agent interface {
 type Host struct {
 	addr   packet.Addr
 	agents map[packet.FlowID]Agent
+	pool   *packet.Pool
 }
 
 var _ link.Receiver = (*Host)(nil)
@@ -38,13 +39,18 @@ func (h *Host) Bind(flow packet.FlowID, a Agent) {
 	h.agents[flow] = a
 }
 
+// SetPool makes the host reclaim packets it must drop (unbound flows).
+func (h *Host) SetPool(pl *packet.Pool) { h.pool = pl }
+
 // Receive dispatches p to the agent bound to its flow. Packets for unbound
 // flows are dropped silently (they indicate a mis-wired topology and are
 // surfaced by tests, not production panics).
 func (h *Host) Receive(p *packet.Packet) {
 	if a, ok := h.agents[p.Flow]; ok {
 		a.Receive(p)
+		return
 	}
+	h.pool.Put(p)
 }
 
 // Gateway forwards packets out the egress link registered for the packet's
@@ -52,6 +58,7 @@ func (h *Host) Receive(p *packet.Packet) {
 type Gateway struct {
 	addr   packet.Addr
 	routes map[packet.Addr]*link.Link
+	pool   *packet.Pool
 }
 
 var _ link.Receiver = (*Gateway)(nil)
@@ -77,10 +84,15 @@ func (g *Gateway) AddRoute(dst packet.Addr, l *link.Link) error {
 // Route returns the egress link for dst, or nil.
 func (g *Gateway) Route(dst packet.Addr) *link.Link { return g.routes[dst] }
 
+// SetPool makes the gateway reclaim packets it must drop (no route).
+func (g *Gateway) SetPool(pl *packet.Pool) { g.pool = pl }
+
 // Receive forwards p toward its destination. Packets without a route are
 // dropped silently.
 func (g *Gateway) Receive(p *packet.Packet) {
 	if l, ok := g.routes[p.Dst]; ok {
 		l.Send(p)
+		return
 	}
+	g.pool.Put(p)
 }

@@ -70,7 +70,22 @@ type Packet struct {
 	// SACK-enabled receiver: half-open [First, Last) ranges of packets
 	// received above the cumulative acknowledgment.
 	SACK []SACKBlock
+
+	// state tracks pool ownership (see Pool). Packets built directly with
+	// &Packet{} are "loose" and ignored by Pool.Put's lifecycle checks.
+	state uint8
 }
+
+// Packet lifecycle states for pool bookkeeping.
+const (
+	stateLoose    uint8 = iota // not pool-managed
+	stateLive                  // checked out of a pool, in flight
+	stateReleased              // returned to a pool; touching it is a bug
+)
+
+// Released reports whether the packet has been returned to a pool. Any
+// holder seeing true has kept a reference past the release point.
+func (p *Packet) Released() bool { return p.state == stateReleased }
 
 // SACKBlock is one selective-acknowledgment range: packets with sequence
 // numbers in [First, Last) have been received.

@@ -1,0 +1,123 @@
+package packet
+
+import (
+	"testing"
+
+	"tcpburst/internal/sim"
+)
+
+func TestPoolReusesPackets(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	p.Kind = Data
+	p.Seq = 7
+	pl.Put(p)
+	q := pl.Get()
+	if q != p {
+		t.Fatal("pool did not reuse the released packet")
+	}
+	if q.Kind != 0 || q.Seq != 0 || q.Released() {
+		t.Errorf("reused packet not reset: %+v", q)
+	}
+	gets, puts, allocs := pl.Stats()
+	if gets != 2 || puts != 1 || allocs != 1 {
+		t.Errorf("Stats() = %d,%d,%d, want 2,1,1", gets, puts, allocs)
+	}
+	if pl.Live() != 1 {
+		t.Errorf("Live() = %d, want 1", pl.Live())
+	}
+}
+
+func TestPoolRetainsSACKCapacity(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	p.SACK = append(p.SACK, SACKBlock{First: 1, Last: 3}, SACKBlock{First: 5, Last: 8})
+	pl.Put(p)
+	q := pl.Get()
+	if len(q.SACK) != 0 {
+		t.Fatalf("reused packet has %d stale SACK blocks", len(q.SACK))
+	}
+	if cap(q.SACK) < 2 {
+		t.Errorf("SACK capacity not retained: cap=%d", cap(q.SACK))
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	pl.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	pl.Put(p)
+}
+
+func TestPoolDebugPoisonsReleasedPacket(t *testing.T) {
+	pl := NewPool()
+	pl.SetDebug(true)
+	p := pl.Get()
+	p.Kind = Data
+	p.Seq = 42
+	p.Size = 1000
+	p.SentAt = sim.TimeZero.Add(1)
+	pl.Put(p)
+	if !p.Released() {
+		t.Fatal("released packet not marked released")
+	}
+	if p.Seq == 42 || p.Size == 1000 || p.Kind == Data {
+		t.Errorf("debug release did not poison fields: %+v", p)
+	}
+	// And a fresh Get must fully un-poison.
+	q := pl.Get()
+	if q.Seq != 0 || q.Size != 0 || q.Kind != 0 || q.Retransmit || q.ECE || q.Released() {
+		t.Errorf("packet not reset after poisoned release: %+v", q)
+	}
+}
+
+func TestNilPoolFallsBackToAllocation(t *testing.T) {
+	var pl *Pool
+	p := pl.Get()
+	if p == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	pl.Put(p)      // no-op, must not panic
+	pl.Put(nil)    // no-op
+	pl.SetDebug(true)
+	if g, pu, a := pl.Stats(); g != 0 || pu != 0 || a != 0 {
+		t.Errorf("nil pool Stats() = %d,%d,%d, want zeros", g, pu, a)
+	}
+	if pl.Live() != 0 {
+		t.Errorf("nil pool Live() = %d, want 0", pl.Live())
+	}
+}
+
+func TestPoolIgnoresLoosePackets(t *testing.T) {
+	pl := NewPool()
+	loose := &Packet{Kind: Data, Seq: 3}
+	pl.Put(loose) // release call sites are shared with unpooled runs
+	if loose.Released() {
+		t.Error("loose packet adopted by pool")
+	}
+	if _, puts, _ := func() (uint64, uint64, uint64) { return pl.Stats() }(); puts != 0 {
+		t.Errorf("puts = %d, want 0 for loose packet", puts)
+	}
+	if p := pl.Get(); p == loose {
+		t.Error("pool handed out a loose packet")
+	}
+}
+
+func TestPoolSteadyStateAllocFree(t *testing.T) {
+	pl := NewPool()
+	// Warm.
+	p := pl.Get()
+	pl.Put(p)
+	allocs := testing.AllocsPerRun(1000, func() {
+		q := pl.Get()
+		pl.Put(q)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Get+Put allocates %.1f objects/op, want 0", allocs)
+	}
+}

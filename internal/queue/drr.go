@@ -29,6 +29,12 @@ type DRR struct {
 	total int
 
 	evictions uint64
+
+	// onEvict, if set, receives each packet displaced by longest-queue
+	// drop. Eviction consumes the packet — unlike an Enqueue rejection,
+	// the caller never sees it again — so this is where a packet pool
+	// reclaims it.
+	onEvict func(p *packet.Packet)
 }
 
 type drrFlow struct {
@@ -132,6 +138,10 @@ func (q *DRR) Cap() int { return q.capacity }
 // longest-queue drop.
 func (q *DRR) Evictions() uint64 { return q.evictions }
 
+// OnEvict registers fn to receive every packet displaced by longest-queue
+// drop. Passing nil clears the hook.
+func (q *DRR) OnEvict(fn func(p *packet.Packet)) { q.onEvict = fn }
+
 // FlowQueueLen returns the queue length of one flow.
 func (q *DRR) FlowQueueLen(id packet.FlowID) int {
 	if f, ok := q.flows[id]; ok {
@@ -162,9 +172,15 @@ func (q *DRR) longestFlow() *drrFlow {
 // evictFrom drops the newest packet of the given flow (drop-from-tail of
 // the longest queue).
 func (q *DRR) evictFrom(f *drrFlow) {
-	f.pkts = f.pkts[:len(f.pkts)-1]
+	n := len(f.pkts) - 1
+	victim := f.pkts[n]
+	f.pkts[n] = nil
+	f.pkts = f.pkts[:n]
 	q.total--
 	q.evictions++
+	if q.onEvict != nil {
+		q.onEvict(victim)
+	}
 	if len(f.pkts) == 0 {
 		for i, rf := range q.ring {
 			if rf == f {

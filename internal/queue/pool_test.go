@@ -1,0 +1,178 @@
+package queue
+
+import (
+	"testing"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+)
+
+// Pool-correctness tests: drive the disciplines with packets from a debug
+// ("poisoned release") pool, honoring the ownership contract — a false
+// Enqueue leaves the packet with the caller, which releases it; Dequeue
+// transfers ownership back. Double releases panic, and any discipline
+// retaining a released packet would surface it as a poisoned Dequeue.
+
+func TestFIFOPooledLifecycle(t *testing.T) {
+	pl := packet.NewPool()
+	pl.SetDebug(true)
+	q := NewFIFO(4)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 6; i++ {
+			p := pl.Get()
+			p.Kind = packet.Data
+			p.Seq = int64(round*10 + i)
+			if !q.Enqueue(sim.TimeZero, p) {
+				pl.Put(p) // rejected: caller keeps ownership and releases
+			}
+		}
+		for {
+			p := q.Dequeue(sim.TimeZero)
+			if p == nil {
+				break
+			}
+			if p.Released() {
+				t.Fatalf("FIFO handed out a released packet: %v", p)
+			}
+			pl.Put(p)
+		}
+	}
+	if live := pl.Live(); live != 0 {
+		t.Errorf("pool has %d live packets after drain", live)
+	}
+}
+
+func TestREDPooledLifecycle(t *testing.T) {
+	pl := packet.NewPool()
+	pl.SetDebug(true)
+	red, err := NewRED(REDConfig{
+		Capacity:     8,
+		MinThreshold: 2,
+		MaxThreshold: 6,
+		Weight:       0.5,
+		MaxProb:      0.5,
+		RNG:          sim.NewRNG(7),
+	})
+	if err != nil {
+		t.Fatalf("NewRED: %v", err)
+	}
+	now := sim.TimeZero
+	drops := 0
+	for round := 0; round < 200; round++ {
+		p := pl.Get()
+		p.Kind = packet.Data
+		p.Seq = int64(round)
+		if !red.Enqueue(now, p) {
+			drops++
+			pl.Put(p)
+		}
+		if round%3 == 0 {
+			if q := red.Dequeue(now); q != nil {
+				if q.Released() {
+					t.Fatalf("RED handed out a released packet: %v", q)
+				}
+				pl.Put(q)
+			}
+		}
+	}
+	for {
+		p := red.Dequeue(now)
+		if p == nil {
+			break
+		}
+		if p.Released() {
+			t.Fatalf("RED handed out a released packet: %v", p)
+		}
+		pl.Put(p)
+	}
+	if drops == 0 {
+		t.Error("RED never dropped; thresholds did not bite and the drop path went unexercised")
+	}
+	if live := pl.Live(); live != 0 {
+		t.Errorf("pool has %d live packets after drain", live)
+	}
+}
+
+func TestDRRPooledEviction(t *testing.T) {
+	pl := packet.NewPool()
+	pl.SetDebug(true)
+	q, err := NewDRR(4, 1000)
+	if err != nil {
+		t.Fatalf("NewDRR: %v", err)
+	}
+	q.OnEvict(pl.Put)
+	mk := func(flow packet.FlowID, seq int64) *packet.Packet {
+		p := pl.Get()
+		p.Kind = packet.Data
+		p.Flow = flow
+		p.Seq = seq
+		p.Size = 1000
+		return p
+	}
+	// Flow 1 fills the shared buffer; flow 2's arrivals then evict from
+	// flow 1 (the longest queue).
+	for i := 0; i < 4; i++ {
+		if !q.Enqueue(sim.TimeZero, mk(1, int64(i))) {
+			t.Fatalf("enqueue %d rejected below capacity", i)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if !q.Enqueue(sim.TimeZero, mk(2, int64(i))) {
+			t.Fatalf("flow-2 arrival %d rejected; expected longest-queue eviction", i)
+		}
+	}
+	if q.Evictions() != 2 {
+		t.Fatalf("evictions = %d, want 2", q.Evictions())
+	}
+	for {
+		p := q.Dequeue(sim.TimeZero)
+		if p == nil {
+			break
+		}
+		if p.Released() {
+			t.Fatalf("DRR handed out an evicted (released) packet: %v", p)
+		}
+		pl.Put(p)
+	}
+	if live := pl.Live(); live != 0 {
+		t.Errorf("pool has %d live packets after drain", live)
+	}
+}
+
+// Allocation budgets: steady-state enqueue/dequeue on the ring-backed
+// disciplines must not allocate.
+
+func TestFIFOEnqueueDequeueAllocFree(t *testing.T) {
+	q := NewFIFO(16)
+	p := &packet.Packet{Kind: packet.Data, Size: 1000}
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.Enqueue(sim.TimeZero, p)
+		q.Dequeue(sim.TimeZero)
+	})
+	if allocs != 0 {
+		t.Errorf("FIFO enqueue+dequeue allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestREDEnqueueDequeueAllocFree(t *testing.T) {
+	red, err := NewRED(REDConfig{
+		Capacity:     32,
+		MinThreshold: 5,
+		MaxThreshold: 15,
+		Weight:       0.002,
+		MaxProb:      0.02,
+		RNG:          sim.NewRNG(1),
+	})
+	if err != nil {
+		t.Fatalf("NewRED: %v", err)
+	}
+	p := &packet.Packet{Kind: packet.Data, Size: 1000}
+	now := sim.TimeZero
+	allocs := testing.AllocsPerRun(1000, func() {
+		red.Enqueue(now, p)
+		red.Dequeue(now)
+	})
+	if allocs != 0 {
+		t.Errorf("RED enqueue+dequeue allocates %.1f objects/op, want 0", allocs)
+	}
+}

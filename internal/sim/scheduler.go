@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -10,67 +9,69 @@ import (
 // before the horizon or event exhaustion was reached.
 var ErrStopped = errors.New("simulation stopped")
 
-// Event is a scheduled callback. Events are ordered by time; ties are broken
-// by scheduling order, so the kernel is fully deterministic.
-type Event struct {
-	time     Time
-	seq      uint64
-	index    int // position in the heap; -1 once removed
-	canceled bool
-	fn       func()
+// Handle identifies a scheduled event. It is a value type: copying it is
+// free and the zero Handle refers to no event. A Handle stays valid until
+// the event fires or is canceled; after that it goes stale and every
+// operation on it is a harmless no-op (the generation counter inside the
+// handle detects reuse of the underlying slot).
+type Handle struct {
+	slot uint32 // slot index + 1; 0 means "no event"
+	gen  uint32
 }
 
-// Time returns the instant at which the event fires.
-func (e *Event) Time() Time { return e.time }
+// IsZero reports whether the handle refers to no event at all (as opposed
+// to one that fired or was canceled — see Scheduler.Active for that).
+func (h Handle) IsZero() bool { return h.slot == 0 }
 
-// Canceled reports whether the event has been canceled.
-func (e *Event) Canceled() bool { return e.canceled }
+// heapNode is one entry of the inline event min-heap, ordered by
+// (time, seq). Nodes are plain values — no pointers, no interface boxing —
+// so sift operations are straight memory moves and the heap slice never
+// needs per-element clearing.
+type heapNode struct {
+	time Time
+	seq  uint64
+	slot uint32
+	gen  uint32
+}
 
-// eventHeap is a min-heap of events ordered by (time, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func nodeLess(a, b heapNode) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// eventSlot holds one scheduled callback in the scheduler's slot arena.
+// Freed slots are chained through next and recycled by later schedules;
+// gen increments on every free so stale heap nodes and handles miss.
+type eventSlot struct {
+	fn   func()
+	afn  func(any)
+	arg  any
+	gen  uint32
+	next int32 // free-list link; meaningful only while free
 }
 
 // Scheduler is the discrete-event simulation kernel. It is not safe for
 // concurrent use: simulations are single-threaded by design so that results
 // are bit-for-bit reproducible.
+//
+// The kernel is allocation-free in steady state: events live in a slot
+// arena recycled through a free list, the priority queue is an inline
+// min-heap of plain values, and Cancel recycles an event's slot immediately
+// rather than leaking it until its heap node surfaces. Callers that
+// schedule the same callback repeatedly should pass a prebound func value
+// (stored once on their struct) instead of a method value or fresh closure,
+// which the compiler must heap-allocate per call.
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	stopped bool
+	now      Time
+	seq      uint64
+	heap     []heapNode
+	slots    []eventSlot
+	freeHead int32 // first free slot index, -1 when none
+	live     int   // scheduled, uncanceled, unfired events
+	stale    int   // canceled events whose heap nodes are still queued
+	stopped  bool
 
 	// Fired counts events that have executed; useful for progress metrics.
 	fired uint64
@@ -78,73 +79,159 @@ type Scheduler struct {
 
 // NewScheduler returns a kernel with the clock at TimeZero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{freeHead: -1}
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Pending returns the number of scheduled, uncanceled events.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, ev := range s.events {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled, uncanceled events in O(1).
+func (s *Scheduler) Pending() int { return s.live }
 
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // At schedules fn to run at instant t. Scheduling in the past is a
-// programming error and returns nil without scheduling.
-func (s *Scheduler) At(t Time, fn func()) *Event {
+// programming error and returns the zero Handle without scheduling.
+func (s *Scheduler) At(t Time, fn func()) Handle {
 	if t < s.now || fn == nil {
-		return nil
+		return Handle{}
 	}
-	ev := &Event{time: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
-	return ev
+	return s.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current instant. Negative delays
 // clamp to zero (fire "now", after already-queued same-time events).
-func (s *Scheduler) After(d Duration, fn func()) *Event {
+func (s *Scheduler) After(d Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now.Add(d), fn)
 }
 
-// Cancel marks ev so that it will not fire. Canceling nil or an already
-// fired/canceled event is a no-op.
-func (s *Scheduler) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+// AtCall schedules fn(arg) at instant t. It exists so hot paths can reuse
+// one prebound fn for many events, threading per-event state through arg
+// instead of a freshly allocated closure (storing a pointer in arg does
+// not allocate).
+func (s *Scheduler) AtCall(t Time, fn func(any), arg any) Handle {
+	if t < s.now || fn == nil {
+		return Handle{}
+	}
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterCall schedules fn(arg) to run d after the current instant.
+func (s *Scheduler) AfterCall(d Duration, fn func(any), arg any) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtCall(s.now.Add(d), fn, arg)
+}
+
+// schedule places the callback in a recycled (or new) slot and pushes its
+// heap node.
+func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Handle {
+	var idx int32
+	if s.freeHead >= 0 {
+		idx = s.freeHead
+		s.freeHead = s.slots[idx].next
+	} else {
+		s.slots = append(s.slots, eventSlot{})
+		idx = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.fn = fn
+	sl.afn = afn
+	sl.arg = arg
+	seq := s.seq
+	s.seq++
+	s.push(heapNode{time: t, seq: seq, slot: uint32(idx), gen: sl.gen})
+	s.live++
+	return Handle{slot: uint32(idx) + 1, gen: sl.gen}
+}
+
+// Cancel ensures the event behind h will not fire and recycles its slot
+// immediately. Canceling the zero Handle or an already fired/canceled
+// event is a no-op. The event's heap node stays queued but goes stale (its
+// generation no longer matches) and is discarded when it surfaces.
+func (s *Scheduler) Cancel(h Handle) {
+	if !s.resolve(h) {
 		return
 	}
-	ev.canceled = true
-	ev.fn = nil
+	s.freeSlot(int32(h.slot - 1))
+	s.live--
+	s.stale++
+	// Workloads that cancel nearly everything they schedule (timer
+	// Reset/Stop churn) would otherwise grow the heap without bound, since
+	// stale nodes are only discarded as they surface. Compact once they
+	// dominate: O(n) amortized against the cancels that created them, and
+	// pop order is unaffected because it is fully determined by
+	// (time, seq), not heap layout.
+	if s.stale > len(s.heap)/2 && len(s.heap) >= 64 {
+		s.compact()
+	}
+}
+
+// compact removes stale nodes in place and restores the heap property.
+func (s *Scheduler) compact() {
+	kept := s.heap[:0]
+	for _, n := range s.heap {
+		if s.slots[n.slot].gen == n.gen {
+			kept = append(kept, n)
+		}
+	}
+	s.heap = kept
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	s.stale = 0
+}
+
+// Active reports whether h refers to an event that is still scheduled.
+func (s *Scheduler) Active(h Handle) bool { return s.resolve(h) }
+
+// resolve reports whether h names a live slot of the current generation.
+func (s *Scheduler) resolve(h Handle) bool {
+	if h.slot == 0 || h.slot > uint32(len(s.slots)) {
+		return false
+	}
+	return s.slots[h.slot-1].gen == h.gen
+}
+
+// freeSlot recycles a slot: bump the generation so stale handles and heap
+// nodes miss, drop callback references, and chain it onto the free list.
+func (s *Scheduler) freeSlot(idx int32) {
+	sl := &s.slots[idx]
+	sl.gen++
+	sl.fn = nil
+	sl.afn = nil
+	sl.arg = nil
+	sl.next = s.freeHead
+	s.freeHead = idx
 }
 
 // Step executes the single next event, advancing the clock to its timestamp.
 // It reports false when no events remain.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		ev, ok := heap.Pop(&s.events).(*Event)
-		if !ok {
-			return false
-		}
-		if ev.canceled {
+	for len(s.heap) > 0 {
+		n := s.pop()
+		idx := int32(n.slot)
+		sl := &s.slots[idx]
+		if sl.gen != n.gen {
+			// Stale node: the event was canceled and its slot recycled.
+			s.stale--
 			continue
 		}
-		s.now = ev.time
-		fn := ev.fn
-		ev.fn = nil
+		s.now = n.time
+		fn, afn, arg := sl.fn, sl.afn, sl.arg
+		s.freeSlot(idx)
+		s.live--
 		s.fired++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 		return true
 	}
 	return false
@@ -158,15 +245,15 @@ func (s *Scheduler) Run(horizon Time) error {
 		return fmt.Errorf("run horizon %v precedes now %v", horizon, s.now)
 	}
 	s.stopped = false
-	for len(s.events) > 0 {
+	for {
 		if s.stopped {
 			return ErrStopped
 		}
-		next := s.peek()
-		if next == nil {
+		next, ok := s.nextTime()
+		if !ok {
 			break
 		}
-		if next.time > horizon {
+		if next > horizon {
 			s.now = horizon
 			return nil
 		}
@@ -192,55 +279,114 @@ func (s *Scheduler) RunAll() error {
 // Stop halts a Run/RunAll in progress after the current event completes.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// peek returns the next uncanceled event without removing it.
-func (s *Scheduler) peek() *Event {
-	for len(s.events) > 0 {
-		ev := s.events[0]
-		if !ev.canceled {
-			return ev
+// nextTime returns the instant of the next live event, discarding any stale
+// nodes that have reached the heap root.
+func (s *Scheduler) nextTime() (Time, bool) {
+	for len(s.heap) > 0 {
+		n := s.heap[0]
+		if s.slots[n.slot].gen == n.gen {
+			return n.time, true
 		}
-		heap.Pop(&s.events)
+		s.pop()
+		s.stale--
 	}
-	return nil
+	return 0, false
+}
+
+// push appends n and sifts it up.
+func (s *Scheduler) push(n heapNode) {
+	s.heap = append(s.heap, n)
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !nodeLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the root node.
+func (s *Scheduler) pop() heapNode {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	s.siftDown(0)
+	return top
+}
+
+// siftDown restores the heap property below index i.
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && nodeLess(h[r], h[l]) {
+			m = r
+		}
+		if !nodeLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Timer is a restartable one-shot timer bound to a scheduler, mirroring the
 // retransmission-timer usage pattern in transport protocols: Reset reschedules,
-// Stop cancels, and the callback runs at expiry.
+// Stop cancels, and the callback runs at expiry. The expiry trampoline is
+// bound once at construction, so Reset/Stop cycles are allocation-free.
 type Timer struct {
-	sched *Scheduler
-	ev    *Event
-	fn    func()
+	sched    *Scheduler
+	h        Handle
+	deadline Time
+	fn       func()
+	fireFn   func()
 }
 
 // NewTimer returns an unarmed timer that runs fn at expiry.
 func NewTimer(sched *Scheduler, fn func()) *Timer {
-	return &Timer{sched: sched, fn: fn}
+	t := &Timer{sched: sched, fn: fn}
+	t.fireFn = t.fire
+	return t
 }
 
 // Reset (re)arms the timer to fire d from now, replacing any pending expiry.
 func (t *Timer) Reset(d Duration) {
 	t.Stop()
-	t.ev = t.sched.After(d, t.fire)
+	t.h = t.sched.After(d, t.fireFn)
+	if d < 0 {
+		d = 0
+	}
+	t.deadline = t.sched.Now().Add(d)
 }
 
 // ResetAt (re)arms the timer to fire at instant at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.ev = t.sched.At(at, t.fire)
+	t.h = t.sched.At(at, t.fireFn)
+	t.deadline = at
 }
 
 // Stop cancels any pending expiry. It is safe on an unarmed timer.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.sched.Cancel(t.ev)
-		t.ev = nil
+	if !t.h.IsZero() {
+		t.sched.Cancel(t.h)
+		t.h = Handle{}
 	}
 }
 
 // Armed reports whether the timer has a pending expiry.
 func (t *Timer) Armed() bool {
-	return t.ev != nil && !t.ev.Canceled()
+	return t.sched.Active(t.h)
 }
 
 // Deadline returns the pending expiry instant, or TimeMax if unarmed.
@@ -248,10 +394,10 @@ func (t *Timer) Deadline() Time {
 	if !t.Armed() {
 		return TimeMax
 	}
-	return t.ev.Time()
+	return t.deadline
 }
 
 func (t *Timer) fire() {
-	t.ev = nil
+	t.h = Handle{}
 	t.fn()
 }

@@ -89,8 +89,8 @@ func TestNestedScheduling(t *testing.T) {
 func TestCancelPreventsFiring(t *testing.T) {
 	s := NewScheduler()
 	fired := false
-	ev := s.After(time.Second, func() { fired = true })
-	s.Cancel(ev)
+	h := s.After(time.Second, func() { fired = true })
+	s.Cancel(h)
 	if err := s.RunAll(); err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
@@ -99,28 +99,65 @@ func TestCancelPreventsFiring(t *testing.T) {
 	}
 }
 
-func TestCancelNilAndDoubleCancel(t *testing.T) {
+func TestCancelZeroAndDoubleCancel(t *testing.T) {
 	s := NewScheduler()
-	s.Cancel(nil) // must not panic
-	ev := s.After(time.Second, func() {})
-	s.Cancel(ev)
-	s.Cancel(ev) // double cancel must not panic
+	s.Cancel(Handle{}) // must not panic
+	h := s.After(time.Second, func() {})
+	s.Cancel(h)
+	s.Cancel(h) // double cancel must not panic
 	if err := s.RunAll(); err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
 }
 
-func TestSchedulingInPastReturnsNil(t *testing.T) {
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	s := NewScheduler()
+	stale := s.After(time.Second, func() {})
+	s.Cancel(stale)
+	// The canceled event's slot is recycled by the next schedule; the old
+	// handle must not reach the new occupant.
+	fired := false
+	fresh := s.After(time.Second, func() { fired = true })
+	s.Cancel(stale) // no-op: generation mismatch
+	if !s.Active(fresh) {
+		t.Fatal("fresh event inactive after stale cancel")
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if !fired {
+		t.Error("fresh event in recycled slot never fired")
+	}
+}
+
+func TestActiveTracksLifecycle(t *testing.T) {
+	s := NewScheduler()
+	h := s.After(time.Second, func() {})
+	if !s.Active(h) {
+		t.Error("scheduled event not active")
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if s.Active(h) {
+		t.Error("fired event still active")
+	}
+	if s.Active(Handle{}) {
+		t.Error("zero handle active")
+	}
+}
+
+func TestSchedulingInPastReturnsZeroHandle(t *testing.T) {
 	s := NewScheduler()
 	s.After(time.Second, func() {})
 	if err := s.RunAll(); err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
-	if ev := s.At(TimeZero, func() {}); ev != nil {
-		t.Error("At(past) returned a non-nil event")
+	if h := s.At(TimeZero, func() {}); !h.IsZero() {
+		t.Error("At(past) returned a non-zero handle")
 	}
-	if ev := s.At(s.Now(), func() {}); ev == nil {
-		t.Error("At(now) returned nil; scheduling at the current instant must work")
+	if h := s.At(s.Now(), func() {}); h.IsZero() {
+		t.Error("At(now) returned zero handle; scheduling at the current instant must work")
 	}
 }
 
@@ -136,6 +173,37 @@ func TestNegativeDelayClampsToNow(t *testing.T) {
 	}
 	if s.Now() != TimeZero {
 		t.Errorf("clock moved to %v for a clamped event", s.Now())
+	}
+}
+
+func TestAfterCallThreadsArgument(t *testing.T) {
+	s := NewScheduler()
+	type payload struct{ n int }
+	var got []int
+	deliver := func(arg any) { got = append(got, arg.(*payload).n) }
+	s.AfterCall(2*time.Second, deliver, &payload{n: 2})
+	s.AfterCall(1*time.Second, deliver, &payload{n: 1})
+	if h := s.AtCall(TimeZero.Add(-time.Second), deliver, &payload{}); !h.IsZero() {
+		t.Error("AtCall(past) returned a non-zero handle")
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("AfterCall order = %v, want [1 2]", got)
+	}
+}
+
+func TestAfterCallCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	h := s.AfterCall(time.Second, func(any) { fired = true }, nil)
+	s.Cancel(h)
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if fired {
+		t.Error("canceled AfterCall event fired")
 	}
 }
 
@@ -218,6 +286,30 @@ func TestFiredCounter(t *testing.T) {
 	}
 }
 
+// TestPendingCounterUnderCancel checks the O(1) live-event counter against
+// every lifecycle transition: schedule, cancel, fire.
+func TestPendingCounterUnderCancel(t *testing.T) {
+	s := NewScheduler()
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		hs = append(hs, s.After(Duration(i+1)*time.Second, func() {}))
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending() = %d, want 10", s.Pending())
+	}
+	s.Cancel(hs[0])
+	s.Cancel(hs[5])
+	s.Cancel(hs[5]) // double cancel must not double-decrement
+	if s.Pending() != 8 {
+		t.Fatalf("Pending() after cancels = %d, want 8", s.Pending())
+	}
+	for s.Step() {
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() after drain = %d, want 0", s.Pending())
+	}
+}
+
 // TestEventOrderProperty checks, for random schedules, that events always
 // fire in non-decreasing time order and that every uncanceled event fires
 // exactly once.
@@ -249,11 +341,11 @@ func TestEventOrderProperty(t *testing.T) {
 }
 
 // TestHeapStressRandomCancel interleaves scheduling and canceling randomly
-// and checks bookkeeping stays consistent.
+// and checks bookkeeping stays consistent across slot recycling.
 func TestHeapStressRandomCancel(t *testing.T) {
 	s := NewScheduler()
 	rng := rand.New(rand.NewSource(42))
-	var live []*Event
+	var live []Handle
 	fired := 0
 	for i := 0; i < 2000; i++ {
 		if rng.Intn(3) == 0 && len(live) > 0 {
@@ -262,15 +354,86 @@ func TestHeapStressRandomCancel(t *testing.T) {
 			live = append(live[:idx], live[idx+1:]...)
 			continue
 		}
-		ev := s.After(Duration(rng.Intn(1000))*time.Millisecond, func() { fired++ })
-		live = append(live, ev)
+		h := s.After(Duration(rng.Intn(1000))*time.Millisecond, func() { fired++ })
+		live = append(live, h)
 	}
 	want := len(live)
+	if s.Pending() != want {
+		t.Errorf("Pending() = %d, want %d", s.Pending(), want)
+	}
 	if err := s.RunAll(); err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
 	if fired != want {
 		t.Errorf("fired %d events, want %d (uncanceled)", fired, want)
+	}
+}
+
+// Allocation budgets: the kernel hot paths must not allocate in steady
+// state. Regressions fail here instead of silently eroding the perf win.
+
+func TestScheduleStepAllocFree(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	// Warm the slot arena and heap capacity.
+	for i := 0; i < 64; i++ {
+		s.After(time.Microsecond, fn)
+	}
+	for s.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("After+Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestScheduleCancelAllocFree(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.Cancel(s.After(time.Second, fn))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Cancel(s.After(time.Second, fn))
+	})
+	if allocs != 0 {
+		t.Errorf("After+Cancel allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestAfterCallAllocFree(t *testing.T) {
+	s := NewScheduler()
+	fn := func(any) {}
+	arg := &struct{ n int }{}
+	for i := 0; i < 64; i++ {
+		s.AfterCall(time.Microsecond, fn, arg)
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AfterCall(time.Microsecond, fn, arg)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("AfterCall+Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestTimerResetStopAllocFree(t *testing.T) {
+	s := NewScheduler()
+	tm := NewTimer(s, func() {})
+	for i := 0; i < 64; i++ {
+		tm.Reset(time.Second)
+		tm.Stop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Reset(time.Second)
+		tm.Stop()
+	})
+	if allocs != 0 {
+		t.Errorf("Timer Reset+Stop allocates %.1f objects/op, want 0", allocs)
 	}
 }
 

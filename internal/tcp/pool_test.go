@@ -1,0 +1,116 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"tcpburst/internal/packet"
+)
+
+// newPooledConn builds a connection whose endpoints share a debug
+// ("poisoned release") pool, with the drop function releasing what it
+// discards — the same contract the link layer honors. Any use after
+// release corrupts packet fields loudly and any double release panics, so
+// simply completing a lossy transfer exercises the ownership protocol.
+func newPooledConn(t *testing.T, variant Variant, pl *packet.Pool, mutate func(*Config)) *conn {
+	t.Helper()
+	pl.SetDebug(true)
+	c := newConn(t, variant, func(cfg *Config) {
+		cfg.Pool = pl
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+	wrapDrop := func(w *pipe) {
+		inner := w.drop
+		w.drop = func(p *packet.Packet) bool {
+			if inner != nil && inner(p) {
+				pl.Put(p)
+				return true
+			}
+			return false
+		}
+	}
+	wrapDrop(c.fwd)
+	wrapDrop(c.rev)
+	return c
+}
+
+func TestPooledTransferCleanPath(t *testing.T) {
+	pl := packet.NewPool()
+	c := newPooledConn(t, Reno, pl, nil)
+	c.submit(50)
+	c.run(t, 5*time.Second)
+	if got := c.sink.Delivered(); got != 50 {
+		t.Fatalf("delivered %d packets, want 50", got)
+	}
+	if live := pl.Live(); live != 0 {
+		t.Errorf("pool has %d live packets after drain — a component leaked instead of releasing", live)
+	}
+	gets, _, allocs := pl.Stats()
+	if allocs >= gets {
+		t.Errorf("no reuse: %d allocations for %d checkouts", allocs, gets)
+	}
+}
+
+func TestPooledTransferWithLossAndRetransmit(t *testing.T) {
+	pl := packet.NewPool()
+	c := newPooledConn(t, Reno, pl, nil)
+	c.fwd.drop = dropSeqOnce(3, 10, 11, 25)
+	// Re-wrap after replacing the drop function.
+	inner := c.fwd.drop
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if inner(p) {
+			pl.Put(p)
+			return true
+		}
+		return false
+	}
+	c.submit(60)
+	c.run(t, 30*time.Second)
+	if got := c.sink.Delivered(); got != 60 {
+		t.Fatalf("delivered %d packets, want 60", got)
+	}
+	if c.sender.Counters().Retransmits == 0 {
+		t.Error("loss pattern produced no retransmissions; test exercised nothing")
+	}
+	if live := pl.Live(); live != 0 {
+		t.Errorf("pool has %d live packets after drain", live)
+	}
+}
+
+func TestPooledSACKBlockReuse(t *testing.T) {
+	pl := packet.NewPool()
+	c := newPooledConn(t, SACK, pl, nil)
+	drop := dropSeqOnce(5, 6, 12, 20, 21, 22)
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if drop(p) {
+			pl.Put(p)
+			return true
+		}
+		return false
+	}
+	c.submit(80)
+	c.run(t, 30*time.Second)
+	if got := c.sink.Delivered(); got != 80 {
+		t.Fatalf("delivered %d packets, want 80", got)
+	}
+	if live := pl.Live(); live != 0 {
+		t.Errorf("pool has %d live packets after drain", live)
+	}
+}
+
+func TestPooledDelayedAcks(t *testing.T) {
+	pl := packet.NewPool()
+	c := newPooledConn(t, Reno, pl, func(cfg *Config) {
+		cfg.DelayedAcks = true
+	})
+	c.submit(40)
+	c.run(t, 10*time.Second)
+	if got := c.sink.Delivered(); got != 40 {
+		t.Fatalf("delivered %d packets, want 40", got)
+	}
+	if live := pl.Live(); live != 0 {
+		t.Errorf("pool has %d live packets after drain", live)
+	}
+}

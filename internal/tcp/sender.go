@@ -51,8 +51,10 @@ type Sender struct {
 	recover    int64 // snd_nxt at loss detection (NewReno partial acks)
 	ecnRecover int64 // snd_nxt at the last ECN response (once per window)
 
-	// Outstanding segment records, keyed by sequence.
-	segs map[int64]*segment
+	// Outstanding segment records, keyed by sequence. Values, not
+	// pointers: records are two words and copying beats a per-segment
+	// heap allocation on every transmission.
+	segs map[int64]segment
 
 	// sacked is the selective-acknowledgment scoreboard (SACK variant
 	// only): outstanding sequences the receiver has reported holding.
@@ -90,7 +92,7 @@ func NewSender(cfg Config) (*Sender, error) {
 		ssthresh: cfg.InitialSsthresh,
 		rto:      cfg.InitialRTO,
 		backoff:  1,
-		segs:     make(map[int64]*segment),
+		segs:     make(map[int64]segment),
 	}
 	switch cfg.Variant {
 	case Vegas:
@@ -144,6 +146,7 @@ func (s *Sender) Submit() {
 // sender.
 func (s *Sender) Receive(p *packet.Packet) {
 	if !p.IsAck() {
+		s.cfg.Pool.Put(p)
 		return
 	}
 	s.counters.AcksReceived++
@@ -169,6 +172,10 @@ func (s *Sender) Receive(p *packet.Packet) {
 	default:
 		// Stale ACK below snd_una: ignore.
 	}
+	// The sender is the ACK's consumption point: release before opening
+	// the window so the pool can hand the slot to the packets trySend
+	// emits.
+	s.cfg.Pool.Put(p)
 	s.trySend()
 }
 
@@ -220,23 +227,20 @@ func (s *Sender) transmit(seq int64) {
 	seg, seen := s.segs[seq]
 	if seen {
 		seg.rtxed = true
-		seg.sentAt = now
 		s.counters.Retransmits++
-	} else {
-		seg = &segment{sentAt: now}
-		s.segs[seq] = seg
 	}
+	seg.sentAt = now
+	s.segs[seq] = seg
 	s.counters.DataSent++
-	p := &packet.Packet{
-		Kind:       packet.Data,
-		Flow:       s.cfg.Flow,
-		Src:        s.cfg.Src,
-		Dst:        s.cfg.Dst,
-		Seq:        seq,
-		Size:       s.cfg.PacketSize,
-		SentAt:     now,
-		Retransmit: seg.rtxed,
-	}
+	p := s.cfg.Pool.Get()
+	p.Kind = packet.Data
+	p.Flow = s.cfg.Flow
+	p.Src = s.cfg.Src
+	p.Dst = s.cfg.Dst
+	p.Seq = seq
+	p.Size = s.cfg.PacketSize
+	p.SentAt = now
+	p.Retransmit = seg.rtxed
 	if !s.rtxTimer.Armed() {
 		s.rtxTimer.Reset(s.currentRTO())
 	}

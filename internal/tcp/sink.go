@@ -30,6 +30,9 @@ type Sink struct {
 	pendingAck bool
 	pendingPkt ackEcho
 	delayTimer *sim.Timer
+
+	// sackSeqs is scratch for assembling SACK blocks, reused across ACKs.
+	sackSeqs []int64
 }
 
 // ackEcho carries the fields of a data packet that the ACK must echo.
@@ -76,9 +79,13 @@ func (s *Sink) RcvNxt() int64 { return s.rcvNxt }
 // packets (transmission to arrival, including queueing).
 func (s *Sink) Delays() *stats.DelayDist { return &s.delays }
 
-// Receive processes one inbound data packet.
+// Receive processes one inbound data packet. The sink is the data
+// packet's consumption point: everything the ACK must echo is copied out
+// and the packet is released before any acknowledgment is built, so the
+// pool can serve the ACK from the just-freed slot.
 func (s *Sink) Receive(p *packet.Packet) {
 	if !p.IsData() {
+		s.cfg.Pool.Put(p)
 		return
 	}
 	if p.Seq >= s.rcvNxt && !s.ooo[p.Seq] {
@@ -86,9 +93,10 @@ func (s *Sink) Receive(p *packet.Packet) {
 		s.delays.Observe(s.cfg.Sched.Now().Sub(p.SentAt).Seconds())
 	}
 	echo := ackEcho{seq: p.Seq, sentAt: p.SentAt, rtxed: p.Retransmit, ece: p.ECE}
+	s.cfg.Pool.Put(p)
 
 	switch {
-	case p.Seq == s.rcvNxt:
+	case echo.seq == s.rcvNxt:
 		s.rcvNxt++
 		s.delivered++
 		// Drain any contiguous out-of-order run.
@@ -118,11 +126,11 @@ func (s *Sink) Receive(p *packet.Packet) {
 		s.pendingPkt = echo
 		s.delayTimer.Reset(s.cfg.DelayedAckTimeout)
 
-	case p.Seq > s.rcvNxt:
+	case echo.seq > s.rcvNxt:
 		// Out of order: buffer and acknowledge immediately (duplicate
 		// ACK), flushing any delayed ACK first.
 		s.flushPending()
-		s.ooo[p.Seq] = true
+		s.ooo[echo.seq] = true
 		s.sendAck(echo)
 
 	default:
@@ -157,20 +165,22 @@ func (s *Sink) flushPending() {
 // additionally reports its out-of-order holdings.
 func (s *Sink) sendAck(echo ackEcho) {
 	s.acksSent++
-	p := &packet.Packet{
-		Kind:       packet.Ack,
-		Flow:       s.cfg.Flow,
-		Src:        s.cfg.Dst,
-		Dst:        s.cfg.Src,
-		Seq:        echo.seq,
-		Ack:        s.rcvNxt,
-		Size:       s.cfg.AckSize,
-		SentAt:     echo.sentAt,
-		Retransmit: echo.rtxed,
-		ECE:        echo.ece,
-	}
+	p := s.cfg.Pool.Get()
+	p.Kind = packet.Ack
+	p.Flow = s.cfg.Flow
+	p.Src = s.cfg.Dst
+	p.Dst = s.cfg.Src
+	p.Seq = echo.seq
+	p.Ack = s.rcvNxt
+	p.Size = s.cfg.AckSize
+	p.SentAt = echo.sentAt
+	p.Retransmit = echo.rtxed
+	p.ECE = echo.ece
 	if s.cfg.Variant == SACK && len(s.ooo) > 0 {
-		p.SACK = s.sackBlocks(echo.seq)
+		// Append into the packet's own (pooled) block storage: each
+		// packet owns its SACK backing array, so in-flight ACKs never
+		// share blocks and reuse is safe.
+		p.SACK = s.appendSACKBlocks(p.SACK[:0], echo.seq)
 	}
 	s.cfg.Out.Send(p)
 }
@@ -178,17 +188,19 @@ func (s *Sink) sendAck(echo ackEcho) {
 // maxSACKBlocks bounds the blocks per ACK, as TCP option space does.
 const maxSACKBlocks = 4
 
-// sackBlocks assembles the out-of-order buffer into at most maxSACKBlocks
-// contiguous [first, last) ranges, placing the block containing the
-// segment that triggered this ACK first (RFC 2018 §4).
-func (s *Sink) sackBlocks(trigger int64) []packet.SACKBlock {
-	seqs := make([]int64, 0, len(s.ooo))
+// appendSACKBlocks assembles the out-of-order buffer into at most
+// maxSACKBlocks contiguous [first, last) ranges appended to dst, placing
+// the block containing the segment that triggered this ACK first
+// (RFC 2018 §4). The sequence scratch slice is reused across calls.
+func (s *Sink) appendSACKBlocks(dst []packet.SACKBlock, trigger int64) []packet.SACKBlock {
+	seqs := s.sackSeqs[:0]
 	for seq := range s.ooo {
 		seqs = append(seqs, seq)
 	}
+	s.sackSeqs = seqs
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 
-	var blocks []packet.SACKBlock
+	blocks := dst
 	for i := 0; i < len(seqs); {
 		j := i + 1
 		for j < len(seqs) && seqs[j] == seqs[j-1]+1 {

@@ -100,6 +100,11 @@ type Config struct {
 	Out transport.Wire
 	// Sched is the simulation kernel. Required.
 	Sched *sim.Scheduler
+	// Pool, when non-nil, supplies data and ACK packets and receives them
+	// back at their consumption points (the sink for data, the sender for
+	// ACKs). A nil Pool allocates per packet — semantically identical,
+	// used to verify pooled runs bit-for-bit.
+	Pool *packet.Pool
 }
 
 // withDefaults fills zero-valued tunables with paper-era defaults.

@@ -46,7 +46,8 @@ type Sampler struct {
 	interval sim.Duration
 	probes   []probe
 	running  bool
-	pending  *sim.Event
+	pending  sim.Handle
+	tickFn   func() // prebound s.tick
 }
 
 type probe struct {
@@ -63,7 +64,9 @@ func NewSampler(sched *sim.Scheduler, interval sim.Duration) (*Sampler, error) {
 	if interval <= 0 {
 		return nil, fmt.Errorf("sampler: interval %v <= 0", interval)
 	}
-	return &Sampler{sched: sched, interval: interval}, nil
+	s := &Sampler{sched: sched, interval: interval}
+	s.tickFn = s.tick
+	return s, nil
 }
 
 // Track adds a probe and returns the series it fills.
@@ -85,10 +88,8 @@ func (s *Sampler) Start() {
 // Stop halts sampling.
 func (s *Sampler) Stop() {
 	s.running = false
-	if s.pending != nil {
-		s.sched.Cancel(s.pending)
-		s.pending = nil
-	}
+	s.sched.Cancel(s.pending)
+	s.pending = sim.Handle{}
 }
 
 // Series returns all tracked series.
@@ -108,7 +109,7 @@ func (s *Sampler) tick() {
 	for _, p := range s.probes {
 		p.series.Samples = append(p.series.Samples, Sample{At: now, Value: p.read()})
 	}
-	s.pending = s.sched.After(s.interval, s.tick)
+	s.pending = s.sched.After(s.interval, s.tickFn)
 }
 
 // WriteCSV renders the series as CSV with a shared time column. Series are

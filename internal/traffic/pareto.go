@@ -29,13 +29,15 @@ type ParetoOnOffConfig struct {
 
 // ParetoOnOff is a heavy-tailed on/off packet source.
 type ParetoOnOff struct {
-	cfg       ParetoOnOffConfig
-	running   bool
-	on        bool
-	burstEnds sim.Time
-	pending   *sim.Event
-	generated uint64
-	bursts    uint64
+	cfg          ParetoOnOffConfig
+	running      bool
+	on           bool
+	burstEnds    sim.Time
+	pending      sim.Handle
+	emitFn       func() // prebound g.emit
+	beginBurstFn func() // prebound g.beginBurst
+	generated    uint64
+	bursts       uint64
 }
 
 var _ Generator = (*ParetoOnOff)(nil)
@@ -57,7 +59,10 @@ func NewParetoOnOff(cfg ParetoOnOffConfig) (*ParetoOnOff, error) {
 	case cfg.RNG == nil:
 		return nil, fmt.Errorf("pareto: nil RNG")
 	}
-	return &ParetoOnOff{cfg: cfg}, nil
+	g := &ParetoOnOff{cfg: cfg}
+	g.emitFn = g.emit
+	g.beginBurstFn = g.beginBurst
+	return g, nil
 }
 
 // Start begins with an off period so sources started together desynchronize.
@@ -72,10 +77,8 @@ func (g *ParetoOnOff) Start() {
 // Stop cancels any pending emission or state change.
 func (g *ParetoOnOff) Stop() {
 	g.running = false
-	if g.pending != nil {
-		g.cfg.Sched.Cancel(g.pending)
-		g.pending = nil
-	}
+	g.cfg.Sched.Cancel(g.pending)
+	g.pending = sim.Handle{}
 }
 
 // Generated returns the number of packets produced so far.
@@ -97,7 +100,7 @@ func (g *ParetoOnOff) paretoDuration(mean sim.Duration) sim.Duration {
 
 func (g *ParetoOnOff) scheduleOff() {
 	g.on = false
-	g.pending = g.cfg.Sched.After(g.paretoDuration(g.cfg.MeanOff), g.beginBurst)
+	g.pending = g.cfg.Sched.After(g.paretoDuration(g.cfg.MeanOff), g.beginBurstFn)
 }
 
 func (g *ParetoOnOff) beginBurst() {
@@ -120,5 +123,5 @@ func (g *ParetoOnOff) emit() {
 	}
 	g.generated++
 	g.cfg.Dst.Submit()
-	g.pending = g.cfg.Sched.After(g.cfg.PacketInterval, g.emit)
+	g.pending = g.cfg.Sched.After(g.cfg.PacketInterval, g.emitFn)
 }

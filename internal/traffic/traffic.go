@@ -40,7 +40,8 @@ type PoissonConfig struct {
 type Poisson struct {
 	cfg       PoissonConfig
 	running   bool
-	pending   *sim.Event
+	pending   sim.Handle
+	emitFn    func() // prebound g.emit; a method value would allocate per schedule
 	generated uint64
 }
 
@@ -59,7 +60,9 @@ func NewPoisson(cfg PoissonConfig) (*Poisson, error) {
 	case cfg.RNG == nil:
 		return nil, fmt.Errorf("poisson: nil RNG")
 	}
-	return &Poisson{cfg: cfg}, nil
+	g := &Poisson{cfg: cfg}
+	g.emitFn = g.emit
+	return g, nil
 }
 
 // Start schedules the first packet one exponential interval from now.
@@ -74,17 +77,15 @@ func (g *Poisson) Start() {
 // Stop cancels any pending generation.
 func (g *Poisson) Stop() {
 	g.running = false
-	if g.pending != nil {
-		g.cfg.Sched.Cancel(g.pending)
-		g.pending = nil
-	}
+	g.cfg.Sched.Cancel(g.pending)
+	g.pending = sim.Handle{}
 }
 
 // Generated returns the number of packets produced so far.
 func (g *Poisson) Generated() uint64 { return g.generated }
 
 func (g *Poisson) scheduleNext() {
-	g.pending = g.cfg.Sched.After(g.cfg.RNG.ExpDuration(g.cfg.MeanInterval), g.emit)
+	g.pending = g.cfg.Sched.After(g.cfg.RNG.ExpDuration(g.cfg.MeanInterval), g.emitFn)
 }
 
 func (g *Poisson) emit() {
@@ -110,7 +111,8 @@ type CBRConfig struct {
 type CBR struct {
 	cfg       CBRConfig
 	running   bool
-	pending   *sim.Event
+	pending   sim.Handle
+	emitFn    func() // prebound g.emit
 	generated uint64
 }
 
@@ -127,7 +129,9 @@ func NewCBR(cfg CBRConfig) (*CBR, error) {
 	case cfg.Sched == nil:
 		return nil, fmt.Errorf("cbr: nil scheduler")
 	}
-	return &CBR{cfg: cfg}, nil
+	g := &CBR{cfg: cfg}
+	g.emitFn = g.emit
+	return g, nil
 }
 
 // Start schedules the first packet one interval from now.
@@ -136,16 +140,14 @@ func (g *CBR) Start() {
 		return
 	}
 	g.running = true
-	g.pending = g.cfg.Sched.After(g.cfg.Interval, g.emit)
+	g.pending = g.cfg.Sched.After(g.cfg.Interval, g.emitFn)
 }
 
 // Stop cancels any pending generation.
 func (g *CBR) Stop() {
 	g.running = false
-	if g.pending != nil {
-		g.cfg.Sched.Cancel(g.pending)
-		g.pending = nil
-	}
+	g.cfg.Sched.Cancel(g.pending)
+	g.pending = sim.Handle{}
 }
 
 // Generated returns the number of packets produced so far.
@@ -157,5 +159,5 @@ func (g *CBR) emit() {
 	}
 	g.generated++
 	g.cfg.Dst.Submit()
-	g.pending = g.cfg.Sched.After(g.cfg.Interval, g.emit)
+	g.pending = g.cfg.Sched.After(g.cfg.Interval, g.emitFn)
 }

@@ -20,6 +20,9 @@ type UDPConfig struct {
 	Out Wire
 	// Now, when set, stamps each datagram's SentAt for delay measurement.
 	Now func() sim.Time
+	// Pool, when non-nil, supplies outbound datagrams and reclaims any
+	// packet delivered back to the sender.
+	Pool *packet.Pool
 }
 
 // UDPSender transmits each submitted application packet immediately; it is
@@ -49,14 +52,13 @@ func NewUDPSender(cfg UDPConfig) (*UDPSender, error) {
 
 // Submit sends one datagram immediately.
 func (u *UDPSender) Submit() {
-	p := &packet.Packet{
-		Kind: packet.Data,
-		Flow: u.cfg.Flow,
-		Src:  u.cfg.Src,
-		Dst:  u.cfg.Dst,
-		Seq:  u.next,
-		Size: u.cfg.PacketSize,
-	}
+	p := u.cfg.Pool.Get()
+	p.Kind = packet.Data
+	p.Flow = u.cfg.Flow
+	p.Src = u.cfg.Src
+	p.Dst = u.cfg.Dst
+	p.Seq = u.next
+	p.Size = u.cfg.PacketSize
 	if u.cfg.Now != nil {
 		p.SentAt = u.cfg.Now()
 	}
@@ -68,8 +70,9 @@ func (u *UDPSender) Submit() {
 // Sent returns the number of datagrams transmitted.
 func (u *UDPSender) Sent() uint64 { return u.sent }
 
-// Receive ignores inbound packets: UDP has no acknowledgments.
-func (u *UDPSender) Receive(*packet.Packet) {}
+// Receive consumes inbound packets without acting on them: UDP has no
+// acknowledgments.
+func (u *UDPSender) Receive(p *packet.Packet) { u.cfg.Pool.Put(p) }
 
 // UDPSink counts datagrams delivered to the receiving application and,
 // when built with a clock, measures their one-way delays.
@@ -77,6 +80,7 @@ type UDPSink struct {
 	delivered uint64
 	now       func() sim.Time
 	delays    stats.DelayDist
+	pool      *packet.Pool
 }
 
 var _ Agent = (*UDPSink)(nil)
@@ -90,15 +94,21 @@ func NewUDPSinkWithClock(now func() sim.Time) *UDPSink {
 	return &UDPSink{now: now}
 }
 
+// SetPool makes the sink return consumed datagrams to pl. The sink is the
+// datagram's consumption point, mirroring the TCP sink.
+func (s *UDPSink) SetPool(pl *packet.Pool) { s.pool = pl }
+
 // Receive counts one delivered datagram.
 func (s *UDPSink) Receive(p *packet.Packet) {
 	if !p.IsData() {
+		s.pool.Put(p)
 		return
 	}
 	s.delivered++
 	if s.now != nil {
 		s.delays.Observe(s.now().Sub(p.SentAt).Seconds())
 	}
+	s.pool.Put(p)
 }
 
 // Delivered returns the number of datagrams received.
