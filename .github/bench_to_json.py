@@ -1,0 +1,29 @@
+"""Convert `go test -bench` output to a JSON array of metric rows.
+
+Usage: bench_to_json.py BENCH_OUTPUT.txt OUT.json
+
+Each benchmark line becomes one object with its name, iteration count,
+ns/op, and every custom metric (sim_pkts/s, state_bytes/flow, B/op, ...)
+keyed by unit with '/' replaced by '_per_'.
+"""
+import json
+import re
+import sys
+
+def main(src, dst):
+    rows = []
+    for line in open(src):
+        m = re.match(r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)', line)
+        if not m:
+            continue
+        row = {'name': m.group(1), 'iterations': int(m.group(2)),
+               'ns_per_op': float(m.group(3))}
+        for val, unit in re.findall(r'([\d.]+) (\S+)', m.group(4)):
+            row[unit.replace('/', '_per_')] = float(val)
+        rows.append(row)
+    with open(dst, 'w') as f:
+        json.dump(rows, f, indent=2)
+    print(json.dumps(rows, indent=2))
+
+if __name__ == '__main__':
+    main(sys.argv[1], sys.argv[2])

@@ -29,6 +29,7 @@ import (
 	"tcpburst/internal/queue"
 	"tcpburst/internal/sim"
 	"tcpburst/internal/stats"
+	"tcpburst/internal/tcp"
 )
 
 // benchDuration trades fidelity for wall-clock time; the cmd/burstsweep and
@@ -398,6 +399,62 @@ func benchSweep(b *testing.B, jobs int) {
 // parallel run returns byte-identical results; the win is wall time.
 func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// nullWire discards packets; it exists so state-accounting probes can
+// construct transport endpoints without a topology.
+type nullWire struct{}
+
+func (nullWire) Send(*packet.Packet) {}
+
+// stateBytesPerFlow reports the steady-state memory footprint of one
+// flow's transport endpoints (sender + sink) under the experiment's
+// advertised window — the per-flow cost that bounds large-N scaling.
+func stateBytesPerFlow(b *testing.B, cfg core.Config) float64 {
+	b.Helper()
+	tc := tcp.Config{
+		Variant:   tcp.Reno,
+		MaxWindow: cfg.MaxWindow,
+		Out:       nullWire{},
+		Sched:     sim.NewScheduler(),
+	}
+	snd, err := tcp.NewSender(tc)
+	if err != nil {
+		b.Fatalf("NewSender: %v", err)
+	}
+	snk, err := tcp.NewSink(tc)
+	if err != nil {
+		b.Fatalf("NewSink: %v", err)
+	}
+	return float64(snd.StateBytes() + snk.StateBytes())
+}
+
+// BenchmarkScalingClients runs the paper topology at client counts far
+// beyond the paper's sweep. Per-flow transport state is dense
+// (index-addressed rings and bitmaps, no hash maps), so simulation speed
+// and bytes of state per flow should both stay flat as N grows; this tier
+// is the regression guard for that property.
+func BenchmarkScalingClients(b *testing.B) {
+	for _, n := range []int{100, 500, 2000, 5000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			cfg := core.DefaultConfig(n, core.Reno, core.FIFO)
+			cfg.Duration = 2 * time.Second
+			var total uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				total += res.DataSent
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim_pkts/s")
+			}
+			b.ReportMetric(stateBytesPerFlow(b, cfg), "state_bytes/flow")
+		})
+	}
+}
 
 // BenchmarkExperimentPacketsPerSecond measures the simulator's own speed:
 // simulated packets processed per wall-clock second for a full experiment.

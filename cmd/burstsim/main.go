@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tcpburst/internal/core"
+	"tcpburst/internal/prof"
 	"tcpburst/internal/runcache"
 )
 
@@ -52,10 +53,17 @@ func run(w io.Writer, args []string) error {
 		cache    = fs.Bool("cache", false, "reuse/store the result in the persistent cache")
 		cacheDir = fs.String("cache-dir", "", "result cache directory (default ~/.cache/tcpburst)")
 		stats    = fs.Bool("stats", false, "print run telemetry on stderr when done")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	p, err := core.ParseProtocol(*proto)
 	if err != nil {

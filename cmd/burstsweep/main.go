@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"tcpburst/internal/core"
+	"tcpburst/internal/prof"
 	"tcpburst/internal/runcache"
 	"tcpburst/internal/runner"
 )
@@ -56,10 +57,17 @@ func run(args []string) error {
 		cacheDir = fs.String("cache-dir", "", "result cache directory (default ~/.cache/tcpburst)")
 		progress = fs.Bool("progress", false, "render a live progress line on stderr")
 		stats    = fs.Bool("stats", false, "print run telemetry on stderr when done")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	if *table1 {
 		printTable1()

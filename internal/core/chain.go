@@ -265,8 +265,13 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 		}
 	})
 
-	// Client construction. Addressing: long clients 100+, hop1 300+,
-	// hop2 500+; flow ids are globally unique.
+	// Client construction. Addresses are dense so gateway routing tables
+	// are small indexed slices: long clients directly after the fixed
+	// nodes, then hop-1, then hop-2. Flow ids are globally unique and
+	// equally dense.
+	longAddrOff := exit1Addr + 1
+	hop1AddrOff := longAddrOff + packet.Addr(cfg.LongClients)
+	hop2AddrOff := hop1AddrOff + packet.Addr(cfg.Hop1Clients)
 	nextFlow := packet.FlowID(1)
 	buildGroup := func(
 		n int,
@@ -356,15 +361,15 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 		return flows, nil
 	}
 
-	longFlows, err := buildGroup(cfg.LongClients, 100, gw1, gw1.AddRoute, serverAddr2, server, rev2, 1000)
+	longFlows, err := buildGroup(cfg.LongClients, longAddrOff, gw1, gw1.AddRoute, serverAddr2, server, rev2, 1000)
 	if err != nil {
 		return nil, err
 	}
-	hop1Flows, err := buildGroup(cfg.Hop1Clients, 300, gw1, gw1.AddRoute, exit1Addr, exit1, revExit, 2000)
+	hop1Flows, err := buildGroup(cfg.Hop1Clients, hop1AddrOff, gw1, gw1.AddRoute, exit1Addr, exit1, revExit, 2000)
 	if err != nil {
 		return nil, err
 	}
-	hop2Flows, err := buildGroup(cfg.Hop2Clients, 500, gw2, gw2.AddRoute, serverAddr2, server, rev2, 3000)
+	hop2Flows, err := buildGroup(cfg.Hop2Clients, hop2AddrOff, gw2, gw2.AddRoute, serverAddr2, server, rev2, 3000)
 	if err != nil {
 		return nil, err
 	}
@@ -372,12 +377,12 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 	// ACKs returning to long and hop-1 clients arrive at gw2 and must
 	// continue toward gw1.
 	for i := 0; i < cfg.LongClients; i++ {
-		if err := gw2.AddRoute(100+packet.Addr(i), rev1); err != nil {
+		if err := gw2.AddRoute(longAddrOff+packet.Addr(i), rev1); err != nil {
 			return nil, err
 		}
 	}
 	for i := 0; i < cfg.Hop1Clients; i++ {
-		if err := gw2.AddRoute(300+packet.Addr(i), rev1); err != nil {
+		if err := gw2.AddRoute(hop1AddrOff+packet.Addr(i), rev1); err != nil {
 			return nil, err
 		}
 	}

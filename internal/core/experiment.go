@@ -20,8 +20,10 @@ import (
 
 // Node addressing: the server is address 1; client i (0-based) is 100+i.
 const (
-	serverAddr    packet.Addr = 1
-	clientAddrOff packet.Addr = 100
+	serverAddr packet.Addr = 1
+	// clientAddrOff packs client addresses directly after the server so
+	// the gateway routing table is a dense slice indexed by address.
+	clientAddrOff packet.Addr = 2
 )
 
 // FlowResult captures one client stream's outcome.

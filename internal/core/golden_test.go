@@ -1,0 +1,175 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The golden-digest table is the behavior-preservation contract for
+// hot-path refactors: every paper cell (plus the SACK and DRR extension
+// cells, whose data structures are the trickiest) runs at three client
+// counts, and the SHA-256 of its full summary JSON must match the digest
+// captured before the refactor. Regenerate deliberately with
+//
+//	go test ./internal/core -run TestGoldenSummaries -update-golden
+//
+// and justify the diff in review: a changed digest means a changed
+// simulation, not a faster one.
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_summaries.json from the current implementation")
+
+const goldenPath = "testdata/golden_summaries.json"
+
+// goldenDuration keeps the guard fast; determinism bugs that need longer
+// horizons are the equivalence matrix's job.
+const goldenDuration = 2 * time.Second
+
+// goldenCase is one named deterministic run.
+type goldenCase struct {
+	name string
+	run  func() ([]byte, error)
+}
+
+func goldenCases() []goldenCase {
+	cells := append(PaperCells(),
+		Cell{Protocol: Sack, Gateway: FIFO},
+		Cell{Protocol: Reno, Gateway: DRR},
+	)
+	var cases []goldenCase
+	for _, cell := range cells {
+		for _, n := range []int{20, 39, 60} {
+			cell, n := cell, n
+			cases = append(cases, goldenCase{
+				name: fmt.Sprintf("%s/n%d", cell, n),
+				run: func() ([]byte, error) {
+					cfg := DefaultConfig(n, cell.Protocol, cell.Gateway)
+					cfg.Duration = goldenDuration
+					res, err := Run(cfg)
+					if err != nil {
+						return nil, err
+					}
+					return json.Marshal(res.Summary())
+				},
+			})
+		}
+	}
+	cases = append(cases, goldenCase{
+		name: "parkinglot",
+		run: func() ([]byte, error) {
+			res, err := RunParkingLot(ChainConfig{
+				LongClients: 4, Hop1Clients: 3, Hop2Clients: 3,
+				Protocol: Reno, Gateway: FIFO, Duration: goldenDuration,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// The config echo is excluded so the digest tracks behavior,
+			// not the shape of ChainConfig itself.
+			res.Config = ChainConfig{}
+			return json.Marshal(res)
+		},
+	})
+	return cases
+}
+
+// computeGoldenDigests runs every case on a worker pool and returns
+// name -> sha256(summary JSON).
+func computeGoldenDigests(t *testing.T) map[string]string {
+	t.Helper()
+	cases := goldenCases()
+	digests := make(map[string]string, len(cases))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, c := range cases {
+		c := c
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			raw, err := c.run()
+			if err != nil {
+				t.Errorf("%s: %v", c.name, err)
+				return
+			}
+			sum := sha256.Sum256(raw)
+			mu.Lock()
+			digests[c.name] = hex.EncodeToString(sum[:])
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return digests
+}
+
+func TestGoldenSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix is slow")
+	}
+
+	if *updateGolden {
+		digests := computeGoldenDigests(t)
+		if t.Failed() {
+			t.Fatal("not writing golden file: some cases failed")
+		}
+		names := make([]string, 0, len(digests))
+		for name := range digests {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		ordered := make(map[string]string, len(digests)) // json sorts keys
+		for _, name := range names {
+			ordered[name] = digests[name]
+		}
+		raw, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal golden table: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatalf("write golden table: %v", err)
+		}
+		t.Logf("wrote %d digests to %s", len(digests), goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden table (regenerate with -update-golden): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse golden table: %v", err)
+	}
+
+	got := computeGoldenDigests(t)
+	if len(got) != len(want) {
+		t.Errorf("golden table has %d entries, current run produced %d (regenerate with -update-golden)",
+			len(want), len(got))
+	}
+	for name, wantDigest := range want {
+		gotDigest, ok := got[name]
+		if !ok {
+			t.Errorf("%s: missing from current run", name)
+			continue
+		}
+		if gotDigest != wantDigest {
+			t.Errorf("%s: summary digest changed\n  golden:  %s\n  current: %s\nbehavior is no longer bit-for-bit identical to the captured baseline",
+				name, wantDigest, gotDigest)
+		}
+	}
+}

@@ -72,6 +72,12 @@ type Link struct {
 	serializeDoneFn func()    // prebound l.serializeDone
 	deliverFn       func(any) // prebound l.deliver
 
+	// lastSize/lastDelay memoize the serialization-delay division: a link
+	// carries at most a couple of distinct packet sizes (data and ACK),
+	// so the float computation almost always short-circuits to a load.
+	lastSize  int
+	lastDelay sim.Duration
+
 	// onArrival, if set, observes every packet offered to the link before
 	// the queue admission decision. The gateway metrics tap hangs here.
 	onArrival func(now sim.Time, p *packet.Packet)
@@ -154,7 +160,11 @@ func (l *Link) transmitNext() {
 	}
 	l.busy = true
 	l.inflight = p
-	l.sched.After(sim.SerializationDelay(p.Size, l.cfg.RateBps), l.serializeDoneFn)
+	if p.Size != l.lastSize {
+		l.lastSize = p.Size
+		l.lastDelay = sim.SerializationDelay(p.Size, l.cfg.RateBps)
+	}
+	l.sched.After(l.lastDelay, l.serializeDoneFn)
 }
 
 // serializeDone fires when the inflight packet's last bit leaves the

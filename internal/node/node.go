@@ -1,6 +1,11 @@
 // Package node provides the topology elements of the simulated network:
 // hosts, which hand received packets to a transport agent, and gateways,
 // which forward packets out statically routed egress links.
+//
+// Flow ids and node addresses are small dense integers assigned by the
+// experiment builder, so dispatch tables are plain slices indexed by
+// id/address — a bounds check and an indexed load per packet instead of a
+// hash lookup.
 package node
 
 import (
@@ -19,8 +24,10 @@ type Agent interface {
 // Multiple flows may terminate on one host (the server side) by routing on
 // the packet's flow id.
 type Host struct {
-	addr   packet.Addr
-	agents map[packet.FlowID]Agent
+	addr packet.Addr
+	// agents is indexed by flow id; nil entries are unbound flows. The
+	// slice grows on Bind, never on the receive path.
+	agents []Agent
 	pool   *packet.Pool
 }
 
@@ -28,7 +35,7 @@ var _ link.Receiver = (*Host)(nil)
 
 // NewHost returns a host with the given address and no agents.
 func NewHost(addr packet.Addr) *Host {
-	return &Host{addr: addr, agents: make(map[packet.FlowID]Agent)}
+	return &Host{addr: addr}
 }
 
 // Addr returns the host's node address.
@@ -36,6 +43,9 @@ func (h *Host) Addr() packet.Addr { return h.addr }
 
 // Bind attaches the agent handling the given flow.
 func (h *Host) Bind(flow packet.FlowID, a Agent) {
+	for int(flow) >= len(h.agents) {
+		h.agents = append(h.agents, nil)
+	}
 	h.agents[flow] = a
 }
 
@@ -46,9 +56,11 @@ func (h *Host) SetPool(pl *packet.Pool) { h.pool = pl }
 // flows are dropped silently (they indicate a mis-wired topology and are
 // surfaced by tests, not production panics).
 func (h *Host) Receive(p *packet.Packet) {
-	if a, ok := h.agents[p.Flow]; ok {
-		a.Receive(p)
-		return
+	if f := int(p.Flow); f < len(h.agents) {
+		if a := h.agents[f]; a != nil {
+			a.Receive(p)
+			return
+		}
 	}
 	h.pool.Put(p)
 }
@@ -56,8 +68,10 @@ func (h *Host) Receive(p *packet.Packet) {
 // Gateway forwards packets out the egress link registered for the packet's
 // destination address. It models the router/gateway of the paper's Figure 1.
 type Gateway struct {
-	addr   packet.Addr
-	routes map[packet.Addr]*link.Link
+	addr packet.Addr
+	// routes is indexed by destination address; nil entries have no
+	// route. The slice grows on AddRoute, never on the forwarding path.
+	routes []*link.Link
 	pool   *packet.Pool
 }
 
@@ -65,7 +79,7 @@ var _ link.Receiver = (*Gateway)(nil)
 
 // NewGateway returns a gateway with an empty routing table.
 func NewGateway(addr packet.Addr) *Gateway {
-	return &Gateway{addr: addr, routes: make(map[packet.Addr]*link.Link)}
+	return &Gateway{addr: addr}
 }
 
 // Addr returns the gateway's node address.
@@ -74,7 +88,10 @@ func (g *Gateway) Addr() packet.Addr { return g.addr }
 // AddRoute sends packets destined to dst out l. It returns an error if dst
 // already has a route.
 func (g *Gateway) AddRoute(dst packet.Addr, l *link.Link) error {
-	if _, exists := g.routes[dst]; exists {
+	for int(dst) >= len(g.routes) {
+		g.routes = append(g.routes, nil)
+	}
+	if g.routes[dst] != nil {
 		return fmt.Errorf("gateway %d: duplicate route for %d", g.addr, dst)
 	}
 	g.routes[dst] = l
@@ -82,7 +99,12 @@ func (g *Gateway) AddRoute(dst packet.Addr, l *link.Link) error {
 }
 
 // Route returns the egress link for dst, or nil.
-func (g *Gateway) Route(dst packet.Addr) *link.Link { return g.routes[dst] }
+func (g *Gateway) Route(dst packet.Addr) *link.Link {
+	if int(dst) < len(g.routes) {
+		return g.routes[dst]
+	}
+	return nil
+}
 
 // SetPool makes the gateway reclaim packets it must drop (no route).
 func (g *Gateway) SetPool(pl *packet.Pool) { g.pool = pl }
@@ -90,9 +112,11 @@ func (g *Gateway) SetPool(pl *packet.Pool) { g.pool = pl }
 // Receive forwards p toward its destination. Packets without a route are
 // dropped silently.
 func (g *Gateway) Receive(p *packet.Packet) {
-	if l, ok := g.routes[p.Dst]; ok {
-		l.Send(p)
-		return
+	if d := int(p.Dst); d < len(g.routes) {
+		if l := g.routes[d]; l != nil {
+			l.Send(p)
+			return
+		}
 	}
 	g.pool.Put(p)
 }

@@ -1,0 +1,54 @@
+// Package prof wires the runtime profilers into command-line tools: one
+// call starts CPU profiling and returns a stop function that also
+// snapshots the heap, mirroring the -cpuprofile/-memprofile flags of
+// `go test`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two file paths; either may be
+// empty to skip that profile. The returned stop function finishes the CPU
+// profile and writes the heap profile; call it exactly once (a defer at
+// the top of main is the intended shape). Failures inside stop are
+// reported on stderr — by then the tool's real work already succeeded and
+// a lost profile should not change the exit status.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: cpu profile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof: heap profile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the snapshot reflects live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: heap profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: heap profile:", err)
+			}
+		}
+	}, nil
+}

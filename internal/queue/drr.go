@@ -21,7 +21,11 @@ type DRR struct {
 	capacity int
 	quantum  int
 
-	flows map[packet.FlowID]*drrFlow
+	// flows is the per-flow state table, indexed by flow id (ids are
+	// small dense integers assigned by the experiment builder); nil
+	// entries are flows never seen. It grows on first arrival of a new
+	// flow, never on the steady-state path.
+	flows []*drrFlow
 	// ring is the active-flow service order.
 	ring []*drrFlow
 	// next indexes the ring entry currently being served.
@@ -61,7 +65,6 @@ func NewDRR(capacity, quantumBytes int) (*DRR, error) {
 	return &DRR{
 		capacity: capacity,
 		quantum:  quantumBytes,
-		flows:    make(map[packet.FlowID]*drrFlow),
 	}, nil
 }
 
@@ -144,15 +147,18 @@ func (q *DRR) OnEvict(fn func(p *packet.Packet)) { q.onEvict = fn }
 
 // FlowQueueLen returns the queue length of one flow.
 func (q *DRR) FlowQueueLen(id packet.FlowID) int {
-	if f, ok := q.flows[id]; ok {
-		return len(f.pkts)
+	if int(id) < len(q.flows) && q.flows[id] != nil {
+		return len(q.flows[id].pkts)
 	}
 	return 0
 }
 
 func (q *DRR) flow(id packet.FlowID) *drrFlow {
-	f, ok := q.flows[id]
-	if !ok {
+	for int(id) >= len(q.flows) {
+		q.flows = append(q.flows, nil)
+	}
+	f := q.flows[id]
+	if f == nil {
 		f = &drrFlow{id: id}
 		q.flows[id] = f
 	}

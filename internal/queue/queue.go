@@ -27,9 +27,13 @@ type Discipline interface {
 	Cap() int
 }
 
-// fifoRing is a slice-backed ring buffer shared by the disciplines.
+// fifoRing is a slice-backed ring buffer shared by the disciplines. The
+// backing slice is rounded up to a power of two so slot addressing is a
+// mask instead of a division; cap bounds the logical occupancy.
 type fifoRing struct {
 	buf  []*packet.Packet
+	mask int
+	cap  int
 	head int
 	n    int
 }
@@ -38,14 +42,18 @@ func newFIFORing(capacity int) fifoRing {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return fifoRing{buf: make([]*packet.Packet, capacity)}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return fifoRing{buf: make([]*packet.Packet, size), mask: size - 1, cap: capacity}
 }
 
 func (r *fifoRing) push(p *packet.Packet) bool {
-	if r.n == len(r.buf) {
+	if r.n == r.cap {
 		return false
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.buf[(r.head+r.n)&r.mask] = p
 	r.n++
 	return true
 }
@@ -55,8 +63,11 @@ func (r *fifoRing) pop() *packet.Packet {
 		return nil
 	}
 	p := r.buf[r.head]
-	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
+	// The slot is deliberately not cleared: queued packets are pool-owned
+	// and recycled, so a stale reference pins nothing the pool would not
+	// keep alive anyway, and skipping the write saves a GC barrier per
+	// dequeue.
+	r.head = (r.head + 1) & r.mask
 	r.n--
 	return p
 }

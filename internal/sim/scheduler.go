@@ -23,33 +23,88 @@ type Handle struct {
 // to one that fired or was canceled — see Scheduler.Active for that).
 func (h Handle) IsZero() bool { return h.slot == 0 }
 
-// heapNode is one entry of the inline event min-heap, ordered by
-// (time, seq). Nodes are plain values — no pointers, no interface boxing —
-// so sift operations are straight memory moves and the heap slice never
-// needs per-element clearing.
+// The event queue is split in two by deadline. Events inside the wheel
+// window — a span of wheelBuckets equal-width time buckets starting at
+// wheelBase — go into the timing wheel: insertion is a bucket index
+// computation plus a sorted splice into a (nearly always empty or
+// one-element) chain, and popping is an array scan to the next nonempty
+// bucket. Events beyond the window — retransmission-style timers, mostly —
+// go into a 4-ary min-heap and either get canceled there or migrate into
+// the wheel when the window advances past them. Both structures order
+// events by (time, seq); seq is unique, so the pop order is a total order
+// and identical to a single global priority queue: the split is invisible
+// to simulation results.
+//
+// The bucket width adapts between advances: when a window saw more pops
+// than buckets the width halves, when it saw almost none it doubles. The
+// wheel is always empty at that moment, so retuning is free.
+
+const (
+	wheelBuckets = 1024
+	// initShift starts buckets at 16.4µs (window ≈ 16.8ms).
+	initShift = 14
+	// minShift/maxShift bound adaptation: 64ns to 4.2ms buckets.
+	minShift = 6
+	maxShift = 22
+)
+
+// heapNode is one entry of the far-future event min-heap, ordered by
+// (time, seq). Nodes are plain 16-byte values — no pointers, no interface
+// boxing — so sift operations are two-word memory moves and the heap
+// slice never needs per-element clearing.
+//
+// meta packs the tie-break sequence number (high 40 bits) above the slot
+// index (low 24 bits): comparing meta compares seq first, so the (time,
+// seq) order is untouched, and the four children of a 4-ary node fit in
+// one cache line.
 type heapNode struct {
 	time Time
-	seq  uint64
-	slot uint32
-	gen  uint32
+	meta uint64 // seq<<slotBits | slot
 }
 
+const (
+	slotBits = 24
+	slotMask = 1<<slotBits - 1
+	// maxSeq bounds the packed sequence counter: 2^40 events per
+	// scheduler, ~44 hours of continuous wall time at current speeds.
+	maxSeq = uint64(1) << (64 - slotBits)
+)
+
+// nodeLess orders nodes by (time, seq). It is written as straight boolean
+// arithmetic — no short-circuiting — so the compiler lowers it to flag
+// materialization instead of branches; the comparison outcome is
+// data-dependent and unpredictable, and sift loops run one comparison per
+// child, so avoiding mispredicts here is worth more than skipping an ALU
+// op.
 func nodeLess(a, b heapNode) bool {
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.seq < b.seq
+	lt := a.time < b.time
+	tie := a.time == b.time && a.meta < b.meta
+	return lt || tie
 }
 
 // eventSlot holds one scheduled callback in the scheduler's slot arena.
+// pos encodes where the event lives: >= 0 is its index in the far heap
+// (maintained by every sift so Cancel can delete in place), <= -2 means
+// wheel bucket -2-pos (chained through next, sorted by (time, seq)).
 // Freed slots are chained through next and recycled by later schedules;
-// gen increments on every free so stale heap nodes and handles miss.
+// gen increments on every free so stale handles miss.
 type eventSlot struct {
 	fn   func()
 	afn  func(any)
 	arg  any
+	time Time
+	seq  uint64
 	gen  uint32
-	next int32 // free-list link; meaningful only while free
+	pos  int32
+	next int32
+}
+
+// eventLess orders slots by (time, seq) — the same total order the heap
+// uses, applied to wheel bucket chains.
+func eventLess(a, b *eventSlot) bool {
+	lt := a.time < b.time
+	tie := a.time == b.time && a.seq < b.seq
+	return lt || tie
 }
 
 // Scheduler is the discrete-event simulation kernel. It is not safe for
@@ -57,21 +112,27 @@ type eventSlot struct {
 // are bit-for-bit reproducible.
 //
 // The kernel is allocation-free in steady state: events live in a slot
-// arena recycled through a free list, the priority queue is an inline
-// min-heap of plain values, and Cancel recycles an event's slot immediately
-// rather than leaking it until its heap node surfaces. Callers that
-// schedule the same callback repeatedly should pass a prebound func value
-// (stored once on their struct) instead of a method value or fresh closure,
-// which the compiler must heap-allocate per call.
+// arena recycled through a free list, near events in a timing wheel, far
+// events in an inline position-indexed min-heap of plain values. Callers
+// that schedule the same callback repeatedly should pass a prebound func
+// value (stored once on their struct) instead of a method value or fresh
+// closure, which the compiler must heap-allocate per call.
 type Scheduler struct {
 	now      Time
 	seq      uint64
-	heap     []heapNode
 	slots    []eventSlot
 	freeHead int32 // first free slot index, -1 when none
-	live     int   // scheduled, uncanceled, unfired events
-	stale    int   // canceled events whose heap nodes are still queued
 	stopped  bool
+
+	// Timing wheel for events inside [wheelBase, wheelBase+span).
+	wheel      []int32 // head slot index per bucket, -1 empty
+	wheelBase  Time
+	shift      uint // bucket width = 1<<shift nanoseconds
+	wheelCount int  // events currently in the wheel
+	windowPops int  // wheel pops since the last window advance
+
+	// Far-future overflow heap.
+	heap []heapNode
 
 	// Fired counts events that have executed; useful for progress metrics.
 	fired uint64
@@ -79,14 +140,21 @@ type Scheduler struct {
 
 // NewScheduler returns a kernel with the clock at TimeZero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{freeHead: -1}
+	s := &Scheduler{freeHead: -1, shift: initShift, wheel: make([]int32, wheelBuckets)}
+	for i := range s.wheel {
+		s.wheel[i] = -1
+	}
+	return s
 }
+
+// span returns the width of the wheel window.
+func (s *Scheduler) span() Time { return Time(wheelBuckets) << s.shift }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
 // Pending returns the number of scheduled, uncanceled events in O(1).
-func (s *Scheduler) Pending() int { return s.live }
+func (s *Scheduler) Pending() int { return s.wheelCount + len(s.heap) }
 
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
@@ -128,8 +196,8 @@ func (s *Scheduler) AfterCall(d Duration, fn func(any), arg any) Handle {
 	return s.AtCall(s.now.Add(d), fn, arg)
 }
 
-// schedule places the callback in a recycled (or new) slot and pushes its
-// heap node.
+// schedule places the callback in a recycled (or new) slot and files the
+// event in the wheel or the far heap depending on its deadline.
 func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Handle {
 	var idx int32
 	if s.freeHead >= 0 {
@@ -145,46 +213,79 @@ func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Handle {
 	sl.arg = arg
 	seq := s.seq
 	s.seq++
-	s.push(heapNode{time: t, seq: seq, slot: uint32(idx), gen: sl.gen})
-	s.live++
+	if seq >= maxSeq || idx >= slotMask {
+		panic("sim: event sequence or arena capacity exhausted")
+	}
+	sl.time = t
+	sl.seq = seq
+	if d := t - s.wheelBase; 0 <= d && d < s.span() {
+		s.wheelInsert(idx)
+	} else {
+		s.push(heapNode{time: t, meta: seq<<slotBits | uint64(idx)})
+	}
 	return Handle{slot: uint32(idx) + 1, gen: sl.gen}
 }
 
-// Cancel ensures the event behind h will not fire and recycles its slot
-// immediately. Canceling the zero Handle or an already fired/canceled
-// event is a no-op. The event's heap node stays queued but goes stale (its
-// generation no longer matches) and is discarded when it surfaces.
+// wheelInsert splices slot idx into its bucket's (time, seq)-sorted chain.
+// The caller guarantees the slot's time lies inside the wheel window.
+func (s *Scheduler) wheelInsert(idx int32) {
+	sl := &s.slots[idx]
+	b := int32((sl.time - s.wheelBase) >> s.shift)
+	head := s.wheel[b]
+	if head < 0 || eventLess(sl, &s.slots[head]) {
+		sl.next = head
+		s.wheel[b] = idx
+	} else {
+		p := head
+		for {
+			n := s.slots[p].next
+			if n < 0 || eventLess(sl, &s.slots[n]) {
+				sl.next = n
+				s.slots[p].next = idx
+				break
+			}
+			p = n
+		}
+	}
+	sl.pos = -2 - b
+	s.wheelCount++
+}
+
+// Cancel ensures the event behind h will not fire, deleting it in place
+// and recycling its slot immediately. Canceling the zero Handle or an
+// already fired/canceled event is a no-op. Wheel events unlink from a
+// short bucket chain; heap events sift from their recorded position —
+// retransmission-style timers (deadline far beyond the wheel window) live
+// near the leaves, so their Reset/Stop churn is near O(1). Removal never
+// reorders the surviving events: pop order is fully determined by
+// (time, seq).
 func (s *Scheduler) Cancel(h Handle) {
 	if !s.resolve(h) {
 		return
 	}
-	s.freeSlot(int32(h.slot - 1))
-	s.live--
-	s.stale++
-	// Workloads that cancel nearly everything they schedule (timer
-	// Reset/Stop churn) would otherwise grow the heap without bound, since
-	// stale nodes are only discarded as they surface. Compact once they
-	// dominate: O(n) amortized against the cancels that created them, and
-	// pop order is unaffected because it is fully determined by
-	// (time, seq), not heap layout.
-	if s.stale > len(s.heap)/2 && len(s.heap) >= 64 {
-		s.compact()
+	idx := int32(h.slot - 1)
+	pos := s.slots[idx].pos
+	if pos <= -2 {
+		s.wheelRemove(idx, -2-pos)
+	} else {
+		s.removeAt(int(pos))
 	}
+	s.freeSlot(idx)
 }
 
-// compact removes stale nodes in place and restores the heap property.
-func (s *Scheduler) compact() {
-	kept := s.heap[:0]
-	for _, n := range s.heap {
-		if s.slots[n.slot].gen == n.gen {
-			kept = append(kept, n)
+// wheelRemove unlinks slot idx from bucket b's chain.
+func (s *Scheduler) wheelRemove(idx, b int32) {
+	next := s.slots[idx].next
+	p := s.wheel[b]
+	if p == idx {
+		s.wheel[b] = next
+	} else {
+		for s.slots[p].next != idx {
+			p = s.slots[p].next
 		}
+		s.slots[p].next = next
 	}
-	s.heap = kept
-	for i := len(kept)/2 - 1; i >= 0; i-- {
-		s.siftDown(i)
-	}
-	s.stale = 0
+	s.wheelCount--
 }
 
 // Active reports whether h refers to an event that is still scheduled.
@@ -198,43 +299,120 @@ func (s *Scheduler) resolve(h Handle) bool {
 	return s.slots[h.slot-1].gen == h.gen
 }
 
-// freeSlot recycles a slot: bump the generation so stale handles and heap
-// nodes miss, drop callback references, and chain it onto the free list.
+// freeSlot recycles a slot: bump the generation so stale handles miss and
+// chain it onto the free list. Callback references are deliberately left
+// in place — clearing them costs three GC write barriers per event, and
+// hot paths schedule prebound callbacks that outlive the scheduler
+// anyway. A freed slot therefore keeps its last fn/arg alive until the
+// slot is reused; that is a bounded overhang (one callback per arena
+// slot), not a leak.
 func (s *Scheduler) freeSlot(idx int32) {
 	sl := &s.slots[idx]
 	sl.gen++
-	sl.fn = nil
-	sl.afn = nil
-	sl.arg = nil
 	sl.next = s.freeHead
 	s.freeHead = idx
+}
+
+// scanFrom returns the first nonempty bucket at or after the bucket
+// holding instant t. The caller guarantees the wheel is nonempty; since
+// every pending wheel event is at or after the current time, the scan
+// never needs to look behind t.
+func (s *Scheduler) scanFrom(t Time) int32 {
+	b := int32(0)
+	if t > s.wheelBase {
+		b = int32((t - s.wheelBase) >> s.shift)
+	}
+	for s.wheel[b] < 0 {
+		b++
+	}
+	return b
+}
+
+// advance moves the wheel window forward to the earliest far event and
+// migrates every heap event inside the new window into the wheel. Called
+// only with an empty wheel and a nonempty heap, which is also the free
+// moment to retune the bucket width from the finished window's density.
+func (s *Scheduler) advance() {
+	if s.windowPops > wheelBuckets {
+		if s.shift > minShift {
+			s.shift--
+		}
+	} else if s.windowPops < wheelBuckets/8 {
+		if s.shift < maxShift {
+			s.shift++
+		}
+	}
+	s.windowPops = 0
+	s.wheelBase = s.heap[0].time
+	span := s.span()
+	for len(s.heap) > 0 && s.heap[0].time-s.wheelBase < span {
+		n := s.pop()
+		s.wheelInsert(int32(n.meta & slotMask))
+	}
+}
+
+// popEvent removes and returns the globally earliest event's slot index
+// and deadline. The wheel minimum is the head of the first nonempty
+// bucket; one comparison against the heap root covers the windows where
+// a far event slipped under the wheel's earliest (possible when the
+// window advanced past the current clock while peeking).
+func (s *Scheduler) popEvent() (int32, Time, bool) {
+	if s.wheelCount == 0 {
+		if len(s.heap) == 0 {
+			return 0, 0, false
+		}
+		s.advance()
+	}
+	b := s.scanFrom(s.now)
+	head := s.wheel[b]
+	sl := &s.slots[head]
+	if len(s.heap) > 0 {
+		top := s.heap[0]
+		if top.time < sl.time || (top.time == sl.time && top.meta>>slotBits < sl.seq) {
+			n := s.pop()
+			return int32(n.meta & slotMask), n.time, true
+		}
+	}
+	s.wheel[b] = sl.next
+	s.wheelCount--
+	s.windowPops++
+	return head, sl.time, true
+}
+
+// nextTime returns the deadline of the earliest pending event without
+// popping it (and without advancing the wheel window).
+func (s *Scheduler) nextTime() (Time, bool) {
+	if s.wheelCount == 0 {
+		if len(s.heap) == 0 {
+			return 0, false
+		}
+		return s.heap[0].time, true
+	}
+	t := s.slots[s.wheel[s.scanFrom(s.now)]].time
+	if len(s.heap) > 0 && s.heap[0].time < t {
+		t = s.heap[0].time
+	}
+	return t, true
 }
 
 // Step executes the single next event, advancing the clock to its timestamp.
 // It reports false when no events remain.
 func (s *Scheduler) Step() bool {
-	for len(s.heap) > 0 {
-		n := s.pop()
-		idx := int32(n.slot)
-		sl := &s.slots[idx]
-		if sl.gen != n.gen {
-			// Stale node: the event was canceled and its slot recycled.
-			s.stale--
-			continue
-		}
-		s.now = n.time
-		fn, afn, arg := sl.fn, sl.afn, sl.arg
-		s.freeSlot(idx)
-		s.live--
-		s.fired++
-		if fn != nil {
-			fn()
-		} else {
-			afn(arg)
-		}
-		return true
+	idx, t, ok := s.popEvent()
+	if !ok {
+		return false
 	}
-	return false
+	sl := &s.slots[idx]
+	s.now = t
+	fn, afn, arg := sl.fn, sl.afn, sl.arg
+	s.freeSlot(idx)
+	s.fired++
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+	return true
 }
 
 // Run executes events until the horizon is passed, the event queue drains,
@@ -249,11 +427,11 @@ func (s *Scheduler) Run(horizon Time) error {
 		if s.stopped {
 			return ErrStopped
 		}
-		next, ok := s.nextTime()
+		t, ok := s.nextTime()
 		if !ok {
 			break
 		}
-		if next > horizon {
+		if t > horizon {
 			s.now = horizon
 			return nil
 		}
@@ -279,65 +457,104 @@ func (s *Scheduler) RunAll() error {
 // Stop halts a Run/RunAll in progress after the current event completes.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// nextTime returns the instant of the next live event, discarding any stale
-// nodes that have reached the heap root.
-func (s *Scheduler) nextTime() (Time, bool) {
-	for len(s.heap) > 0 {
-		n := s.heap[0]
-		if s.slots[n.slot].gen == n.gen {
-			return n.time, true
-		}
-		s.pop()
-		s.stale--
-	}
-	return 0, false
+// heapArity is the fan-out of the far-event heap. Four keeps siblings on
+// one or two cache lines and halves tree depth relative to binary.
+const heapArity = 4
+
+// setNode places n at heap index i and records the position in its slot.
+func (s *Scheduler) setNode(i int, n heapNode) {
+	s.heap[i] = n
+	s.slots[n.meta&slotMask].pos = int32(i)
 }
 
-// push appends n and sifts it up.
+// push appends n and sifts it up, writing the moving node only once at
+// its final position instead of swapping at every level.
 func (s *Scheduler) push(n heapNode) {
 	s.heap = append(s.heap, n)
-	h := s.heap
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !nodeLess(h[i], h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
+	s.slots[n.meta&slotMask].pos = int32(len(s.heap) - 1)
+	s.siftUp(len(s.heap) - 1)
 }
 
-// pop removes and returns the root node.
+// pop removes and returns the root node, refilling the hole with the tail
+// node sifted down from the top.
 func (s *Scheduler) pop() heapNode {
 	h := s.heap
 	top := h[0]
 	n := len(h) - 1
-	h[0] = h[n]
+	last := h[n]
 	s.heap = h[:n]
+	if n == 0 {
+		return top
+	}
+	s.setNode(0, last)
 	s.siftDown(0)
 	return top
 }
 
-// siftDown restores the heap property below index i.
+// removeAt deletes the node at heap index i, restoring the heap property
+// around the tail node that takes its place.
+func (s *Scheduler) removeAt(i int) {
+	h := s.heap
+	n := len(h) - 1
+	last := h[n]
+	s.heap = h[:n]
+	if i == n {
+		return
+	}
+	s.setNode(i, last)
+	s.siftDown(i)
+	if s.heap[i].meta == last.meta {
+		s.siftUp(i)
+	}
+}
+
+// siftUp restores the heap property above index i, holding the moving
+// node in a register and writing it once at its final position.
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	node := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !nodeLess(node, h[parent]) {
+			break
+		}
+		s.setNode(i, h[parent])
+		i = parent
+	}
+	s.setNode(i, node)
+}
+
+// siftDown restores the heap property below index i, holding the moving
+// node in a register and writing it once at its final position.
 func (s *Scheduler) siftDown(i int) {
 	h := s.heap
 	n := len(h)
+	if i >= n {
+		return
+	}
+	node := h[i]
 	for {
-		l := 2*i + 1
-		if l >= n {
+		c := heapArity*i + 1
+		if c >= n {
 			break
 		}
-		m := l
-		if r := l + 1; r < n && nodeLess(h[r], h[l]) {
-			m = r
+		end := c + heapArity
+		if end > n {
+			end = n
 		}
-		if !nodeLess(h[m], h[i]) {
+		m := c
+		for j := c + 1; j < end; j++ {
+			if nodeLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !nodeLess(h[m], node) {
 			break
 		}
-		h[i], h[m] = h[m], h[i]
+		s.setNode(i, h[m])
 		i = m
 	}
+	s.setNode(i, node)
 }
 
 // Timer is a restartable one-shot timer bound to a scheduler, mirroring the

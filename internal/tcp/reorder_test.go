@@ -1,0 +1,152 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+// The reorder buffer is a bitmap over a power-of-two ring of MaxWindow
+// sequence slots. These tests pin its edge behavior: the last in-window
+// slot, sequences beyond the window, duplicate out-of-order arrivals, and
+// ring reuse as rcvNxt wraps across the ring size many times.
+
+func TestSinkReorderWindowFarEdge(t *testing.T) {
+	h := newSinkHarness(t, func(c *Config) { c.MaxWindow = 8 })
+	h.deliver(0) // rcvNxt = 1
+	// Farthest in-window sequence: rcvNxt + ring - 1 = 8.
+	h.deliver(8)
+	if got := h.sink.oooCount(); got != 1 {
+		t.Fatalf("oooCount = %d after far-edge arrival, want 1", got)
+	}
+	// Fill 1..7; the drain must sweep through the buffered far edge.
+	for seq := int64(1); seq < 8; seq++ {
+		h.deliver(seq)
+	}
+	if got := h.sink.RcvNxt(); got != 9 {
+		t.Errorf("rcvNxt = %d, want 9 (drain through far edge)", got)
+	}
+	if got := h.sink.oooCount(); got != 0 {
+		t.Errorf("oooCount = %d after drain, want 0", got)
+	}
+	if got := h.sink.Delivered(); got != 9 {
+		t.Errorf("delivered = %d, want 9", got)
+	}
+}
+
+func TestSinkSequenceBeyondWindowAckedNotBuffered(t *testing.T) {
+	h := newSinkHarness(t, func(c *Config) { c.MaxWindow = 8 })
+	h.deliver(0) // rcvNxt = 1
+	// rcvNxt + ring = 9: no unambiguous ring slot (9 & 7 == 1&7 would
+	// alias a near-window slot), so it must be acknowledged but dropped.
+	h.deliver(9)
+	if got := h.sink.oooCount(); got != 0 {
+		t.Fatalf("oooCount = %d after out-of-window arrival, want 0", got)
+	}
+	acks := h.acks()
+	if len(acks) != 2 || acks[1] != 1 {
+		t.Fatalf("acks = %v, want cumulative ack 1 for out-of-window arrival", acks)
+	}
+	// The unbuffered sequence must not poison later in-window state:
+	// deliver 1..9 in order and verify everything arrives exactly once.
+	for seq := int64(1); seq <= 9; seq++ {
+		h.deliver(seq)
+	}
+	if got := h.sink.RcvNxt(); got != 10 {
+		t.Errorf("rcvNxt = %d, want 10", got)
+	}
+	if got := h.sink.Delivered(); got != 10 {
+		t.Errorf("delivered = %d, want 10", got)
+	}
+}
+
+func TestSinkDuplicateOutOfOrderArrivals(t *testing.T) {
+	h := newSinkHarness(t, nil)
+	h.deliver(0) // rcvNxt = 1
+	h.deliver(3) // hole at 1-2
+	h.deliver(3) // duplicate of a buffered sequence
+	h.deliver(3)
+	if got := h.sink.oooCount(); got != 1 {
+		t.Fatalf("oooCount = %d after duplicate ooo arrivals, want 1", got)
+	}
+	// Every copy still produces a duplicate ACK (the dup-ACK clock).
+	if got := len(h.acks()); got != 4 {
+		t.Fatalf("acks = %d, want 4 (1 cumulative + 3 dup)", got)
+	}
+	h.deliver(1)
+	h.deliver(2) // drains 3 as well
+	if got := h.sink.RcvNxt(); got != 4 {
+		t.Errorf("rcvNxt = %d, want 4", got)
+	}
+	if got := h.sink.Delivered(); got != 4 {
+		t.Errorf("delivered = %d, want 4 (duplicates must not double-count)", got)
+	}
+	if got := h.sink.oooCount(); got != 0 {
+		t.Errorf("oooCount = %d after drain, want 0", got)
+	}
+}
+
+func TestSinkReorderRingWrap(t *testing.T) {
+	// MaxWindow 4 → ring of 4 slots; march rcvNxt across many multiples
+	// of the ring size with a fresh hole in every window so each bitmap
+	// slot is set, drained, and reused repeatedly.
+	h := newSinkHarness(t, func(c *Config) { c.MaxWindow = 4 })
+	var want uint64
+	for base := int64(0); base < 64; base += 4 {
+		h.deliver(base)     // in order
+		h.deliver(base + 2) // hole at base+1
+		h.deliver(base + 3)
+		if got := h.sink.oooCount(); got != 2 {
+			t.Fatalf("base %d: oooCount = %d, want 2", base, got)
+		}
+		h.deliver(base + 1) // fill: drain to base+4
+		want += 4
+		if got := h.sink.RcvNxt(); got != base+4 {
+			t.Fatalf("base %d: rcvNxt = %d, want %d", base, got, base+4)
+		}
+		if got := h.sink.oooCount(); got != 0 {
+			t.Fatalf("base %d: oooCount = %d, want 0", base, got)
+		}
+	}
+	if got := h.sink.Delivered(); got != want {
+		t.Errorf("delivered = %d, want %d", got, want)
+	}
+}
+
+func TestSenderRingWrapUnderLoss(t *testing.T) {
+	// A tiny window forces the sender's segment ring to wrap dozens of
+	// times while losses trigger go-back-N rewinds across slot reuse.
+	c := newConn(t, Reno, func(cfg *Config) { cfg.MaxWindow = 4 })
+	c.fwd.drop = dropSeqOnce(3, 17, 18, 40, 77)
+	const n = 100
+	c.submit(n)
+	c.run(t, 2*time.Minute)
+	if got := c.sink.Delivered(); got != n {
+		t.Fatalf("delivered = %d, want %d", got, n)
+	}
+	if got := c.sender.FlightSize(); got != 0 {
+		t.Errorf("flight = %d after recovery, want 0", got)
+	}
+	if got := c.sink.RcvNxt(); got != n {
+		t.Errorf("rcvNxt = %d, want %d", got, n)
+	}
+}
+
+func TestSenderRingWrapSACKUnderLoss(t *testing.T) {
+	// Same ring-wrap stress through the SACK scoreboard bitmap: isolated
+	// losses in successive windows must leave no stale SACK marks once
+	// everything is delivered.
+	c := newConn(t, SACK, func(cfg *Config) { cfg.MaxWindow = 8 })
+	c.fwd.drop = dropSeqOnce(5, 21, 22, 60, 95)
+	const n = 120
+	c.submit(n)
+	c.run(t, 2*time.Minute)
+	if got := c.sink.Delivered(); got != n {
+		t.Fatalf("delivered = %d, want %d", got, n)
+	}
+	if got := c.sender.FlightSize(); got != 0 {
+		t.Errorf("flight = %d after recovery, want 0", got)
+	}
+	if got := c.sender.sackedCount(); got != 0 {
+		t.Errorf("SACK scoreboard holds %d marks after full delivery, want 0", got)
+	}
+}

@@ -119,8 +119,8 @@ func TestSACKTimeoutClearsScoreboard(t *testing.T) {
 	if c.sink.Delivered() != 1 {
 		t.Fatalf("delivered %d, want 1", c.sink.Delivered())
 	}
-	if len(c.sender.sacked) != 0 {
-		t.Errorf("scoreboard has %d entries after timeout", len(c.sender.sacked))
+	if n := c.sender.sackedCount(); n != 0 {
+		t.Errorf("scoreboard has %d entries after timeout", n)
 	}
 }
 

@@ -12,6 +12,9 @@ import (
 type segment struct {
 	sentAt sim.Time
 	rtxed  bool
+	// live marks the slot as holding an outstanding transmission; a dead
+	// slot is free for the sequence that next maps onto it.
+	live bool
 }
 
 // congestionControl is the variant-specific half of the sender. Hooks run
@@ -51,14 +54,20 @@ type Sender struct {
 	recover    int64 // snd_nxt at loss detection (NewReno partial acks)
 	ecnRecover int64 // snd_nxt at the last ECN response (once per window)
 
-	// Outstanding segment records, keyed by sequence. Values, not
-	// pointers: records are two words and copying beats a per-segment
-	// heap allocation on every transmission.
-	segs map[int64]segment
+	// Outstanding segment records in a sequence-indexed ring: the window
+	// never exceeds MaxWindow packets, so seq & segMask addresses a unique
+	// slot for every in-flight sequence — no hashing, no delete churn.
+	// Slots are cleared as the cumulative ACK advances past them, which
+	// guarantees a sequence always finds its own slot dead or holding its
+	// own state, never a stale alias (aliases are segMask+1 >= MaxWindow
+	// sequences apart).
+	segs    []segment
+	segMask int64
 
 	// sacked is the selective-acknowledgment scoreboard (SACK variant
-	// only): outstanding sequences the receiver has reported holding.
-	sacked map[int64]bool
+	// only): a bitmap over the same ring marking outstanding sequences the
+	// receiver has reported holding. Nil for non-SACK variants.
+	sacked []uint64
 	// sackHigh is one past the highest SACKed sequence; only unSACKed
 	// packets below it may be presumed lost (something sent after them
 	// has arrived).
@@ -79,6 +88,16 @@ var (
 	_ transport.Agent  = (*Sender)(nil)
 )
 
+// windowRingSize returns the power-of-two ring capacity covering a
+// MaxWindow-packet sequence window.
+func windowRingSize(maxWindow int) int64 {
+	size := int64(1)
+	for size < int64(maxWindow) {
+		size <<= 1
+	}
+	return size
+}
+
 // NewSender returns a sender for the given connection, or an error for an
 // invalid configuration.
 func NewSender(cfg Config) (*Sender, error) {
@@ -86,20 +105,22 @@ func NewSender(cfg Config) (*Sender, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	ring := windowRingSize(cfg.MaxWindow)
 	s := &Sender{
 		cfg:      cfg,
 		cwnd:     cfg.InitialCwnd,
 		ssthresh: cfg.InitialSsthresh,
 		rto:      cfg.InitialRTO,
 		backoff:  1,
-		segs:     make(map[int64]segment),
+		segs:     make([]segment, ring),
+		segMask:  ring - 1,
 	}
 	switch cfg.Variant {
 	case Vegas:
 		s.cc = newVegasCC(cfg.Vegas)
 	case SACK:
 		s.cc = &sackCC{}
-		s.sacked = make(map[int64]bool)
+		s.sacked = make([]uint64, (ring+63)/64)
 	default:
 		s.cc = &renoCC{flavor: cfg.Variant}
 	}
@@ -134,6 +155,13 @@ func (s *Sender) Backlog() int64 { return s.submitted - s.sndNxt }
 // FlightSize returns the number of unacknowledged in-flight packets.
 func (s *Sender) FlightSize() int64 { return s.sndNxt - s.sndUna }
 
+// StateBytes returns the sender's steady-state memory footprint: the
+// struct itself plus its ring and scoreboard backing arrays. It is the
+// per-flow cost reported by the large-N scaling benchmarks.
+func (s *Sender) StateBytes() int {
+	return int(senderStructBytes) + len(s.segs)*int(segmentBytes) + len(s.sacked)*8
+}
+
 // Submit adds one application packet to the send buffer and transmits as
 // much as the window permits.
 func (s *Sender) Submit() {
@@ -152,10 +180,22 @@ func (s *Sender) Receive(p *packet.Packet) {
 	s.counters.AcksReceived++
 	if s.sacked != nil {
 		for _, b := range p.SACK {
-			for seq := b.First; seq < b.Last; seq++ {
-				if seq >= s.sndUna {
-					s.sacked[seq] = true
-				}
+			first, last := b.First, b.Last
+			if first < s.sndUna {
+				first = s.sndUna
+			}
+			// Everything ever sent lies within one MaxWindow of the
+			// current snd_una (snd_una only advances), so conforming
+			// blocks always fit the ring; the clamp only disarms
+			// non-conforming input that would alias bitmap slots. Note
+			// blocks may legitimately reach beyond snd_nxt after a
+			// go-back-N rewind — those marks let trySend skip data the
+			// receiver already holds.
+			if max := s.sndUna + s.segMask + 1; last > max {
+				last = max
+			}
+			for seq := first; seq < last; seq++ {
+				s.setSACKed(seq)
 			}
 			if b.Last > s.sackHigh {
 				s.sackHigh = b.Last
@@ -209,28 +249,58 @@ func (s *Sender) trySend() {
 
 // isSACKed reports whether the receiver has selectively acknowledged seq.
 func (s *Sender) isSACKed(seq int64) bool {
-	return s.sacked != nil && s.sacked[seq]
+	if s.sacked == nil {
+		return false
+	}
+	idx := seq & s.segMask
+	return s.sacked[idx>>6]&(1<<uint(idx&63)) != 0
+}
+
+// setSACKed marks seq on the scoreboard. seq must lie inside the
+// [sndUna, sndNxt) window (the caller clamps).
+func (s *Sender) setSACKed(seq int64) {
+	idx := seq & s.segMask
+	s.sacked[idx>>6] |= 1 << uint(idx&63)
+}
+
+// clearSACKedBit unmarks one sequence as the cumulative ACK passes it.
+func (s *Sender) clearSACKedBit(seq int64) {
+	idx := seq & s.segMask
+	s.sacked[idx>>6] &^= 1 << uint(idx&63)
 }
 
 // clearSACKed empties the scoreboard (timeout: the receiver may renege).
 func (s *Sender) clearSACKed() {
-	for seq := range s.sacked {
-		delete(s.sacked, seq)
+	for i := range s.sacked {
+		s.sacked[i] = 0
 	}
 	s.sackHigh = 0
+}
+
+// sackedCount returns the number of scoreboard marks (test hook).
+func (s *Sender) sackedCount() int {
+	n := 0
+	for _, w := range s.sacked {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
 }
 
 // transmit puts the packet with the given sequence on the wire, tracking
 // retransmission state.
 func (s *Sender) transmit(seq int64) {
 	now := s.cfg.Sched.Now()
-	seg, seen := s.segs[seq]
-	if seen {
+	seg := &s.segs[seq&s.segMask]
+	if seg.live {
 		seg.rtxed = true
 		s.counters.Retransmits++
+	} else {
+		seg.live = true
+		seg.rtxed = false
 	}
 	seg.sentAt = now
-	s.segs[seq] = seg
 	s.counters.DataSent++
 	p := s.cfg.Pool.Get()
 	p.Kind = packet.Data
@@ -274,9 +344,9 @@ func (s *Sender) handleNewAck(p *packet.Packet) {
 	s.backoff = 1
 
 	for seq := s.sndUna; seq < p.Ack; seq++ {
-		delete(s.segs, seq)
+		s.segs[seq&s.segMask] = segment{}
 		if s.sacked != nil {
-			delete(s.sacked, seq)
+			s.clearSACKedBit(seq)
 		}
 	}
 	s.sndUna = p.Ack
@@ -371,8 +441,8 @@ func (s *Sender) halveSsthresh() {
 // segSentAt returns the last transmission time of seq, or zero time if the
 // segment is not outstanding.
 func (s *Sender) segSentAt(seq int64) (sim.Time, bool) {
-	seg, ok := s.segs[seq]
-	if !ok {
+	seg := s.segs[seq&s.segMask]
+	if !seg.live {
 		return 0, false
 	}
 	return seg.sentAt, true

@@ -2,7 +2,6 @@ package tcp
 
 import (
 	"fmt"
-	"sort"
 
 	"tcpburst/internal/packet"
 	"tcpburst/internal/sim"
@@ -18,10 +17,21 @@ import (
 type Sink struct {
 	cfg Config
 
-	rcvNxt    int64
-	ooo       map[int64]bool // buffered out-of-order sequences
-	delivered uint64         // in-order packets handed to the application
-	dupsRcvd  uint64         // duplicate data packets discarded
+	rcvNxt int64
+	// Out-of-order reorder buffer as a bitmap over a power-of-two ring of
+	// MaxWindow sequence slots. The sender never has more than MaxWindow
+	// packets in flight and rcvNxt >= snd_una always, so every sequence
+	// that can arrive satisfies seq - rcvNxt < MaxWindow <= ring size:
+	// bit (seq & oooMask) is unambiguous for all conforming traffic.
+	// Sequences beyond that window (possible only from a misbehaving
+	// sender) are acknowledged but not buffered.
+	oooBits []uint64
+	oooMask int64
+	oooRing int64 // ring capacity in sequence slots
+	oooCnt  int   // buffered out-of-order sequences
+
+	delivered uint64 // in-order packets handed to the application
+	dupsRcvd  uint64 // duplicate data packets discarded
 	acksSent  uint64
 	delays    stats.DelayDist
 
@@ -30,9 +40,6 @@ type Sink struct {
 	pendingAck bool
 	pendingPkt ackEcho
 	delayTimer *sim.Timer
-
-	// sackSeqs is scratch for assembling SACK blocks, reused across ACKs.
-	sackSeqs []int64
 }
 
 // ackEcho carries the fields of a data packet that the ACK must echo.
@@ -56,7 +63,13 @@ func NewSink(cfg Config) (*Sink, error) {
 	if cfg.Out == nil {
 		return nil, fmt.Errorf("tcp sink flow %d: nil wire", cfg.Flow)
 	}
-	s := &Sink{cfg: cfg, ooo: make(map[int64]bool)}
+	ring := windowRingSize(cfg.MaxWindow)
+	s := &Sink{
+		cfg:     cfg,
+		oooBits: make([]uint64, (ring+63)/64),
+		oooMask: ring - 1,
+		oooRing: ring,
+	}
 	s.delayTimer = sim.NewTimer(cfg.Sched, s.onDelayTimeout)
 	return s, nil
 }
@@ -79,6 +92,35 @@ func (s *Sink) RcvNxt() int64 { return s.rcvNxt }
 // packets (transmission to arrival, including queueing).
 func (s *Sink) Delays() *stats.DelayDist { return &s.delays }
 
+// StateBytes returns the sink's steady-state memory footprint: the struct
+// plus the reorder bitmap. Per-flow cost reported by the scaling benches.
+func (s *Sink) StateBytes() int {
+	return int(sinkStructBytes) + len(s.oooBits)*8
+}
+
+// oooHas reports whether seq is buffered out of order. Only meaningful for
+// seq in (rcvNxt, rcvNxt+oooRing).
+func (s *Sink) oooHas(seq int64) bool {
+	idx := seq & s.oooMask
+	return s.oooBits[idx>>6]&(1<<uint(idx&63)) != 0
+}
+
+// oooSet buffers seq.
+func (s *Sink) oooSet(seq int64) {
+	idx := seq & s.oooMask
+	s.oooBits[idx>>6] |= 1 << uint(idx&63)
+}
+
+// oooClear drops seq from the buffer.
+func (s *Sink) oooClear(seq int64) {
+	idx := seq & s.oooMask
+	s.oooBits[idx>>6] &^= 1 << uint(idx&63)
+}
+
+// oooCount returns the number of buffered out-of-order sequences (test
+// hook).
+func (s *Sink) oooCount() int { return s.oooCnt }
+
 // Receive processes one inbound data packet. The sink is the data
 // packet's consumption point: everything the ACK must echo is copied out
 // and the packet is released before any acknowledgment is built, so the
@@ -88,7 +130,9 @@ func (s *Sink) Receive(p *packet.Packet) {
 		s.cfg.Pool.Put(p)
 		return
 	}
-	if p.Seq >= s.rcvNxt && !s.ooo[p.Seq] {
+	// inWindow: the sequence maps to an unambiguous ring slot.
+	inWindow := p.Seq-s.rcvNxt < s.oooRing
+	if p.Seq >= s.rcvNxt && (!inWindow || !s.oooHas(p.Seq)) {
 		// First copy of this packet: sample its one-way delay.
 		s.delays.Observe(s.cfg.Sched.Now().Sub(p.SentAt).Seconds())
 	}
@@ -100,12 +144,13 @@ func (s *Sink) Receive(p *packet.Packet) {
 		s.rcvNxt++
 		s.delivered++
 		// Drain any contiguous out-of-order run.
-		for s.ooo[s.rcvNxt] {
-			delete(s.ooo, s.rcvNxt)
+		for s.oooCnt > 0 && s.oooHas(s.rcvNxt) {
+			s.oooClear(s.rcvNxt)
+			s.oooCnt--
 			s.rcvNxt++
 			s.delivered++
 		}
-		if len(s.ooo) > 0 {
+		if s.oooCnt > 0 {
 			// Still a hole above us: keep the dup-ACK clock running
 			// by acknowledging immediately.
 			s.sendAck(echo)
@@ -128,9 +173,15 @@ func (s *Sink) Receive(p *packet.Packet) {
 
 	case echo.seq > s.rcvNxt:
 		// Out of order: buffer and acknowledge immediately (duplicate
-		// ACK), flushing any delayed ACK first.
+		// ACK), flushing any delayed ACK first. A sequence beyond the
+		// advertised window is acknowledged but not buffered — it has
+		// no unambiguous ring slot and a conforming sender never sends
+		// one.
 		s.flushPending()
-		s.ooo[echo.seq] = true
+		if inWindow && !s.oooHas(echo.seq) {
+			s.oooSet(echo.seq)
+			s.oooCnt++
+		}
 		s.sendAck(echo)
 
 	default:
@@ -176,7 +227,7 @@ func (s *Sink) sendAck(echo ackEcho) {
 	p.SentAt = echo.sentAt
 	p.Retransmit = echo.rtxed
 	p.ECE = echo.ece
-	if s.cfg.Variant == SACK && len(s.ooo) > 0 {
+	if s.cfg.Variant == SACK && s.oooCnt > 0 {
 		// Append into the packet's own (pooled) block storage: each
 		// packet owns its SACK backing array, so in-flight ACKs never
 		// share blocks and reuse is safe.
@@ -191,23 +242,21 @@ const maxSACKBlocks = 4
 // appendSACKBlocks assembles the out-of-order buffer into at most
 // maxSACKBlocks contiguous [first, last) ranges appended to dst, placing
 // the block containing the segment that triggered this ACK first
-// (RFC 2018 §4). The sequence scratch slice is reused across calls.
+// (RFC 2018 §4). The bitmap is scanned in sequence order starting just
+// above rcvNxt, so blocks come out sorted without any scratch space.
 func (s *Sink) appendSACKBlocks(dst []packet.SACKBlock, trigger int64) []packet.SACKBlock {
-	seqs := s.sackSeqs[:0]
-	for seq := range s.ooo {
-		seqs = append(seqs, seq)
-	}
-	s.sackSeqs = seqs
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-
 	blocks := dst
-	for i := 0; i < len(seqs); {
-		j := i + 1
-		for j < len(seqs) && seqs[j] == seqs[j-1]+1 {
-			j++
+	remaining := s.oooCnt
+	for seq := s.rcvNxt + 1; remaining > 0 && seq < s.rcvNxt+s.oooRing; seq++ {
+		if !s.oooHas(seq) {
+			continue
 		}
-		blocks = append(blocks, packet.SACKBlock{First: seqs[i], Last: seqs[j-1] + 1})
-		i = j
+		first := seq
+		for remaining > 0 && seq < s.rcvNxt+s.oooRing && s.oooHas(seq) {
+			remaining--
+			seq++
+		}
+		blocks = append(blocks, packet.SACKBlock{First: first, Last: seq})
 	}
 	// Move the triggering block to the front.
 	for i, b := range blocks {
