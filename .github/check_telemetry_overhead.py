@@ -1,0 +1,32 @@
+"""Fail CI when enabling telemetry costs more than 5% of simulation speed.
+
+Usage: check_telemetry_overhead.py BENCH_telemetry.json
+
+Reads the JSON rows produced by bench_to_json.py from the
+BenchmarkTelemetryOverhead pair and compares sim_pkts_per_s: the enabled
+run must reach at least 95% of the disabled run's throughput.
+"""
+import json
+import sys
+
+LIMIT = 0.95
+
+def pick(rows, which):
+    for row in rows:
+        if 'TelemetryOverhead/' + which in row['name']:
+            return row
+    sys.exit('no TelemetryOverhead/%s row in benchmark output' % which)
+
+def main(src):
+    rows = json.load(open(src))
+    disabled = pick(rows, 'disabled')['sim_pkts_per_s']
+    enabled = pick(rows, 'enabled')['sim_pkts_per_s']
+    ratio = enabled / disabled
+    print('telemetry overhead: disabled %.0f pkts/s, enabled %.0f pkts/s '
+          '(%.1f%% of disabled)' % (disabled, enabled, 100 * ratio))
+    if ratio < LIMIT:
+        sys.exit('telemetry overhead exceeds budget: enabled throughput is '
+                 '%.1f%% of disabled, minimum is %.0f%%' % (100 * ratio, 100 * LIMIT))
+
+if __name__ == '__main__':
+    main(sys.argv[1])

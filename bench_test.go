@@ -456,6 +456,40 @@ func BenchmarkScalingClients(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead measures what the telemetry subsystem costs a
+// large run: the same 2000-client experiment with telemetry disabled and
+// with 100 ms snapshots into an in-memory ring. The counter handles on
+// every hot path are supposed to be near-free and the sampler
+// allocation-free, so the enabled sim_pkts/s must stay within a few
+// percent of disabled (CI enforces 5%).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := core.DefaultConfig(2000, core.Reno, core.FIFO)
+			cfg.Duration = 2 * time.Second
+			if mode.enabled {
+				cfg.TelemetryInterval = 100 * time.Millisecond
+			}
+			var total uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				total += res.DataSent
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim_pkts/s")
+			}
+		})
+	}
+}
+
 // BenchmarkExperimentPacketsPerSecond measures the simulator's own speed:
 // simulated packets processed per wall-clock second for a full experiment.
 func BenchmarkExperimentPacketsPerSecond(b *testing.B) {

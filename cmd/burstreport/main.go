@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"tcpburst/internal/core"
 	"tcpburst/internal/runcache"
 	"tcpburst/internal/runner"
+	"tcpburst/internal/telemetry"
 )
 
 func main() {
@@ -37,7 +39,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, args []string) error {
+func run(w io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("burstreport", flag.ContinueOnError)
 	var (
 		seed     = fs.Int64("seed", 1, "random seed")
@@ -49,9 +51,16 @@ func run(w io.Writer, args []string) error {
 		cacheDir = fs.String("cache-dir", "", "result cache directory (default ~/.cache/tcpburst)")
 		progress = fs.Bool("progress", false, "render a live progress line on stderr")
 		stats    = fs.Bool("stats", false, "print run telemetry on stderr when done")
+
+		telemetryOn       = fs.Bool("telemetry", false, "stream per-run labeled telemetry records (requires -telemetry-out)")
+		telemetryInterval = fs.Duration("telemetry-interval", 100*time.Millisecond, "telemetry snapshot period (simulated time)")
+		telemetryOut      = fs.String("telemetry-out", "", "shared JSONL file receiving every run's labeled records")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *telemetryOn && *telemetryOut == "" {
+		return fmt.Errorf("-telemetry requires -telemetry-out FILE")
 	}
 
 	exec := core.ExecOptions{Jobs: *jobs}
@@ -71,9 +80,35 @@ func run(w io.Writer, args []string) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
-	base := core.DefaultConfig(0, core.Reno, core.FIFO)
-	base.Seed = *seed
-	base.Duration = *duration
+	// A sweep/trace template: Clients stays zero and is filled per job, so
+	// the base skips defaulting and validation until each run.
+	baseOpts := []core.Option{
+		core.WithSeed(*seed),
+		core.WithDuration(*duration),
+	}
+	if *telemetryOn {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		sw := telemetry.NewSyncWriter(bw)
+		defer func() {
+			if ferr := bw.Flush(); ferr != nil && err == nil {
+				err = ferr
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		baseOpts = append(baseOpts,
+			core.WithTelemetry(*telemetryInterval),
+			core.WithTelemetrySinkFactory(func(c core.Config) telemetry.Sink {
+				return telemetry.NewJSONLRun(sw, c.Label())
+			}),
+		)
+	}
+	base := core.BaseConfig(baseOpts...)
 
 	clients := make([]int, 0, *maxN / *step + 2)
 	for n := *step; n <= *maxN; n += *step {

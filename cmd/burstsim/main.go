@@ -9,7 +9,11 @@
 //
 // With -cache the run is served from the persistent result store when the
 // same configuration has been simulated before (-flows always simulates:
-// the per-flow breakdown is not part of the cached digest).
+// the per-flow breakdown is not part of the cached digest). With -telemetry
+// the run streams periodic snapshot records — queue depth, per-RTT c.o.v.,
+// per-flow windows, drop and retransmit counters — to -telemetry-out
+// (JSONL, or CSV by extension) while a live line on stderr shows the run's
+// pulse; telemetry runs always simulate, never touching the cache.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"tcpburst/internal/core"
 	"tcpburst/internal/prof"
 	"tcpburst/internal/runcache"
+	"tcpburst/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +60,10 @@ func run(w io.Writer, args []string) error {
 		stats    = fs.Bool("stats", false, "print run telemetry on stderr when done")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+
+		telemetryOn       = fs.Bool("telemetry", false, "stream periodic metric snapshots (implied by -telemetry-out)")
+		telemetryInterval = fs.Duration("telemetry-interval", 100*time.Millisecond, "telemetry snapshot period (simulated time)")
+		telemetryOut      = fs.String("telemetry-out", "", "telemetry stream destination (.csv for CSV, anything else JSONL)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,25 +83,39 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 
-	cfg := core.DefaultConfig(*clients, p, q)
-	cfg.Seed = *seed
-	cfg.Duration = *duration
+	opts := []core.Option{
+		core.WithClients(*clients),
+		core.WithProtocol(p),
+		core.WithGateway(q),
+		core.WithSeed(*seed),
+		core.WithDuration(*duration),
+		core.WithWireLoss(*wireLoss),
+		core.WithReverseRate(*revRate),
+		// Zero-valued RED knobs fall back to the paper defaults.
+		core.WithRED(*redMin, *redMax, *redW, *redMaxP),
+	}
 	if *minRTO > 0 {
-		cfg.MinRTO = *minRTO
+		opts = append(opts, core.WithMinRTO(*minRTO))
 	}
-	cfg.WireLossProb = *wireLoss
-	cfg.ReverseRateBps = *revRate
-	if *redMin > 0 {
-		cfg.REDMinThreshold = *redMin
+	var closeSink func() error
+	if *telemetryOn || *telemetryOut != "" {
+		opts = append(opts, core.WithTelemetry(*telemetryInterval))
+		live := telemetry.NewLiveLine(os.Stderr,
+			"queue.depth", "cov.rtt", "gw.drops", "tcp.timeouts")
+		sink := telemetry.Sink(live)
+		if *telemetryOut != "" {
+			fileSink, closeFn, err := telemetry.OpenFileSink(*telemetryOut)
+			if err != nil {
+				return err
+			}
+			closeSink = closeFn
+			sink = telemetry.MultiSink(fileSink, live)
+		}
+		opts = append(opts, core.WithTelemetrySink(sink))
 	}
-	if *redMax > 0 {
-		cfg.REDMaxThreshold = *redMax
-	}
-	if *redW > 0 {
-		cfg.REDWeight = *redW
-	}
-	if *redMaxP > 0 {
-		cfg.REDMaxProb = *redMaxP
+	cfg, err := core.NewConfig(opts...)
+	if err != nil {
+		return err
 	}
 
 	exec := core.ExecOptions{Jobs: 1}
@@ -107,13 +130,18 @@ func run(w io.Writer, args []string) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
-	results, telemetry, err := core.RunBatch(ctx, []core.Config{cfg}, exec)
+	results, batchStats, err := core.RunBatch(ctx, []core.Config{cfg}, exec)
+	if closeSink != nil {
+		if cerr := closeSink(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
 	res := results[0]
 	if *stats {
-		fmt.Fprint(os.Stderr, telemetry.Table())
+		fmt.Fprint(os.Stderr, batchStats.Table())
 	}
 	if *asJSON {
 		raw, err := res.MarshalSummaryJSON()

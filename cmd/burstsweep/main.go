@@ -15,10 +15,15 @@
 //
 // Every (cell, clients) job fans out across a worker pool (-jobs) and
 // completed runs land in a persistent result cache (-cache, -cache-dir),
-// so re-running a sweep after one warm pass is near-instant.
+// so re-running a sweep after one warm pass is near-instant. With
+// -telemetry every job additionally streams labeled snapshot records into
+// one shared JSONL file (-telemetry-out), each line tagged with the run's
+// label so concurrent jobs interleave safely; telemetry jobs bypass the
+// cache.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -32,6 +37,7 @@ import (
 	"tcpburst/internal/prof"
 	"tcpburst/internal/runcache"
 	"tcpburst/internal/runner"
+	"tcpburst/internal/telemetry"
 )
 
 func main() {
@@ -59,9 +65,16 @@ func run(args []string) error {
 		stats    = fs.Bool("stats", false, "print run telemetry on stderr when done")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+
+		telemetryOn       = fs.Bool("telemetry", false, "stream per-run labeled telemetry records (requires -telemetry-out)")
+		telemetryInterval = fs.Duration("telemetry-interval", 100*time.Millisecond, "telemetry snapshot period (simulated time)")
+		telemetryOut      = fs.String("telemetry-out", "", "shared JSONL file receiving every run's labeled records")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *telemetryOn && *telemetryOut == "" {
+		return fmt.Errorf("-telemetry requires -telemetry-out FILE")
 	}
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -80,9 +93,37 @@ func run(args []string) error {
 		return fmt.Errorf("-all requires -out DIR")
 	}
 
-	base := core.DefaultConfig(0, core.Reno, core.FIFO)
-	base.Seed = *seed
-	base.Duration = *duration
+	// A sweep template: Clients stays zero and protocol/gateway are filled
+	// per cell, so the base skips defaulting and validation until each job.
+	baseOpts := []core.Option{
+		core.WithSeed(*seed),
+		core.WithDuration(*duration),
+	}
+	var closeTelemetry func() error
+	if *telemetryOn {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		sw := telemetry.NewSyncWriter(bw)
+		closeTelemetry = func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		baseOpts = append(baseOpts,
+			core.WithTelemetry(*telemetryInterval),
+			// Each job gets its own sink labeling records with the run's
+			// identity; SyncWriter keeps concurrent lines whole.
+			core.WithTelemetrySinkFactory(func(c core.Config) telemetry.Sink {
+				return telemetry.NewJSONLRun(sw, c.Label())
+			}),
+		)
+	}
+	base := core.BaseConfig(baseOpts...)
 
 	figures := map[int]struct {
 		name    string
@@ -125,8 +166,16 @@ func run(args []string) error {
 	if prog != nil {
 		prog.Finish()
 	}
+	if closeTelemetry != nil {
+		if cerr := closeTelemetry(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if *telemetryOn {
+		fmt.Fprintln(os.Stderr, "wrote telemetry stream to", *telemetryOut)
 	}
 	if *stats {
 		fmt.Fprint(os.Stderr, sweep.Stats.Table())
@@ -189,7 +238,7 @@ func contains(xs []int, v int) bool {
 }
 
 func printTable1() {
-	cfg := core.DefaultConfig(1, core.Reno, core.FIFO)
+	cfg := core.MustConfig(core.WithClients(1), core.WithProtocol(core.Reno))
 	fmt.Println("Table 1. Simulation parameters (reconstructed; see DESIGN.md).")
 	rows := [][2]string{
 		{"client link bandwidth (mu_c)", fmt.Sprintf("%.0f Mbps", cfg.ClientRateBps/1e6)},

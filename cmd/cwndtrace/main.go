@@ -26,6 +26,7 @@ import (
 
 	"tcpburst/internal/core"
 	"tcpburst/internal/runner"
+	"tcpburst/internal/telemetry"
 	"tcpburst/internal/trace"
 )
 
@@ -50,6 +51,10 @@ func run(args []string) error {
 		withQ    = fs.Bool("qlen", false, "also trace the gateway queue length")
 		progress = fs.Bool("progress", false, "render a live progress line on stderr")
 		stats    = fs.Bool("stats", false, "print run telemetry on stderr when done")
+
+		telemetryOn       = fs.Bool("telemetry", false, "stream periodic metric snapshots (implied by -telemetry-out)")
+		telemetryInterval = fs.Duration("telemetry-interval", 100*time.Millisecond, "telemetry snapshot period (simulated time)")
+		telemetryOut      = fs.String("telemetry-out", "", "telemetry stream destination (.csv for CSV, anything else JSONL)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,12 +76,37 @@ func run(args []string) error {
 		return err
 	}
 
-	cfg := core.DefaultConfig(*clients, p, q)
-	cfg.Seed = *seed
-	cfg.Duration = *duration
-	cfg.CwndSampleInterval = *interval
-	cfg.TraceClients = traceClients
-	cfg.TraceQueue = *withQ
+	opts := []core.Option{
+		core.WithClients(*clients),
+		core.WithProtocol(p),
+		core.WithGateway(q),
+		core.WithSeed(*seed),
+		core.WithDuration(*duration),
+		core.WithCwndTracing(*interval, traceClients...),
+	}
+	if *withQ {
+		opts = append(opts, core.WithQueueTrace())
+	}
+	var closeSink func() error
+	if *telemetryOn || *telemetryOut != "" {
+		opts = append(opts, core.WithTelemetry(*telemetryInterval))
+		live := telemetry.NewLiveLine(os.Stderr,
+			"queue.depth", "cov.rtt", "gw.drops", "tcp.timeouts")
+		sink := telemetry.Sink(live)
+		if *telemetryOut != "" {
+			fileSink, closeFn, err := telemetry.OpenFileSink(*telemetryOut)
+			if err != nil {
+				return err
+			}
+			closeSink = closeFn
+			sink = telemetry.MultiSink(fileSink, live)
+		}
+		opts = append(opts, core.WithTelemetrySink(sink))
+	}
+	cfg, err := core.NewConfig(opts...)
+	if err != nil {
+		return err
+	}
 
 	exec := core.ExecOptions{Jobs: 1}
 	var prog *runner.Progress
@@ -87,16 +117,21 @@ func run(args []string) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
-	results, telemetry, err := core.RunBatch(ctx, []core.Config{cfg}, exec)
+	results, batchStats, err := core.RunBatch(ctx, []core.Config{cfg}, exec)
 	if prog != nil {
 		prog.Finish()
+	}
+	if closeSink != nil {
+		if cerr := closeSink(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		return err
 	}
 	res := results[0]
 	if *stats {
-		fmt.Fprint(os.Stderr, telemetry.Table())
+		fmt.Fprint(os.Stderr, batchStats.Table())
 	}
 
 	if *summary {

@@ -22,23 +22,23 @@ func main() {
 	fmt.Println()
 
 	runMix("50/50 split of 50 paper-default clients (queue share < alpha)",
-		core.Config{
-			Duration: 60 * time.Second,
-			Mix: []core.MixEntry{
-				{Protocol: core.Reno, Clients: 25},
-				{Protocol: core.Vegas, Clients: 25},
-			},
-		})
+		core.MustConfig(
+			core.WithDuration(60*time.Second),
+			core.WithMix(
+				core.MixEntry{Protocol: core.Reno, Clients: 25},
+				core.MixEntry{Protocol: core.Vegas, Clients: 25},
+			),
+		))
 
 	runMix("5 Reno + 5 Vegas at 500 pkt/s each (queue share > beta)",
-		core.Config{
-			Duration:     60 * time.Second,
-			MeanInterval: 2 * time.Millisecond,
-			Mix: []core.MixEntry{
-				{Protocol: core.Reno, Clients: 5},
-				{Protocol: core.Vegas, Clients: 5},
-			},
-		})
+		core.MustConfig(
+			core.WithDuration(60*time.Second),
+			core.WithMeanInterval(2*time.Millisecond),
+			core.WithMix(
+				core.MixEntry{Protocol: core.Reno, Clients: 5},
+				core.MixEntry{Protocol: core.Vegas, Clients: 5},
+			),
+		))
 
 	fmt.Println("Reading: with many small flows, Vegas cannot keep even alpha packets")
 	fmt.Println("queued, never backs off, and its fine-grained recovery out-delivers")

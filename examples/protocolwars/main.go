@@ -41,8 +41,11 @@ func main() {
 		fmt.Printf("%-16s %8s %8s %10s %7s %9s %8s\n",
 			"protocol", "cov", "vs pois", "delivered", "loss%", "timeouts", "fairness")
 		for _, cell := range cells {
-			cfg := core.DefaultConfig(regime.clients, cell.Protocol, cell.Gateway)
-			cfg.Duration = 60 * time.Second
+			cfg := core.MustConfig(
+				core.WithClients(regime.clients),
+				core.WithCell(cell),
+				core.WithDuration(60*time.Second),
+			)
 			res, err := core.Run(cfg)
 			if err != nil {
 				log.Fatalf("run %s: %v", cell, err)

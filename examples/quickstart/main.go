@@ -22,8 +22,14 @@ func main() {
 	fmt.Println()
 
 	for _, clients := range []int{20, 50} {
-		cfg := core.DefaultConfig(clients, core.Reno, core.FIFO)
-		cfg.Duration = 60 * time.Second
+		cfg, err := core.NewConfig(
+			core.WithClients(clients),
+			core.WithProtocol(core.Reno),
+			core.WithDuration(60*time.Second),
+		)
+		if err != nil {
+			log.Fatalf("configure experiment: %v", err)
+		}
 
 		res, err := core.Run(cfg)
 		if err != nil {

@@ -21,16 +21,14 @@ const (
 )
 
 func main() {
-	fifo := runCfg(core.DefaultConfig(clients, core.Reno, core.FIFO))
+	fifo := runCfg()
 	fmt.Printf("baseline %d Reno clients, FIFO: cov %.4f  delivered %d  loss %.2f%%\n\n",
 		clients, fifo.COV, fifo.Delivered, fifo.LossPct)
 
 	fmt.Println("RED max_p sweep (min/max thresholds 10/40):")
 	fmt.Printf("%8s %8s %10s %7s %12s %12s\n", "max_p", "cov", "delivered", "loss%", "early drops", "forced drops")
 	for _, maxP := range []float64{0.02, 0.05, 0.1, 0.2, 0.5} {
-		cfg := core.DefaultConfig(clients, core.Reno, core.RED)
-		cfg.REDMaxProb = maxP
-		res := runCfg(cfg)
+		res := runCfg(core.WithGateway(core.RED), core.WithRED(0, 0, 0, maxP))
 		fmt.Printf("%8.2f %8.4f %10d %7.2f %12d %12d\n",
 			maxP, res.COV, res.Delivered, res.LossPct, res.RED.EarlyDrops, res.RED.ForcedDrops)
 	}
@@ -39,24 +37,26 @@ func main() {
 	fmt.Println("RED threshold sweep (max_p 0.1):")
 	fmt.Printf("%12s %8s %10s %7s\n", "min/max", "cov", "delivered", "loss%")
 	for _, th := range [][2]float64{{5, 15}, {10, 30}, {10, 40}, {15, 45}, {20, 49}} {
-		cfg := core.DefaultConfig(clients, core.Reno, core.RED)
-		cfg.REDMinThreshold, cfg.REDMaxThreshold = th[0], th[1]
-		res := runCfg(cfg)
+		res := runCfg(core.WithGateway(core.RED), core.WithRED(th[0], th[1], 0, 0))
 		fmt.Printf("%5g/%-6g %8.4f %10d %7.2f\n", th[0], th[1], res.COV, res.Delivered, res.LossPct)
 	}
 
 	fmt.Println()
 	fmt.Println("ECN extension (mark instead of early-drop, max_p 0.1):")
-	cfg := core.DefaultConfig(clients, core.Reno, core.RED)
-	cfg.REDECN = true
-	res := runCfg(cfg)
+	res := runCfg(core.WithGateway(core.RED), core.WithREDECN())
 	fmt.Printf("  cov %.4f  delivered %d  loss %.2f%%  marks %d\n",
 		res.COV, res.Delivered, res.LossPct, res.RED.Marks)
 }
 
-func runCfg(cfg core.Config) *core.Result {
-	cfg.Duration = duration
-	res, err := core.Run(cfg)
+// runCfg runs the fixed heavy-load scenario with the given overrides;
+// zero-valued RED knobs fall back to the paper defaults.
+func runCfg(opts ...core.Option) *core.Result {
+	opts = append([]core.Option{
+		core.WithClients(clients),
+		core.WithProtocol(core.Reno),
+		core.WithDuration(duration),
+	}, opts...)
+	res, err := core.Run(core.MustConfig(opts...))
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}

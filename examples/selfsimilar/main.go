@@ -51,8 +51,11 @@ func main() {
 }
 
 func runExperiment(p core.Protocol, clients int) *core.Result {
-	cfg := core.DefaultConfig(clients, p, core.FIFO)
-	cfg.Duration = duration
+	cfg := core.MustConfig(
+		core.WithClients(clients),
+		core.WithProtocol(p),
+		core.WithDuration(duration),
+	)
 	res, err := core.Run(cfg)
 	if err != nil {
 		log.Fatalf("run %v: %v", p, err)

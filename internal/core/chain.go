@@ -12,6 +12,7 @@ import (
 	"tcpburst/internal/sim"
 	"tcpburst/internal/stats"
 	"tcpburst/internal/tcp"
+	"tcpburst/internal/telemetry"
 	"tcpburst/internal/traffic"
 	"tcpburst/internal/transport"
 )
@@ -92,6 +93,10 @@ type ChainGroupResult struct {
 
 // ChainResult is the outcome of a parking-lot experiment.
 type ChainResult struct {
+	// SchemaVersion stamps the serialized encoding (SummarySchemaVersion);
+	// the run cache rejects entries stored under a different version.
+	SchemaVersion int `json:"schemaVersion,omitempty"`
+
 	Config ChainConfig
 
 	Long, Hop1, Hop2 ChainGroupResult
@@ -168,7 +173,7 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 
 	mkBottleneckQ := func(stream int64) (queue.Discipline, error) {
 		chainCfg := base
-		q, _, err := buildGatewayQueue(chainCfg, rng.Fork(stream))
+		q, _, err := buildGatewayQueue(chainCfg, rng.Fork(stream), &telem{})
 		if drr, ok := q.(*queue.DRR); ok {
 			drr.OnEvict(pool.Put)
 		}
@@ -351,7 +356,7 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 				f.udpS, f.udpK = sender, sink
 				src = sender
 			}
-			gen, err := buildGenerator(base, sched, rng.Fork(streamOff+int64(i)), src)
+			gen, err := buildGenerator(base, sched, rng.Fork(streamOff+int64(i)), src, telemetry.Counter{})
 			if err != nil {
 				return nil, err
 			}
@@ -402,7 +407,7 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 		return nil, fmt.Errorf("run parking lot: %w", err)
 	}
 
-	res := &ChainResult{Config: cfg, SimEvents: sched.Fired()}
+	res := &ChainResult{SchemaVersion: SummarySchemaVersion, Config: cfg, SimEvents: sched.Fired()}
 	res.Long = summarizeChainGroup(longFlows)
 	res.Hop1 = summarizeChainGroup(hop1Flows)
 	res.Hop2 = summarizeChainGroup(hop2Flows)

@@ -13,6 +13,7 @@ import (
 
 	"tcpburst/internal/sim"
 	"tcpburst/internal/tcp"
+	"tcpburst/internal/telemetry"
 )
 
 // Protocol selects the transport protocol run by every client.
@@ -283,6 +284,22 @@ type Config struct {
 	// (Result.PacketLog).
 	PacketLogCapacity int
 
+	// TelemetryInterval enables the zero-allocation telemetry subsystem
+	// when positive: the run publishes gateway, TCP, queue-discipline, and
+	// traffic counters into a registry sampled every interval of virtual
+	// time, streaming one snapshot record per tick to the sink. Sampling
+	// is read-only, so results are identical with telemetry on or off.
+	TelemetryInterval sim.Duration `json:",omitempty"`
+	// TelemetrySink receives the streamed snapshot records. Nil with
+	// telemetry enabled falls back to an in-memory ring returned in
+	// Result.TelemetryRing. Excluded from JSON, and so from cache keys.
+	TelemetrySink telemetry.Sink `json:"-"`
+	// TelemetrySinkFactory, when set, builds the sink per run from the
+	// defaulted configuration — the hook sweeps use to give each run's
+	// records a distinguishing label on a shared stream. It takes
+	// precedence over TelemetrySink. Excluded from JSON.
+	TelemetrySinkFactory func(Config) telemetry.Sink `json:"-"`
+
 	// DisablePacketPool runs the experiment without the per-simulation
 	// packet pool, allocating every packet. Debug knob: results are
 	// bit-identical either way (the equivalence tests enforce this); the
@@ -445,6 +462,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: wire loss probability %v outside [0,1)", c.WireLossProb)
 	case c.ReverseRateBps < 0:
 		return fmt.Errorf("config: reverse rate %v < 0", c.ReverseRateBps)
+	case c.TelemetryInterval < 0:
+		return fmt.Errorf("config: telemetry interval %v < 0", c.TelemetryInterval)
 	}
 	for _, i := range c.TraceClients {
 		if i < 1 || i > c.Clients {
@@ -481,6 +500,13 @@ func (c Config) clientProtocol(i int) Protocol {
 		i -= m.Clients
 	}
 	return c.Protocol
+}
+
+// Label names the configuration the way the runner's progress lines do:
+// "protocol/gateway n=N seed=S". Sweeps use it to tag per-run telemetry
+// streams sharing one writer.
+func (c Config) Label() string {
+	return fmt.Sprintf("%s n=%d seed=%d", Cell{Protocol: c.Protocol, Gateway: c.Gateway}, c.Clients, c.Seed)
 }
 
 // RTT returns the round-trip propagation delay 2(τc+τs) — the paper's

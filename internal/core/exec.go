@@ -35,20 +35,16 @@ type ExecOptions struct {
 // Cache-key namespaces. Bump the version suffix when the stored encoding
 // changes incompatibly; old entries simply stop hitting.
 const (
-	resultCacheKind = "result/v1"
-	chainCacheKind  = "chain/v1"
+	resultCacheKind = "result/v2"
+	chainCacheKind  = "chain/v2"
 )
 
 // cacheable reports whether cfg's outcome is fully captured by its
 // Summary: congestion-window traces, queue traces, and packet logs are
 // not, so runs that request them bypass the cache entirely.
 func cacheable(cfg Config) bool {
-	return cfg.CwndSampleInterval <= 0 && !cfg.TraceQueue && cfg.PacketLogCapacity <= 0
-}
-
-// jobLabel names a config for progress events and errors.
-func jobLabel(cfg Config) string {
-	return fmt.Sprintf("%s n=%d seed=%d", Cell{Protocol: cfg.Protocol, Gateway: cfg.Gateway}, cfg.Clients, cfg.Seed)
+	return cfg.CwndSampleInterval <= 0 && !cfg.TraceQueue &&
+		cfg.PacketLogCapacity <= 0 && cfg.TelemetryInterval <= 0
 }
 
 // RunBatch executes every configuration across a bounded worker pool and
@@ -70,7 +66,7 @@ func RunBatch(ctx context.Context, cfgs []Config, exec ExecOptions) ([]*Result, 
 			}
 		}
 		jobs[i] = runner.Job[*Result]{
-			Label: jobLabel(c),
+			Label: c.Label(),
 			Key:   key,
 			Do: func(ctx context.Context) (*Result, error) {
 				return RunContext(ctx, c)
@@ -78,10 +74,11 @@ func RunBatch(ctx context.Context, cfgs []Config, exec ExecOptions) ([]*Result, 
 		}
 	}
 	opts := runner.Options[*Result]{
-		Jobs:       exec.Jobs,
-		JobTimeout: exec.JobTimeout,
-		OnEvent:    exec.OnEvent,
-		Weigh:      func(r *Result) uint64 { return r.SimEvents },
+		Jobs:         exec.Jobs,
+		JobTimeout:   exec.JobTimeout,
+		OnEvent:      exec.OnEvent,
+		Weigh:        func(r *Result) uint64 { return r.SimEvents },
+		WeighRecords: func(r *Result) uint64 { return r.TelemetryRecords },
 	}
 	if exec.Cache != nil {
 		opts.Cache = exec.Cache
@@ -92,6 +89,11 @@ func RunBatch(ctx context.Context, cfgs []Config, exec ExecOptions) ([]*Result, 
 			var s Summary
 			if err := json.Unmarshal(data, &s); err != nil {
 				return nil, err
+			}
+			if s.SchemaVersion != SummarySchemaVersion {
+				// Stale entry from an older encoding: treat as a miss so
+				// the job re-runs rather than resurfacing misdecoded data.
+				return nil, fmt.Errorf("cache entry schema %d, want %d", s.SchemaVersion, SummarySchemaVersion)
 			}
 			return ResultFromSummary(defaulted[i], s), nil
 		}
@@ -136,6 +138,9 @@ func RunChainBatch(ctx context.Context, cfgs []ChainConfig, exec ExecOptions) ([
 			var r ChainResult
 			if err := json.Unmarshal(data, &r); err != nil {
 				return nil, err
+			}
+			if r.SchemaVersion != SummarySchemaVersion {
+				return nil, fmt.Errorf("cache entry schema %d, want %d", r.SchemaVersion, SummarySchemaVersion)
 			}
 			return &r, nil
 		}

@@ -13,6 +13,7 @@ import (
 	"tcpburst/internal/sim"
 	"tcpburst/internal/stats"
 	"tcpburst/internal/tcp"
+	"tcpburst/internal/telemetry"
 	"tcpburst/internal/trace"
 	"tcpburst/internal/traffic"
 	"tcpburst/internal/transport"
@@ -141,6 +142,15 @@ type Result struct {
 	// run — the work measure behind the runner's events/sec telemetry.
 	SimEvents uint64
 
+	// Telemetry carries the registry's final counter/gauge/histogram state
+	// when Config.TelemetryInterval was set; nil otherwise.
+	Telemetry *telemetry.Export
+	// TelemetryRecords counts the snapshot records streamed to the sink.
+	TelemetryRecords uint64
+	// TelemetryRing holds the in-memory snapshot buffer when telemetry ran
+	// without an explicit sink; nil otherwise.
+	TelemetryRing *telemetry.Ring
+
 	// Flows holds per-client outcomes.
 	Flows []FlowResult
 	// ByProtocol aggregates per-protocol totals; with a homogeneous
@@ -180,6 +190,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
+	tel := newTelem(cfg)
 
 	// One packet pool per simulation: single-threaded, deterministic, and
 	// torn down with the run. nil (DisablePacketPool) makes every Get a
@@ -195,7 +206,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	gateway.SetPool(pool)
 
 	// Bottleneck gateway→server link with the discipline under study.
-	bottleneckQ, redQ, err := buildGatewayQueue(cfg, rng)
+	bottleneckQ, redQ, err := buildGatewayQueue(cfg, rng, tel)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +222,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		Queue:   bottleneckQ,
 		Dst:     server,
 		Pool:    pool,
+		Metrics: tel.link,
 	}
 	if cfg.WireLossProb > 0 {
 		bottleneckLinkCfg.LossProb = cfg.WireLossProb
@@ -261,16 +273,20 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			pktLog.RecordPacket(now, trace.EventDrop, bottleneck.Name(), p)
 		})
 	}
+	covTap := tel.cov
 	bottleneck.OnArrival(func(now sim.Time, p *packet.Packet) {
 		if p.IsData() {
 			counter.Observe(now)
+			if covTap != nil {
+				covTap.observe(now)
+			}
 		}
 		if pktLog != nil {
 			pktLog.RecordPacket(now, trace.EventArrival, bottleneck.Name(), p)
 		}
 	})
 
-	flows, accessLinks, reverseLinks, err := buildClients(cfg, sched, rng, pool, gateway, server, serverOut)
+	flows, accessLinks, reverseLinks, err := buildClients(cfg, sched, rng, pool, gateway, server, serverOut, tel)
 	if err != nil {
 		return nil, err
 	}
@@ -287,6 +303,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	sampler, cwndSeries, queueSeries, err := buildTracing(cfg, sched, flows, bottleneck)
 	if err != nil {
+		return nil, err
+	}
+	if err := tel.start(cfg, sched, bottleneck, flows); err != nil {
 		return nil, err
 	}
 
@@ -317,6 +336,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	res.Queue = summarizeQueue(queueSamples, cfg.BufferPackets)
 	res.PacketLog = pktLog
 	res.SimEvents = sched.Fired()
+	if err := tel.finish(res); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -414,7 +436,7 @@ func (f *flow) counters() tcp.Counters {
 
 // buildGatewayQueue constructs the bottleneck discipline; the second return
 // is non-nil when it is RED (for stats extraction).
-func buildGatewayQueue(cfg Config, rng *sim.RNG) (queue.Discipline, *queue.RED, error) {
+func buildGatewayQueue(cfg Config, rng *sim.RNG, tel *telem) (queue.Discipline, *queue.RED, error) {
 	switch cfg.Gateway {
 	case FIFO:
 		return queue.NewFIFO(cfg.BufferPackets), nil, nil
@@ -423,6 +445,7 @@ func buildGatewayQueue(cfg Config, rng *sim.RNG) (queue.Discipline, *queue.RED, 
 		if err != nil {
 			return nil, nil, err
 		}
+		drr.SetEvictionMetric(tel.drrEvictions)
 		return drr, nil, nil
 	}
 	red, err := queue.NewRED(queue.REDConfig{
@@ -435,6 +458,7 @@ func buildGatewayQueue(cfg Config, rng *sim.RNG) (queue.Discipline, *queue.RED, 
 		ECN:            cfg.REDECN,
 		Gentle:         cfg.REDGentle,
 		RNG:            rng.Fork(1 << 20),
+		Metrics:        tel.red,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -452,6 +476,7 @@ func buildClients(
 	gateway *node.Gateway,
 	server *node.Host,
 	serverOut *link.Link,
+	tel *telem,
 ) ([]*flow, []*link.Link, []*link.Link, error) {
 	flows := make([]*flow, 0, cfg.Clients)
 	accessLinks := make([]*link.Link, 0, cfg.Clients)
@@ -522,6 +547,7 @@ func buildClients(
 				Vegas:             cfg.Vegas,
 				Sched:             sched,
 				Pool:              pool,
+				Metrics:           tel.tcp,
 			}
 			sendCfg := tcpCfg
 			sendCfg.Out = access
@@ -560,7 +586,7 @@ func buildClients(
 			src = sender
 		}
 
-		gen, err := buildGenerator(cfg, sched, rng.Fork(int64(i+1)), src)
+		gen, err := buildGenerator(cfg, sched, rng.Fork(int64(i+1)), src, tel.appGenerated)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -572,7 +598,7 @@ func buildClients(
 
 // buildGenerator constructs one client's workload source per the traffic
 // model.
-func buildGenerator(cfg Config, sched *sim.Scheduler, rng *sim.RNG, dst transport.Source) (traffic.Generator, error) {
+func buildGenerator(cfg Config, sched *sim.Scheduler, rng *sim.RNG, dst transport.Source, generated telemetry.Counter) (traffic.Generator, error) {
 	switch cfg.Traffic {
 	case TrafficParetoOnOff:
 		// Derive the in-burst interval so the long-run mean rate still
@@ -590,6 +616,7 @@ func buildGenerator(cfg Config, sched *sim.Scheduler, rng *sim.RNG, dst transpor
 			Dst:            dst,
 			Sched:          sched,
 			RNG:            rng,
+			Generated:      generated,
 		})
 	default:
 		return traffic.NewPoisson(traffic.PoissonConfig{
@@ -597,6 +624,7 @@ func buildGenerator(cfg Config, sched *sim.Scheduler, rng *sim.RNG, dst transpor
 			Dst:          dst,
 			Sched:        sched,
 			RNG:          rng,
+			Generated:    generated,
 		})
 	}
 }

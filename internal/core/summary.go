@@ -2,9 +2,17 @@ package core
 
 import "encoding/json"
 
+// SummarySchemaVersion stamps the serialized encodings of Summary and
+// ChainResult. Bump it whenever the JSON shape changes incompatibly; the
+// run cache treats entries stored under any other version as misses.
+const SummarySchemaVersion = 2
+
 // Summary is the flat, JSON-serializable digest of a Result — everything a
 // plotting or tooling pipeline needs without the bulky trace series.
 type Summary struct {
+	// SchemaVersion is SummarySchemaVersion at encoding time.
+	SchemaVersion int `json:"schemaVersion,omitempty"`
+
 	Clients  int    `json:"clients"`
 	Protocol string `json:"protocol"`
 	Gateway  string `json:"gateway"`
@@ -50,11 +58,14 @@ type Summary struct {
 	// SimEvents is the kernel's executed-event count — run telemetry, kept
 	// in the digest so cached results still report throughput.
 	SimEvents uint64 `json:"simEvents,omitempty"`
+	// TelemetryRecords counts snapshot records streamed during the run.
+	TelemetryRecords uint64 `json:"telemetryRecords,omitempty"`
 }
 
 // Summary flattens the result for serialization.
 func (r *Result) Summary() Summary {
 	s := Summary{
+		SchemaVersion:      SummarySchemaVersion,
 		Clients:            r.Config.Clients,
 		Protocol:           r.Config.Protocol.String(),
 		Gateway:            r.Config.Gateway.String(),
@@ -86,6 +97,7 @@ func (r *Result) Summary() Summary {
 		WireLosses:         r.WireLosses,
 		AckDrops:           r.AckDrops,
 		SimEvents:          r.SimEvents,
+		TelemetryRecords:   r.TelemetryRecords,
 	}
 	if r.RED != nil {
 		s.REDEarlyDrops = r.RED.EarlyDrops
@@ -136,7 +148,8 @@ func ResultFromSummary(cfg Config, s Summary) *Result {
 			Max:      s.QueueMax,
 			FullFrac: s.QueueFullFrac,
 		},
-		SimEvents: s.SimEvents,
+		SimEvents:        s.SimEvents,
+		TelemetryRecords: s.TelemetryRecords,
 	}
 	if cfg.Gateway == RED {
 		r.RED = &REDStats{

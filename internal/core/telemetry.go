@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"tcpburst/internal/link"
+	"tcpburst/internal/queue"
+	"tcpburst/internal/sim"
+	"tcpburst/internal/stats"
+	"tcpburst/internal/tcp"
+	"tcpburst/internal/telemetry"
+)
+
+// telem bundles one run's telemetry registry with the preregistered handle
+// sets handed to each subsystem. A disabled run (TelemetryInterval == 0)
+// carries a nil registry: every handle is then the zero value, every
+// publication site a cheap no-op, and the simulation executes the exact
+// event sequence it would without telemetry compiled in at all.
+type telem struct {
+	reg *telemetry.Registry
+
+	link         link.Metrics
+	tcp          tcp.Metrics
+	red          queue.REDMetrics
+	drrEvictions telemetry.Counter
+	appGenerated telemetry.Counter
+
+	// cov accumulates per-RTT-window gateway arrival counts between
+	// snapshots; nil when telemetry is disabled (so the arrival tap pays
+	// one pointer test, same as the packet-log tap).
+	cov *rttCOV
+
+	sampler *telemetry.Sampler
+	ring    *telemetry.Ring
+}
+
+// newTelem builds the registry and all subsystem handle sets, or an inert
+// telem when cfg leaves telemetry disabled. It must run before the links,
+// queues, and transports are constructed so the handles can ride in their
+// configs.
+func newTelem(cfg Config) *telem {
+	t := &telem{}
+	if cfg.TelemetryInterval <= 0 {
+		return t
+	}
+	reg := telemetry.NewRegistry()
+	t.reg = reg
+
+	depthWidth := float64(cfg.BufferPackets) / 10
+	if depthWidth < 1 {
+		depthWidth = 1
+	}
+	t.link = link.Metrics{
+		Arrivals:   reg.Counter("gw.arrivals"),
+		Drops:      reg.Counter("gw.drops"),
+		Departures: reg.Counter("gw.departures"),
+		QueueDepth: reg.Histogram("gw.depth", depthWidth, 10),
+	}
+	t.tcp = tcp.Metrics{
+		DataSent:        reg.Counter("tcp.data_sent"),
+		Retransmits:     reg.Counter("tcp.retransmits"),
+		Timeouts:        reg.Counter("tcp.timeouts"),
+		FastRetransmits: reg.Counter("tcp.fast_rtx"),
+		Delivered:       reg.Counter("tcp.delivered"),
+		AcksSent:        reg.Counter("tcp.acks"),
+	}
+	if cfg.Gateway == RED {
+		t.red = queue.REDMetrics{
+			EarlyDrops:  reg.Counter("red.early_drops"),
+			ForcedDrops: reg.Counter("red.forced_drops"),
+			Marks:       reg.Counter("red.marks"),
+		}
+	}
+	if cfg.Gateway == DRR {
+		t.drrEvictions = reg.Counter("drr.evictions")
+	}
+	t.appGenerated = reg.Counter("app.generated")
+	t.cov = newRTTCOV(cfg.RTT())
+	return t
+}
+
+// enabled reports whether this run publishes telemetry.
+func (t *telem) enabled() bool { return t.reg != nil }
+
+// start registers the probes that need live simulation objects, resolves
+// the sink, and starts the periodic sampler. Call it after the topology is
+// built and before the scheduler runs.
+func (t *telem) start(cfg Config, sched *sim.Scheduler, bottleneck *link.Link, flows []*flow) error {
+	if !t.enabled() {
+		return nil
+	}
+	reg := t.reg
+
+	reg.Probe("queue.depth", func() float64 {
+		return float64(bottleneck.QueueLen())
+	})
+	// Bottleneck utilization over the last sampling interval, from the
+	// delivered-bytes delta.
+	intervalBits := cfg.BottleneckRateBps * cfg.TelemetryInterval.Seconds()
+	var prevBytes uint64
+	reg.Probe("gw.util", func() float64 {
+		cur := bottleneck.Stats().DeliveredBytes
+		delta := cur - prevBytes
+		prevBytes = cur
+		if intervalBits <= 0 {
+			return 0
+		}
+		return float64(delta) * 8 / intervalBits
+	})
+	reg.Probe("sim.events", func() float64 {
+		return float64(sched.Fired())
+	})
+	cov := t.cov
+	reg.Probe("cov.rtt", func() float64 {
+		return cov.sample(sched.Now())
+	})
+	// Per-flow window probes for the same clients cwnd tracing would pick.
+	targets := cfg.TraceClients
+	if len(targets) == 0 {
+		targets = defaultTraceClients(cfg.Clients)
+	}
+	for _, idx := range targets {
+		sender := flows[idx-1].tcpSend
+		if sender == nil {
+			continue // UDP clients have no window to publish
+		}
+		reg.Probe(fmt.Sprintf("cwnd.client%d", idx), sender.Cwnd)
+		reg.Probe(fmt.Sprintf("ssthresh.client%d", idx), sender.Ssthresh)
+	}
+
+	sink := cfg.TelemetrySink
+	if cfg.TelemetrySinkFactory != nil {
+		sink = cfg.TelemetrySinkFactory(cfg)
+	}
+	if sink == nil {
+		t.ring = telemetry.NewRing(int(cfg.Duration/cfg.TelemetryInterval) + 2)
+		sink = t.ring
+	}
+	sampler, err := telemetry.NewSampler(sched, reg, cfg.TelemetryInterval, sink)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := sampler.Start(); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	t.sampler = sampler
+	return nil
+}
+
+// finish takes the final off-grid snapshot (a no-op when the horizon lands
+// on a tick), closes the stream, and records the registry's final state
+// into res. The sink's first error surfaces here: a run whose telemetry
+// stream failed is a failed run.
+func (t *telem) finish(res *Result) error {
+	if t.sampler == nil {
+		return nil
+	}
+	t.sampler.Sample()
+	if err := t.sampler.Close(); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	export := t.reg.Export()
+	res.Telemetry = &export
+	res.TelemetryRecords = t.sampler.Records()
+	res.TelemetryRing = t.ring
+	return nil
+}
+
+// rttCOV tracks the paper's burstiness measure as a live time series: data
+// arrivals at the gateway land in RTT-sized bins, and each telemetry
+// snapshot reads the coefficient of variation of the bins completed since
+// the previous snapshot, then resets — so the "cov.rtt" column shows
+// congestion-control modulation developing during a run rather than one
+// whole-run number.
+type rttCOV struct {
+	window    sim.Duration
+	windowEnd sim.Time
+	count     float64
+	w         stats.Welford
+	last      float64
+}
+
+func newRTTCOV(window sim.Duration) *rttCOV {
+	return &rttCOV{window: window, windowEnd: sim.TimeZero.Add(window)}
+}
+
+// roll closes every bin that ends at or before now, recording zeros for
+// empty ones (matching stats.WindowCounter's binning).
+func (c *rttCOV) roll(now sim.Time) {
+	for !now.Before(c.windowEnd) {
+		c.w.Add(c.count)
+		c.count = 0
+		c.windowEnd = c.windowEnd.Add(c.window)
+	}
+}
+
+// observe records one data-packet arrival.
+func (c *rttCOV) observe(now sim.Time) {
+	c.roll(now)
+	c.count++
+}
+
+// sample returns the c.o.v. of the bins completed since the last sample.
+// Intervals too short to close two bins hold the previous value instead of
+// collapsing to zero.
+func (c *rttCOV) sample(now sim.Time) float64 {
+	c.roll(now)
+	if c.w.Count() >= 2 {
+		c.last = c.w.COV()
+		c.w = stats.Welford{}
+	}
+	return c.last
+}

@@ -10,6 +10,7 @@ import (
 	"tcpburst/internal/packet"
 	"tcpburst/internal/queue"
 	"tcpburst/internal/sim"
+	"tcpburst/internal/telemetry"
 )
 
 // Receiver consumes packets delivered by a link.
@@ -39,6 +40,21 @@ type Config struct {
 	// (after the OnDrop hook runs) and wire losses. A nil Pool leaves
 	// consumed packets to the garbage collector.
 	Pool *packet.Pool
+	// Metrics holds preregistered telemetry handles the link publishes
+	// into on its hot path; the zero value disables publication. The
+	// experiment harness attaches handles to the bottleneck link only.
+	Metrics Metrics
+}
+
+// Metrics bundles the telemetry handles a link publishes when attached.
+type Metrics struct {
+	// Arrivals, Drops and Departures mirror the Stats counters.
+	Arrivals   telemetry.Counter
+	Drops      telemetry.Counter
+	Departures telemetry.Counter
+	// QueueDepth observes the egress queue length after each admitted
+	// arrival — the occupancy distribution at enqueue instants.
+	QueueDepth telemetry.Histogram
 }
 
 // Stats aggregates link counters.
@@ -135,16 +151,21 @@ func (l *Link) OnDrop(fn func(now sim.Time, p *packet.Packet)) { l.onDrop = fn }
 func (l *Link) Send(p *packet.Packet) {
 	now := l.sched.Now()
 	l.stats.Arrivals++
+	l.cfg.Metrics.Arrivals.Inc()
 	if l.onArrival != nil {
 		l.onArrival(now, p)
 	}
 	if !l.cfg.Queue.Enqueue(now, p) {
 		l.stats.Drops++
+		l.cfg.Metrics.Drops.Inc()
 		if l.onDrop != nil {
 			l.onDrop(now, p)
 		}
 		l.cfg.Pool.Put(p)
 		return
+	}
+	if l.cfg.Metrics.QueueDepth.Enabled() {
+		l.cfg.Metrics.QueueDepth.Observe(float64(l.cfg.Queue.Len()))
 	}
 	if !l.busy {
 		l.transmitNext()
@@ -174,6 +195,7 @@ func (l *Link) serializeDone() {
 	p := l.inflight
 	l.inflight = nil
 	l.stats.Departures++
+	l.cfg.Metrics.Departures.Inc()
 	l.stats.DeliveredBytes += uint64(p.Size)
 	if l.cfg.LossProb > 0 && l.cfg.LossRNG.Float64() < l.cfg.LossProb {
 		// Lost on the wire: it consumed transmission time but

@@ -5,6 +5,7 @@ import (
 
 	"tcpburst/internal/packet"
 	"tcpburst/internal/sim"
+	"tcpburst/internal/telemetry"
 )
 
 // DRR is a deficit-round-robin fair queue (Shreedhar & Varghese, 1995):
@@ -33,6 +34,9 @@ type DRR struct {
 	total int
 
 	evictions uint64
+	// evictionMetric mirrors evictions into the telemetry registry when
+	// attached via SetEvictionMetric; the zero handle is a no-op.
+	evictionMetric telemetry.Counter
 
 	// onEvict, if set, receives each packet displaced by longest-queue
 	// drop. Eviction consumes the packet — unlike an Enqueue rejection,
@@ -141,6 +145,10 @@ func (q *DRR) Cap() int { return q.capacity }
 // longest-queue drop.
 func (q *DRR) Evictions() uint64 { return q.evictions }
 
+// SetEvictionMetric attaches a telemetry counter mirrored by every
+// longest-queue eviction.
+func (q *DRR) SetEvictionMetric(c telemetry.Counter) { q.evictionMetric = c }
+
 // OnEvict registers fn to receive every packet displaced by longest-queue
 // drop. Passing nil clears the hook.
 func (q *DRR) OnEvict(fn func(p *packet.Packet)) { q.onEvict = fn }
@@ -184,6 +192,7 @@ func (q *DRR) evictFrom(f *drrFlow) {
 	f.pkts = f.pkts[:n]
 	q.total--
 	q.evictions++
+	q.evictionMetric.Inc()
 	if q.onEvict != nil {
 		q.onEvict(victim)
 	}

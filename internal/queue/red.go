@@ -6,6 +6,7 @@ import (
 
 	"tcpburst/internal/packet"
 	"tcpburst/internal/sim"
+	"tcpburst/internal/telemetry"
 )
 
 // REDConfig parameterizes a random-early-detection gateway queue
@@ -42,6 +43,16 @@ type REDConfig struct {
 	Gentle bool
 	// RNG supplies the drop coin flips. Required.
 	RNG *sim.RNG
+	// Metrics holds preregistered telemetry handles mirrored by the
+	// early/forced/mark counters; the zero value disables publication.
+	Metrics REDMetrics
+}
+
+// REDMetrics bundles the telemetry handles a RED queue publishes.
+type REDMetrics struct {
+	EarlyDrops  telemetry.Counter
+	ForcedDrops telemetry.Counter
+	Marks       telemetry.Counter
 }
 
 // Validate reports the first configuration error, or nil.
@@ -110,6 +121,7 @@ func (q *RED) Enqueue(now sim.Time, p *packet.Packet) bool {
 			if q.cfg.RNG.Float64() < pb {
 				q.count = 0
 				q.earlyDrops++
+				q.cfg.Metrics.EarlyDrops.Inc()
 				return false
 			}
 			break
@@ -117,6 +129,7 @@ func (q *RED) Enqueue(now sim.Time, p *packet.Packet) bool {
 		// Average beyond (gentle: twice) the max threshold: forced drop.
 		q.count = 0
 		q.forcedDrops++
+		q.cfg.Metrics.ForcedDrops.Inc()
 		return false
 	case q.avg >= q.cfg.MinThreshold:
 		q.count++
@@ -124,9 +137,11 @@ func (q *RED) Enqueue(now sim.Time, p *packet.Packet) bool {
 			q.count = 0
 			if q.cfg.ECN {
 				q.marks++
+				q.cfg.Metrics.Marks.Inc()
 				p.ECE = true
 			} else {
 				q.earlyDrops++
+				q.cfg.Metrics.EarlyDrops.Inc()
 				return false
 			}
 		}
@@ -138,6 +153,7 @@ func (q *RED) Enqueue(now sim.Time, p *packet.Packet) bool {
 		// Physical buffer overflow: forced drop.
 		q.count = 0
 		q.forcedDrops++
+		q.cfg.Metrics.ForcedDrops.Inc()
 		return false
 	}
 	q.idleSince = sim.TimeMax

@@ -118,6 +118,12 @@ func (s *Store) Put(key string, data []byte) error {
 	}
 	if err := os.Rename(tmpName, dst); err != nil {
 		os.Remove(tmpName)
+		// Keys are content addresses, so a concurrent writer that won the
+		// rename race stored byte-identical data: an existing destination
+		// means the put succeeded, whoever performed it.
+		if _, statErr := os.Stat(dst); statErr == nil {
+			return nil
+		}
 		return fmt.Errorf("runcache: put %s: %w", key, err)
 	}
 	return nil

@@ -110,6 +110,10 @@ func (s Stats) Table() string {
 		fmt.Fprintf(&sb, "  sim events  %s · %s ev/s aggregate\n",
 			siCount(float64(s.SimEvents)), siCount(s.EventsPerSec()))
 	}
+	if s.TelemetryRecords > 0 {
+		fmt.Fprintf(&sb, "  telemetry   %s snapshot records streamed\n",
+			siCount(float64(s.TelemetryRecords)))
+	}
 	return sb.String()
 }
 

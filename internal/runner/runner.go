@@ -61,6 +61,9 @@ type Options[T any] struct {
 	// Weigh extracts a work measure from a result (the simulator reports
 	// events processed); it feeds Event.SimEvents and Stats.SimEvents.
 	Weigh func(T) uint64
+	// WeighRecords extracts a result's streamed telemetry-record count; it
+	// feeds Event.Records and Stats.TelemetryRecords.
+	WeighRecords func(T) uint64
 }
 
 // EventKind classifies a progress event.
@@ -108,6 +111,8 @@ type Event struct {
 	Wall time.Duration
 	// SimEvents is the job's simulated-event count per Options.Weigh.
 	SimEvents uint64
+	// Records is the job's telemetry-record count per Options.WeighRecords.
+	Records uint64
 	// Done and Total snapshot batch completion after this event.
 	Done, Total int
 }
@@ -142,6 +147,9 @@ type Stats struct {
 	// SimEvents totals the simulated events processed across all jobs
 	// (fresh and cached), per Options.Weigh.
 	SimEvents uint64
+	// TelemetryRecords totals the telemetry records streamed across all
+	// jobs, per Options.WeighRecords.
+	TelemetryRecords uint64
 }
 
 // Add merges two batches' telemetry (counts and times sum).
@@ -154,6 +162,7 @@ func (s Stats) Add(o Stats) Stats {
 	s.Wall += o.Wall
 	s.JobWall += o.JobWall
 	s.SimEvents += o.SimEvents
+	s.TelemetryRecords += o.TelemetryRecords
 	return s
 }
 
@@ -272,17 +281,21 @@ func runJob[T any](
 	if job.Key != "" && opts.Cache != nil && opts.Decode != nil {
 		if data, ok, err := opts.Cache.Get(job.Key); err == nil && ok {
 			if v, err := opts.Decode(i, data); err == nil {
-				var ev uint64
+				var ev, recs uint64
 				if opts.Weigh != nil {
 					ev = opts.Weigh(v)
+				}
+				if opts.WeighRecords != nil {
+					recs = opts.WeighRecords(v)
 				}
 				results[i] = v
 				mu.Lock()
 				stats.Cached++
 				stats.SimEvents += ev
+				stats.TelemetryRecords += recs
 				emit(Event{
 					Kind: EventCached, Job: i, Label: job.Label,
-					Wall: time.Since(start), SimEvents: ev, Done: finished(),
+					Wall: time.Since(start), SimEvents: ev, Records: recs, Done: finished(),
 				})
 				mu.Unlock()
 				return
@@ -324,18 +337,22 @@ func runJob[T any](
 			_ = opts.Cache.Put(job.Key, data)
 		}
 	}
-	var evCount uint64
+	var evCount, recCount uint64
 	if opts.Weigh != nil {
 		evCount = opts.Weigh(v)
+	}
+	if opts.WeighRecords != nil {
+		recCount = opts.WeighRecords(v)
 	}
 	results[i] = v
 	mu.Lock()
 	stats.Ran++
 	stats.JobWall += wall
 	stats.SimEvents += evCount
+	stats.TelemetryRecords += recCount
 	emit(Event{
 		Kind: EventDone, Job: i, Label: job.Label,
-		Wall: wall, SimEvents: evCount, Done: finished(),
+		Wall: wall, SimEvents: evCount, Records: recCount, Done: finished(),
 	})
 	mu.Unlock()
 }

@@ -92,6 +92,7 @@ func growWindow(s *Sender) {
 // gentler decrease is what keeps Vegas's aggregate traffic smooth.
 func enterFastRetransmit(s *Sender, flavor Variant) {
 	s.counters.FastRetransmits++
+	s.cfg.Metrics.FastRetransmits.Inc()
 	if flavor == Vegas {
 		s.ssthresh = math.Max(float64(s.FlightSize())*3/4, 2)
 	} else {

@@ -296,12 +296,14 @@ func (s *Sender) transmit(seq int64) {
 	if seg.live {
 		seg.rtxed = true
 		s.counters.Retransmits++
+		s.cfg.Metrics.Retransmits.Inc()
 	} else {
 		seg.live = true
 		seg.rtxed = false
 	}
 	seg.sentAt = now
 	s.counters.DataSent++
+	s.cfg.Metrics.DataSent.Inc()
 	p := s.cfg.Pool.Get()
 	p.Kind = packet.Data
 	p.Flow = s.cfg.Flow
@@ -382,6 +384,7 @@ func (s *Sender) onTimeout() {
 		return
 	}
 	s.counters.Timeouts++
+	s.cfg.Metrics.Timeouts.Inc()
 	if s.backoff < 64 {
 		s.backoff *= 2
 	}

@@ -143,12 +143,14 @@ func (s *Sink) Receive(p *packet.Packet) {
 	case echo.seq == s.rcvNxt:
 		s.rcvNxt++
 		s.delivered++
+		s.cfg.Metrics.Delivered.Inc()
 		// Drain any contiguous out-of-order run.
 		for s.oooCnt > 0 && s.oooHas(s.rcvNxt) {
 			s.oooClear(s.rcvNxt)
 			s.oooCnt--
 			s.rcvNxt++
 			s.delivered++
+			s.cfg.Metrics.Delivered.Inc()
 		}
 		if s.oooCnt > 0 {
 			// Still a hole above us: keep the dup-ACK clock running
@@ -216,6 +218,7 @@ func (s *Sink) flushPending() {
 // additionally reports its out-of-order holdings.
 func (s *Sink) sendAck(echo ackEcho) {
 	s.acksSent++
+	s.cfg.Metrics.AcksSent.Inc()
 	p := s.cfg.Pool.Get()
 	p.Kind = packet.Ack
 	p.Flow = s.cfg.Flow

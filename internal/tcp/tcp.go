@@ -17,6 +17,7 @@ import (
 
 	"tcpburst/internal/packet"
 	"tcpburst/internal/sim"
+	"tcpburst/internal/telemetry"
 	"tcpburst/internal/transport"
 )
 
@@ -105,6 +106,22 @@ type Config struct {
 	// ACKs). A nil Pool allocates per packet — semantically identical,
 	// used to verify pooled runs bit-for-bit.
 	Pool *packet.Pool
+	// Metrics holds preregistered telemetry handles published on the hot
+	// path; the zero value disables publication. The experiment harness
+	// shares one handle set across every flow, so these aggregate.
+	Metrics Metrics
+}
+
+// Metrics bundles the telemetry handles TCP endpoints publish when
+// attached. Sender-side counters mirror Counters; Delivered and AcksSent
+// come from the sink.
+type Metrics struct {
+	DataSent        telemetry.Counter
+	Retransmits     telemetry.Counter
+	Timeouts        telemetry.Counter
+	FastRetransmits telemetry.Counter
+	Delivered       telemetry.Counter
+	AcksSent        telemetry.Counter
 }
 
 // withDefaults fills zero-valued tunables with paper-era defaults.

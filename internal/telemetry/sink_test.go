@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRingRetainsRecentRecords(t *testing.T) {
+	r := NewRing(3)
+	if err := r.Begin([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.Record(float64(i), []float64{float64(i * 10), float64(i * 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Count() != 5 || r.Len() != 3 {
+		t.Fatalf("count=%d len=%d, want 5/3", r.Count(), r.Len())
+	}
+	// Oldest retained is record 2.
+	for i := 0; i < 3; i++ {
+		ts, row := r.At(i)
+		want := float64(i + 2)
+		if ts != want || row[0] != want*10 || row[1] != want*100 {
+			t.Fatalf("At(%d) = %g %v, want t=%g", i, ts, row, want)
+		}
+	}
+	if got := r.Value(1, "b"); got != 300 {
+		t.Fatalf("Value(1, b) = %g, want 300", got)
+	}
+	if r.FieldIndex("missing") != -1 || r.Value(0, "missing") != 0 {
+		t.Fatal("missing field should be -1 / 0")
+	}
+}
+
+func TestRingRecordAllocs(t *testing.T) {
+	r := NewRing(64)
+	if err := r.Begin([]string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{1, 2, 3}
+	if avg := testing.AllocsPerRun(1000, func() {
+		_ = r.Record(1.5, row)
+	}); avg != 0 {
+		t.Fatalf("ring record allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestJSONLStream(t *testing.T) {
+	var sb strings.Builder
+	s := NewJSONLRun(&sb, "reno n=45 seed=1")
+	if err := s.Begin([]string{"gw.arrivals", "cov.rtt"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(0.5, []float64{42, 0.125}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(1, []float64{50, math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec["t"] != 0.5 || rec["run"] != "reno n=45 seed=1" || rec["gw.arrivals"] != 42.0 || rec["cov.rtt"] != 0.125 {
+		t.Fatalf("record = %v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("NaN line not JSON: %v", err)
+	}
+	if rec["cov.rtt"] != 0.0 {
+		t.Fatalf("NaN should sanitize to 0, got %v", rec["cov.rtt"])
+	}
+}
+
+func TestCSVStream(t *testing.T) {
+	var sb strings.Builder
+	s := NewCSV(&sb)
+	if err := s.Begin([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(0.1, []float64{1, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	want := "t,a,b\n0.1,1,2.5\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	m := MultiSink(a, b)
+	if err := m.Begin([]string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record(1, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 1 || b.Count() != 1 {
+		t.Fatalf("counts = %d/%d, want 1/1", a.Count(), b.Count())
+	}
+}
+
+func TestLiveLineSkipsMissingFields(t *testing.T) {
+	var sb strings.Builder
+	l := NewLiveLine(&sb, "present", "missing")
+	l.every = 0 // no wall-clock throttle in tests
+	if err := l.Begin([]string{"present"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(1.5, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "present=42") || strings.Contains(out, "missing") {
+		t.Fatalf("live line = %q", out)
+	}
+}

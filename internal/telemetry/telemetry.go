@@ -1,0 +1,339 @@
+// Package telemetry is the simulator's zero-allocation observability
+// layer: a metrics registry of monotonic counters, gauges, and
+// fixed-bucket histograms stored in dense id-indexed slices (matching the
+// dense-state style of the transport and queue hot paths), published into
+// via preregistered integer handles — no maps, no interface dispatch, and
+// no allocations on the steady-state path. A periodic Sampler driven by
+// the simulation scheduler snapshots the registry into streaming
+// time-series records consumed by pluggable sinks (JSONL, CSV, an
+// in-memory ring for tests).
+//
+// Handles are value types carrying the registry pointer and a dense id.
+// The zero handle — what registering against a nil *Registry returns — is
+// a no-op, so instrumented components pay one predictable nil-check branch
+// per publication when telemetry is disabled and a single indexed
+// increment when enabled. Registration (NewRegistry, Counter, Gauge,
+// Histogram, Probe) happens at experiment setup and may allocate;
+// everything after Sampler.Start is allocation-free.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Registry holds every metric of one experiment in dense id-indexed
+// slices. It is not safe for concurrent use; each simulation owns its own
+// registry, matching the single-threaded event kernel.
+type Registry struct {
+	counters     []uint64
+	counterNames []string
+	gauges       []float64
+	gaugeNames   []string
+	probes       []func() float64
+	probeNames   []string
+	hists        []hist
+
+	// byName deduplicates registration so independent components can share
+	// one aggregate metric ("tcp.timeouts") by name. Never touched after
+	// setup.
+	byName map[string]struct{ kind, id int32 }
+
+	// fields caches the snapshot column names; built lazily, invalidated
+	// by registration.
+	fields []string
+}
+
+// hist is one fixed-bucket histogram: bucket i counts observations in
+// [i*width, (i+1)*width), with a final overflow bucket.
+type hist struct {
+	name   string
+	width  float64
+	counts []uint64
+}
+
+// Registration kinds for byName dedupe.
+const (
+	kindCounter int32 = iota
+	kindGauge
+	kindProbe
+	kindHistogram
+)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]struct{ kind, id int32 })}
+}
+
+// lookup returns the existing id for name if it was registered with the
+// same kind, panicking on a cross-kind collision (a wiring bug worth
+// failing loudly at setup, not a runtime condition).
+func (r *Registry) lookup(name string, kind int32) (int32, bool) {
+	e, ok := r.byName[name]
+	if !ok {
+		return 0, false
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("telemetry: %q registered with two kinds", name))
+	}
+	return e.id, true
+}
+
+func (r *Registry) remember(name string, kind, id int32) {
+	r.byName[name] = struct{ kind, id int32 }{kind, id}
+	r.fields = nil
+}
+
+// Counter registers (or finds) the named monotonic counter and returns its
+// handle. A nil registry returns the no-op zero handle.
+func (r *Registry) Counter(name string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	if id, ok := r.lookup(name, kindCounter); ok {
+		return Counter{reg: r, id: id}
+	}
+	id := int32(len(r.counters))
+	r.counters = append(r.counters, 0)
+	r.counterNames = append(r.counterNames, name)
+	r.remember(name, kindCounter, id)
+	return Counter{reg: r, id: id}
+}
+
+// Gauge registers (or finds) the named gauge — a last-write-wins float the
+// owner sets explicitly. A nil registry returns the no-op zero handle.
+func (r *Registry) Gauge(name string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	if id, ok := r.lookup(name, kindGauge); ok {
+		return Gauge{reg: r, id: id}
+	}
+	id := int32(len(r.gauges))
+	r.gauges = append(r.gauges, 0)
+	r.gaugeNames = append(r.gaugeNames, name)
+	r.remember(name, kindGauge, id)
+	return Gauge{reg: r, id: id}
+}
+
+// Probe registers a polled gauge: fn is invoked at every snapshot and its
+// result becomes the named column. Probes let read-only state (queue
+// depth, cwnd, kernel event count) be observed without pushing on the hot
+// path. No-op on a nil registry; re-registering a name replaces its fn.
+func (r *Registry) Probe(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	if id, ok := r.lookup(name, kindProbe); ok {
+		r.probes[id] = fn
+		return
+	}
+	id := int32(len(r.probes))
+	r.probes = append(r.probes, fn)
+	r.probeNames = append(r.probeNames, name)
+	r.remember(name, kindProbe, id)
+}
+
+// Histogram registers (or finds) the named fixed-bucket histogram with the
+// given bucket width and count (plus an implicit overflow bucket). A nil
+// registry returns the no-op zero handle.
+func (r *Registry) Histogram(name string, width float64, buckets int) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	if width <= 0 || buckets < 1 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs positive width and buckets", name))
+	}
+	if id, ok := r.lookup(name, kindHistogram); ok {
+		return Histogram{reg: r, id: id}
+	}
+	id := int32(len(r.hists))
+	r.hists = append(r.hists, hist{name: name, width: width, counts: make([]uint64, buckets+1)})
+	r.remember(name, kindHistogram, id)
+	return Histogram{reg: r, id: id}
+}
+
+// Fields returns the snapshot column names in registration order:
+// counters, gauges, probes, then histogram buckets ("name.le8", ...,
+// "name.inf"). The slice is cached; callers must not mutate it.
+func (r *Registry) Fields() []string {
+	if r == nil {
+		return nil
+	}
+	if r.fields != nil {
+		return r.fields
+	}
+	n := len(r.counterNames) + len(r.gaugeNames) + len(r.probeNames)
+	for _, h := range r.hists {
+		n += len(h.counts)
+	}
+	fields := make([]string, 0, n)
+	fields = append(fields, r.counterNames...)
+	fields = append(fields, r.gaugeNames...)
+	fields = append(fields, r.probeNames...)
+	for _, h := range r.hists {
+		for i := 0; i < len(h.counts)-1; i++ {
+			fields = append(fields, fmt.Sprintf("%s.le%g", h.name, h.width*float64(i+1)))
+		}
+		fields = append(fields, h.name+".inf")
+	}
+	r.fields = fields
+	return fields
+}
+
+// Snapshot appends the current value of every field (in Fields order) to
+// dst[:0] and returns it. Probes are polled here. Allocation-free once dst
+// has the required capacity.
+func (r *Registry) Snapshot(dst []float64) []float64 {
+	dst = dst[:0]
+	if r == nil {
+		return dst
+	}
+	for _, c := range r.counters {
+		dst = append(dst, float64(c))
+	}
+	dst = append(dst, r.gauges...)
+	for _, fn := range r.probes {
+		dst = append(dst, fn())
+	}
+	for _, h := range r.hists {
+		for _, c := range h.counts {
+			dst = append(dst, float64(c))
+		}
+	}
+	return dst
+}
+
+// Export is the final state of a registry, map-keyed for JSON consumers.
+type Export struct {
+	// Counters holds the monotonic totals.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges holds the final gauge and probe values.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms holds cumulative bucket counts keyed by the same
+	// "name.leX"/"name.inf" labels the snapshot columns use.
+	Histograms map[string]uint64 `json:"histograms,omitempty"`
+}
+
+// Export reads out the registry's final values (polling every probe).
+// End-of-run only: it allocates.
+func (r *Registry) Export() Export {
+	var e Export
+	if r == nil {
+		return e
+	}
+	if len(r.counters) > 0 {
+		e.Counters = make(map[string]uint64, len(r.counters))
+		for i, c := range r.counters {
+			e.Counters[r.counterNames[i]] = c
+		}
+	}
+	if len(r.gauges)+len(r.probes) > 0 {
+		e.Gauges = make(map[string]float64, len(r.gauges)+len(r.probes))
+		for i, g := range r.gauges {
+			e.Gauges[r.gaugeNames[i]] = g
+		}
+		for i, fn := range r.probes {
+			e.Gauges[r.probeNames[i]] = fn()
+		}
+	}
+	if len(r.hists) > 0 {
+		e.Histograms = make(map[string]uint64)
+		for _, h := range r.hists {
+			for i, c := range h.counts {
+				if i == len(h.counts)-1 {
+					e.Histograms[h.name+".inf"] = c
+				} else {
+					e.Histograms[fmt.Sprintf("%s.le%g", h.name, h.width*float64(i+1))] = c
+				}
+			}
+		}
+	}
+	return e
+}
+
+// Counter is a handle to one monotonic counter. The zero value is a no-op,
+// so instrumented code publishes unconditionally and pays only a nil check
+// when telemetry is disabled.
+type Counter struct {
+	reg *Registry
+	id  int32
+}
+
+// Inc adds one.
+func (c Counter) Inc() {
+	if c.reg != nil {
+		c.reg.counters[c.id]++
+	}
+}
+
+// Add adds n.
+func (c Counter) Add(n uint64) {
+	if c.reg != nil {
+		c.reg.counters[c.id] += n
+	}
+}
+
+// Value returns the current count (0 for the zero handle).
+func (c Counter) Value() uint64 {
+	if c.reg == nil {
+		return 0
+	}
+	return c.reg.counters[c.id]
+}
+
+// Enabled reports whether the handle publishes anywhere — the guard for
+// call sites where computing the observed value itself costs something.
+func (c Counter) Enabled() bool { return c.reg != nil }
+
+// Gauge is a handle to one last-write-wins gauge. The zero value is a
+// no-op.
+type Gauge struct {
+	reg *Registry
+	id  int32
+}
+
+// Set stores v.
+func (g Gauge) Set(v float64) {
+	if g.reg != nil {
+		g.reg.gauges[g.id] = v
+	}
+}
+
+// Value returns the current value (0 for the zero handle).
+func (g Gauge) Value() float64 {
+	if g.reg == nil {
+		return 0
+	}
+	return g.reg.gauges[g.id]
+}
+
+// Enabled reports whether the handle publishes anywhere.
+func (g Gauge) Enabled() bool { return g.reg != nil }
+
+// Histogram is a handle to one fixed-bucket histogram. The zero value is a
+// no-op.
+type Histogram struct {
+	reg *Registry
+	id  int32
+}
+
+// Observe counts v into its bucket; negative and NaN observations land in
+// bucket 0, values past the last edge in the overflow bucket.
+func (h Histogram) Observe(v float64) {
+	if h.reg == nil {
+		return
+	}
+	hd := &h.reg.hists[h.id]
+	i := 0
+	if v > 0 && !math.IsNaN(v) {
+		i = int(v / hd.width)
+		if i >= len(hd.counts) {
+			i = len(hd.counts) - 1
+		}
+	}
+	hd.counts[i]++
+}
+
+// Enabled reports whether the handle publishes anywhere.
+func (h Histogram) Enabled() bool { return h.reg != nil }

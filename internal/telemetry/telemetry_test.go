@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRegistryHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts")
+	g := r.Gauge("depth")
+	h := r.Histogram("occ", 10, 3)
+	r.Probe("cwnd", func() float64 { return 7 })
+
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %g, want 3.5", got)
+	}
+	h.Observe(0)    // bucket le10
+	h.Observe(9.9)  // bucket le10
+	h.Observe(15)   // bucket le20
+	h.Observe(29.9) // bucket le30
+	h.Observe(30)   // overflow
+	h.Observe(1e9)  // overflow
+	h.Observe(-1)   // clamped to bucket 0
+	h.Observe(math.NaN())
+
+	wantFields := []string{"pkts", "depth", "cwnd", "occ.le10", "occ.le20", "occ.le30", "occ.inf"}
+	if got := r.Fields(); !reflect.DeepEqual(got, wantFields) {
+		t.Fatalf("fields = %v, want %v", got, wantFields)
+	}
+	snap := r.Snapshot(nil)
+	want := []float64{5, 3.5, 7, 4, 1, 1, 2}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+}
+
+func TestRegistryDedupeByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("tcp.timeouts")
+	b := r.Counter("tcp.timeouts")
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Fatalf("shared counter = %d, want 2", got)
+	}
+	if n := len(r.Fields()); n != 1 {
+		t.Fatalf("fields = %d, want 1", n)
+	}
+}
+
+func TestRegistryCrossKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on cross-kind registration")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c", 1, 1)
+	r.Probe("d", func() float64 { return 1 })
+	c.Inc()
+	c.Add(3)
+	g.Set(9)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("zero handles should read 0")
+	}
+	if c.Enabled() || g.Enabled() || h.Enabled() {
+		t.Fatal("zero handles should report disabled")
+	}
+	if r.Fields() != nil || len(r.Snapshot(nil)) != 0 {
+		t.Fatal("nil registry should snapshot nothing")
+	}
+	if e := r.Export(); e.Counters != nil || e.Gauges != nil {
+		t.Fatal("nil registry should export nothing")
+	}
+}
+
+func TestExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(1.5)
+	r.Probe("p", func() float64 { return 4 })
+	r.Histogram("h", 2, 2).Observe(3)
+	e := r.Export()
+	if e.Counters["a"] != 2 || e.Gauges["b"] != 1.5 || e.Gauges["p"] != 4 {
+		t.Fatalf("export = %+v", e)
+	}
+	if e.Histograms["h.le4"] != 1 || e.Histograms["h.inf"] != 0 {
+		t.Fatalf("export histograms = %+v", e.Histograms)
+	}
+}
+
+// TestHandleAllocs is the ISSUE's counter-path alloc budget: publishing
+// into enabled and disabled handles must not allocate.
+func TestHandleAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", 4, 8)
+	var zc Counter
+	var zg Gauge
+	var zh Histogram
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		h.Observe(5)
+		zc.Inc()
+		zg.Set(1)
+		zh.Observe(5)
+	}); avg != 0 {
+		t.Fatalf("handle operations allocate %.1f/op, want 0", avg)
+	}
+}
+
+// TestSnapshotAllocs: polling the registry into a reused row must not
+// allocate once the row has capacity.
+func TestSnapshotAllocs(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"a", "b", "c"} {
+		r.Counter(n)
+	}
+	r.Probe("p", func() float64 { return 1 })
+	r.Histogram("h", 1, 4)
+	row := make([]float64, 0, len(r.Fields()))
+	if avg := testing.AllocsPerRun(1000, func() {
+		row = r.Snapshot(row)
+	}); avg != 0 {
+		t.Fatalf("snapshot allocates %.1f/op, want 0", avg)
+	}
+}

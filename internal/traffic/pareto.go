@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcpburst/internal/sim"
+	"tcpburst/internal/telemetry"
 	"tcpburst/internal/transport"
 )
 
@@ -25,6 +26,9 @@ type ParetoOnOffConfig struct {
 	Sched *sim.Scheduler
 	// RNG supplies the Pareto variates. Required.
 	RNG *sim.RNG
+	// Generated, when attached, counts every emitted packet into the
+	// telemetry registry; the zero handle is a no-op.
+	Generated telemetry.Counter
 }
 
 // ParetoOnOff is a heavy-tailed on/off packet source.
@@ -122,6 +126,7 @@ func (g *ParetoOnOff) emit() {
 		return
 	}
 	g.generated++
+	g.cfg.Generated.Inc()
 	g.cfg.Dst.Submit()
 	g.pending = g.cfg.Sched.After(g.cfg.PacketInterval, g.emitFn)
 }

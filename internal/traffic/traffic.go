@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"tcpburst/internal/sim"
+	"tcpburst/internal/telemetry"
 	"tcpburst/internal/transport"
 )
 
@@ -33,6 +34,9 @@ type PoissonConfig struct {
 	Sched *sim.Scheduler
 	// RNG supplies the exponential variates. Required.
 	RNG *sim.RNG
+	// Generated, when attached, counts every emitted packet into the
+	// telemetry registry; the zero handle is a no-op.
+	Generated telemetry.Counter
 }
 
 // Poisson emits single packets with exponentially distributed
@@ -93,6 +97,7 @@ func (g *Poisson) emit() {
 		return
 	}
 	g.generated++
+	g.cfg.Generated.Inc()
 	g.cfg.Dst.Submit()
 	g.scheduleNext()
 }
@@ -105,6 +110,9 @@ type CBRConfig struct {
 	Dst transport.Source
 	// Sched is the simulation kernel. Required.
 	Sched *sim.Scheduler
+	// Generated, when attached, counts every emitted packet into the
+	// telemetry registry; the zero handle is a no-op.
+	Generated telemetry.Counter
 }
 
 // CBR emits packets at a fixed interval.
@@ -158,6 +166,7 @@ func (g *CBR) emit() {
 		return
 	}
 	g.generated++
+	g.cfg.Generated.Inc()
 	g.cfg.Dst.Submit()
 	g.pending = g.cfg.Sched.After(g.cfg.Interval, g.emitFn)
 }
