@@ -1,0 +1,46 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; keep the pinned tool versions here and there in sync.
+
+STATICCHECK_VERSION = 2024.1.1
+GOVULNCHECK_VERSION = v1.1.3
+
+.PHONY: all build test race lint burstlint vet-burstlint staticcheck govulncheck golden bench
+
+all: build test lint
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+## lint: everything the CI lint job runs.
+lint: burstlint staticcheck govulncheck
+
+## burstlint: the repo's own invariant analyzers (see internal/analysis).
+burstlint:
+	go run ./cmd/burstlint ./...
+
+## vet-burstlint: the same analyzers through go vet's driver and cache.
+vet-burstlint:
+	go build -o $(CURDIR)/bin/burstlint ./cmd/burstlint
+	go vet -vettool=$(CURDIR)/bin/burstlint ./...
+
+staticcheck:
+	go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	staticcheck ./...
+
+govulncheck:
+	go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+	govulncheck ./...
+
+## golden: regenerate the behavior-preservation digest table. Justify any
+## diff in review: a changed digest is a changed simulation.
+golden:
+	go test ./internal/core -run TestGoldenSummaries -update-golden
+
+bench:
+	go test -bench='Kernel|ExperimentPackets|TransportRoundTrip' -benchtime=100x -benchmem -run '^$$' ./...

@@ -1,0 +1,217 @@
+// Command burstlint machine-checks the simulator's determinism,
+// packet-ownership, telemetry-handle, and float-comparison invariants
+// (see internal/analysis). Two modes:
+//
+// Standalone, over go list patterns:
+//
+//	go run ./cmd/burstlint ./...
+//	go run ./cmd/burstlint -analyzers nondeterminism,floateq ./internal/...
+//
+// As a go vet tool, which runs it per package with vet's caching and
+// test-file awareness:
+//
+//	go build -o /tmp/burstlint ./cmd/burstlint
+//	go vet -vettool=/tmp/burstlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tcpburst/internal/analysis"
+	"tcpburst/internal/analysis/burstlint"
+	"tcpburst/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("burstlint", flag.ContinueOnError)
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	version := fs.String("V", "", "version flag used by the go vet driver")
+	schema := fs.Bool("flags", false, "print the driver flag schema used by the go vet driver")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: burstlint [-analyzers a,b] packages...\n\nAnalyzers:\n")
+		for _, a := range burstlint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// go vet probes its tool with -V=full before handing it package
+	// config files; answer with the expected "name version x" line.
+	if *version != "" {
+		// The driver parses a trailing buildID= token to key vet's result
+		// cache; hash the executable so rebuilding burstlint invalidates it.
+		id := "unknown"
+		if exe, err := os.Executable(); err == nil {
+			if data, err := os.ReadFile(exe); err == nil {
+				sum := sha256.Sum256(data)
+				id = fmt.Sprintf("%x", sum[:12])
+			}
+		}
+		fmt.Printf("burstlint version devel buildID=%s\n", id)
+		return 0
+	}
+	// The driver also asks which vet flags the tool accepts; burstlint
+	// takes none of them, which an empty JSON schema expresses.
+	if *schema {
+		fmt.Println("[]")
+		return 0
+	}
+	if *list {
+		for _, a := range burstlint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var analyzers []*analysis.Analyzer
+	if *names != "" {
+		for _, n := range strings.Split(*names, ",") {
+			a := burstlint.ByName(strings.TrimSpace(n))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "burstlint: unknown analyzer %q\n", n)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetUnit(rest[0], analyzers)
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	findings, err := check(".", rest, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "burstlint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Printf("%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func check(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Finding, error) {
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		fs, err := burstlint.RunPackage(pkg, analyzers...)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	analysis.SortFindings(findings)
+	return findings, nil
+}
+
+// vetConfig is the subset of the go vet driver's per-package JSON config
+// (the x/tools unitchecker protocol) burstlint needs.
+type vetConfig struct {
+	ImportPath                string
+	Dir                       string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package as directed by a go vet config file.
+// Findings go to stderr in file:line:col form with exit status 2, which
+// the go command surfaces like any vet diagnostic.
+func vetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "burstlint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "burstlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The driver always expects a facts file; burstlint exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "burstlint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The driver also hands over test-augmented units (package sources plus
+	// _test.go files). Burstlint's invariants govern production code — tests
+	// seed their own RNGs and compare exact floats legitimately — and the
+	// pure production unit is vetted separately, so skip any unit that
+	// contains a test file.
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			return 0
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "burstlint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	pkg, err := load.CheckFiles(cfg.ImportPath, fset, files, load.VetImporter(fset, cfg.ImportMap, cfg.PackageFile))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "burstlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	findings, err := burstlint.RunPackage(pkg, analyzers...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "burstlint: %v\n", err)
+		return 2
+	}
+	analysis.SortFindings(findings)
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Position, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

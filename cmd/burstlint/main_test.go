@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestListAndFlagHandling(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("-list exit = %d, want 0", code)
+	}
+	if code := run([]string{"-analyzers", "nope", "./..."}); code != 2 {
+		t.Errorf("unknown analyzer exit = %d, want 2", code)
+	}
+	if code := run([]string{"-V=full"}); code != 0 {
+		t.Errorf("-V=full exit = %d, want 0", code)
+	}
+	if code := run(nil); code != 2 {
+		t.Errorf("no-pattern exit = %d, want 2", code)
+	}
+}
+
+// TestVetTool drives the go vet integration end to end: build the binary,
+// then run `go vet -vettool` over the measurement package, which must come
+// back clean. This exercises the -V probe, the .cfg unit protocol, the
+// facts file, and export-data importing exactly as the go command does.
+func TestVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "burstlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building burstlint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin,
+		"tcpburst/internal/stats", "tcpburst/internal/sim")
+	vet.Dir = moduleRoot(t)
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(dir))
+}

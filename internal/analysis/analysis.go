@@ -1,0 +1,154 @@
+// Package analysis is burstlint's analyzer framework: a deliberately small,
+// stdlib-only reimplementation of the golang.org/x/tools/go/analysis
+// surface (Analyzer, Pass, Diagnostic) that the four invariant checkers
+// are written against. The repo vendors no third-party modules, so the
+// framework typechecks packages itself (see the load subpackage) instead
+// of riding the x/tools driver; the analyzer API is kept shape-compatible
+// so the checkers could be ported to a stock multichecker by swapping
+// imports.
+//
+// Suppression: any diagnostic can be silenced with a directive comment on
+// the flagged line or the line above it:
+//
+//	//burstlint:ignore <analyzer>[ <reason>]
+//
+// A bare //burstlint:ignore silences every analyzer on that line. Each
+// suppression should carry a reason; they are grep-able documentation of
+// every spot where an invariant is intentionally waived.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc describes the invariant it guards.
+	Doc string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Analyzers should prefer Reportf,
+	// which applies //burstlint:ignore suppression.
+	Report func(Diagnostic)
+
+	// ignores maps filename -> line -> analyzer names suppressed there
+	// (empty list = all analyzers).
+	ignores map[string]map[int][]string
+}
+
+// NewPass assembles a pass and indexes the package's ignore directives.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	p := &Pass{
+		Analyzer: a, Fset: fset, Files: files, Pkg: pkg,
+		TypesInfo: info, Report: report,
+		ignores: make(map[string]map[int][]string),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//burstlint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := p.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					p.ignores[pos.Filename] = byLine
+				}
+				var names []string
+				if fields := strings.Fields(text); len(fields) > 0 {
+					// Only the first field names analyzers (comma-separated);
+					// the rest is the human reason.
+					names = strings.Split(fields[0], ",")
+				}
+				byLine[pos.Line] = names
+			}
+		}
+	}
+	return p
+}
+
+// Reportf reports a diagnostic at pos unless an ignore directive on that
+// line (or the line above) suppresses this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+func (p *Pass) suppressed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	byLine := p.ignores[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		names, ok := byLine[line]
+		if !ok {
+			continue
+		}
+		if len(names) == 0 {
+			return true
+		}
+		for _, n := range names {
+			if n == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Finding is a rendered diagnostic with its source position resolved.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// SortFindings orders findings by file, line, column, then analyzer, so
+// multichecker output is deterministic.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

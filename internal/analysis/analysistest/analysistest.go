@@ -1,0 +1,136 @@
+// Package analysistest runs burstlint analyzers over fixture packages and
+// checks their diagnostics against expectations embedded in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture file marks each expected diagnostic with a trailing comment:
+//
+//	rand.Seed(1) // want `global math/rand`
+//	ks := keys(m) // want "map iteration" "second expectation"
+//
+// Each quoted (or backquoted) string is a regular expression that must
+// match the message of one diagnostic reported on that line. Lines without
+// a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tcpburst/internal/analysis"
+	"tcpburst/internal/analysis/load"
+)
+
+// Run loads each fixture package under srcRoot, runs the analyzer, and
+// reports every missing or unexpected diagnostic through t.
+func Run(t *testing.T, a *analysis.Analyzer, srcRoot string, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		path := path
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			pkg, err := load.Fixture(srcRoot, path)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			run(t, a, pkg)
+		})
+	}
+}
+
+// expectation is one unmatched want pattern.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+func run(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range wantPatterns(t, c.Text, pos.String()) {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: pat})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info,
+		func(d analysis.Diagnostic) { diags = append(diags, d) })
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for i, w := range wants {
+			if w != nil && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				wants[i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// wantPatterns extracts the regexps from one comment's `// want ...`
+// clause, if any.
+func wantPatterns(t *testing.T, comment, at string) []*regexp.Regexp {
+	t.Helper()
+	text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(comment, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	for {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			break
+		}
+		var raw string
+		switch text[0] {
+		case '"':
+			end := strings.Index(text[1:], `"`)
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", at, text)
+			}
+			quoted := text[:end+2]
+			text = text[end+2:]
+			var err error
+			raw, err = strconv.Unquote(quoted)
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", at, quoted, err)
+			}
+		case '`':
+			end := strings.Index(text[1:], "`")
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", at, text)
+			}
+			raw = text[1 : end+1]
+			text = text[end+2:]
+		default:
+			t.Fatalf("%s: want patterns must be quoted or backquoted: %s", at, text)
+		}
+		rx, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", at, raw, err)
+		}
+		pats = append(pats, rx)
+	}
+	return pats
+}

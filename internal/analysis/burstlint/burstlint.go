@@ -1,0 +1,76 @@
+// Package burstlint assembles the analyzer suite and runs it over loaded
+// packages. cmd/burstlint is a thin CLI over this package so the repo's
+// own tests can assert "the tree is clean" without shelling out.
+package burstlint
+
+import (
+	"tcpburst/internal/analysis"
+	"tcpburst/internal/analysis/floateq"
+	"tcpburst/internal/analysis/load"
+	"tcpburst/internal/analysis/nondeterminism"
+	"tcpburst/internal/analysis/packetrelease"
+	"tcpburst/internal/analysis/telemetryhandle"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nondeterminism.Analyzer,
+		packetrelease.Analyzer,
+		telemetryhandle.Analyzer,
+		floateq.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunPackage runs the given analyzers (all of them when none are named)
+// over one loaded package and returns position-resolved findings.
+func RunPackage(pkg *load.Package, analyzers ...*analysis.Analyzer) ([]analysis.Finding, error) {
+	if len(analyzers) == 0 {
+		analyzers = Analyzers()
+	}
+	var findings []analysis.Finding
+	for _, a := range analyzers {
+		a := a
+		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info,
+			func(d analysis.Diagnostic) {
+				findings = append(findings, analysis.Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			})
+		if _, err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	return findings, nil
+}
+
+// Check loads every package matching patterns (relative to dir) and runs
+// the full suite, returning findings sorted by position.
+func Check(dir string, patterns ...string) ([]analysis.Finding, error) {
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	analysis.SortFindings(findings)
+	return findings, nil
+}

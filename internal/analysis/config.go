@@ -1,0 +1,123 @@
+package analysis
+
+import "strings"
+
+// Config is burstlint's maintained allowlist — the single place that says
+// which packages must be deterministic, where the sanctioned escape
+// hatches live, and which function names count as hot paths. Changing it
+// is a reviewable act: widening an allowlist weakens a machine-checked
+// invariant.
+type Config struct {
+	// SimPackages are the packages that execute inside the virtual-time
+	// event loop. Everything here must replay bit-identically from a seed:
+	// no wall clock, no global RNG, no goroutines, no order-dependent map
+	// iteration.
+	SimPackages []string
+	// HarnessPackages run outside virtual time (job scheduling, live
+	// output) but still feed deterministic artifacts, so they get the same
+	// wall-clock and global-RNG rules; goroutines and map iteration are
+	// judged by the allowlists below.
+	HarnessPackages []string
+	// WallClockPackages may read the wall clock. This is the clock seam:
+	// every other checked package must route elapsed-time needs through
+	// internal/clock so tests can inject a fake.
+	WallClockPackages []string
+	// GoroutinePackages may launch goroutines (the parallel runner is the
+	// one sanctioned concurrency site; simulations are single-threaded by
+	// contract).
+	GoroutinePackages []string
+	// RandImportFiles are file-path suffixes allowed to import math/rand —
+	// the seeded sim RNG wrapper only. Global math/rand functions (the
+	// process-wide source) are forbidden even here; only rand.New over an
+	// explicit seed is legitimate.
+	RandImportFiles []string
+	// FloatPackages hold measurement code where == / != on floats is
+	// forbidden (comparisons against exact sentinels are waived per-site
+	// with //burstlint:ignore floateq).
+	FloatPackages []string
+	// HotPathFuncs are per-event method names that must stay allocation-
+	// and lookup-free: telemetry handles are acquired at construction,
+	// never here.
+	HotPathFuncs []string
+	// PacketPackage is the import path of the pooled-packet package whose
+	// Pool.Get results must be released, forwarded, or stored on every
+	// exit path.
+	PacketPackage string
+	// TelemetryPackage is the import path of the metrics registry whose
+	// registration calls are construction-time-only.
+	TelemetryPackage string
+}
+
+// Default is the repository's live configuration.
+var Default = Config{
+	SimPackages: []string{
+		"tcpburst/internal/sim",
+		"tcpburst/internal/tcp",
+		"tcpburst/internal/queue",
+		"tcpburst/internal/link",
+		"tcpburst/internal/node",
+		"tcpburst/internal/traffic",
+		"tcpburst/internal/packet",
+		"tcpburst/internal/trace",
+		"tcpburst/internal/transport",
+	},
+	HarnessPackages: []string{
+		"tcpburst/internal/stats",
+		"tcpburst/internal/telemetry",
+		"tcpburst/internal/runner",
+		"tcpburst/internal/clock",
+	},
+	WallClockPackages: []string{"tcpburst/internal/clock"},
+	GoroutinePackages: []string{"tcpburst/internal/runner"},
+	RandImportFiles:   []string{"internal/sim/rng.go"},
+	FloatPackages: []string{
+		"tcpburst/internal/stats",
+		"tcpburst/internal/core",
+	},
+	HotPathFuncs:     []string{"Send", "Recv", "Enqueue", "Dequeue", "OnEvent"},
+	PacketPackage:    "tcpburst/internal/packet",
+	TelemetryPackage: "tcpburst/internal/telemetry",
+}
+
+// DeterministicPackage reports whether pkg path is under the
+// nondeterminism analyzer's jurisdiction at all.
+func (c Config) DeterministicPackage(path string) bool {
+	return contains(c.SimPackages, path) || contains(c.HarnessPackages, path)
+}
+
+// SimPackage reports whether path runs inside the event loop (the strict
+// tier: map iteration rules apply).
+func (c Config) SimPackage(path string) bool { return contains(c.SimPackages, path) }
+
+// WallClockAllowed reports whether path is the clock seam.
+func (c Config) WallClockAllowed(path string) bool { return contains(c.WallClockPackages, path) }
+
+// GoroutineAllowed reports whether path may launch goroutines.
+func (c Config) GoroutineAllowed(path string) bool { return contains(c.GoroutinePackages, path) }
+
+// RandImportAllowed reports whether the file at filename may import
+// math/rand.
+func (c Config) RandImportAllowed(filename string) bool {
+	for _, suffix := range c.RandImportFiles {
+		if strings.HasSuffix(filename, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// FloatPackage reports whether path is measurement code under floateq.
+func (c Config) FloatPackage(path string) bool { return contains(c.FloatPackages, path) }
+
+// HotPathFunc reports whether a method of this name is a per-event hot
+// path.
+func (c Config) HotPathFunc(name string) bool { return contains(c.HotPathFuncs, name) }
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+// Package floateq forbids == and != on floating-point operands in the
+// measurement packages (internal/stats and the experiment digests in
+// internal/core). Burstiness figures — c.o.v., Hurst estimates, confidence
+// intervals — flow through accumulated float arithmetic where exact
+// equality is almost always a rounding-sensitive bug. Comparisons against
+// exact sentinels (a count that is precisely 0, an IEEE value produced by
+// assignment rather than arithmetic) are waived per-site with
+//
+//	//burstlint:ignore floateq <why the comparison is exact>
+//
+// which turns each remaining direct comparison into documented intent.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+
+	"tcpburst/internal/analysis"
+)
+
+// Analyzer is the float-equality checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on floating-point operands in measurement code; annotate exact-sentinel comparisons",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	cfg := analysis.Default
+	if !cfg.FloatPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if analysis.IsFloat(pass.TypesInfo.TypeOf(be.X)) || analysis.IsFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison in measurement code; use a tolerance, or annotate an exact sentinel with //burstlint:ignore floateq", be.Op)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

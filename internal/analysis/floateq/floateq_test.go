@@ -1,0 +1,15 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"tcpburst/internal/analysis/analysistest"
+	"tcpburst/internal/analysis/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "testdata/src",
+		"tcpburst/internal/stats",
+		"example.com/other",
+	)
+}

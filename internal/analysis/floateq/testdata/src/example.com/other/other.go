@@ -1,0 +1,5 @@
+// Package other is outside the measurement set, so float equality is not
+// burstlint's business here.
+package other
+
+func Eq(a, b float64) bool { return a == b }

@@ -1,0 +1,31 @@
+// Package stats is a floateq fixture impersonating the measurement
+// package where float equality is forbidden.
+package stats
+
+import "math"
+
+func CoV(mean, sd float64) float64 {
+	if mean == 0 { // want `floating-point == comparison`
+		return math.NaN()
+	}
+	return sd / mean
+}
+
+func Different(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func Close(a, b float64) bool {
+	// Ordered comparisons are rounding-tolerant by construction.
+	return math.Abs(a-b) < 1e-9
+}
+
+func CountEmpty(n int) bool {
+	// Integer equality is exact; only floats are in scope.
+	return n == 0
+}
+
+func IsUnset(v float64) bool {
+	//burstlint:ignore floateq -1 is assigned verbatim, never computed
+	return v == -1
+}

@@ -1,0 +1,343 @@
+// Package load type-checks Go packages for burstlint without depending on
+// golang.org/x/tools. Two loaders are provided:
+//
+//   - Packages resolves `go list` patterns (./..., specific import paths)
+//     against the real module: the target packages are parsed and
+//     type-checked from source while their dependencies are imported from
+//     the compiler's export data (populated by `go list -export` via the
+//     build cache), which keeps a whole-repo load fast and fully offline.
+//
+//   - Fixture loads analyzer test fixtures from a testdata/src tree,
+//     assigning each directory the import path of its relative location so
+//     fixtures can impersonate real packages (the analyzers gate on import
+//     paths). Fixture-to-fixture imports resolve within the tree; standard
+//     library imports fall back to export data.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (for fixtures, the assigned one).
+	Path string
+	// Name is the package name.
+	Name string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by filename.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the use/def/type maps the analyzers consult.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks every package matching patterns, with dir
+// as the working directory for go list (the module root for ./...).
+// Patterns follow go list semantics. Type errors in any target package
+// fail the load: analyzers must not run over half-checked trees.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	im := newImports(dir, fset)
+	listed, err := im.list(patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := check(t.ImportPath, fset, files, im)
+		if err != nil {
+			return nil, fmt.Errorf("load: typecheck %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path: t.ImportPath, Name: t.Name, Fset: fset,
+			Files: files, Types: pkg, Info: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// check type-checks one package's parsed files with full info maps.
+func check(path string, fset *token.FileSet, files []*ast.File, im types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var soft []error
+	conf := types.Config{
+		Importer: im,
+		Error:    func(err error) { soft = append(soft, err) },
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if len(soft) > 0 {
+		return pkg, info, soft[0]
+	}
+	if err != nil {
+		return pkg, info, err
+	}
+	return pkg, info, nil
+}
+
+// imports resolves import paths to type information through compiler
+// export data located by `go list -export`. Paths not seen in the initial
+// listing (e.g. stdlib packages imported only by fixtures) are fetched
+// with follow-up go list calls and memoized.
+type imports struct {
+	dir     string
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	gc      types.ImporterFrom
+}
+
+func newImports(dir string, fset *token.FileSet) *imports {
+	im := &imports{dir: dir, fset: fset, exports: make(map[string]string)}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := im.exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	im.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return im
+}
+
+// list runs go list -deps -export over patterns, recording every export
+// data file it reports, and returns the listed packages.
+func (im *imports) list(patterns ...string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = im.dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			im.exports[p.ImportPath] = p.Export
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Import satisfies types.Importer via export data, fetching unseen paths
+// on demand.
+func (im *imports) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := im.exports[path]; !ok {
+		if _, err := im.list(path); err != nil {
+			return nil, err
+		}
+		if _, ok := im.exports[path]; !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+	}
+	return im.gc.ImportFrom(path, im.dir, 0)
+}
+
+// Fixture loads the fixture package at root/importPath (root is typically
+// an analyzer's testdata/src directory), assigning it importPath as its
+// import path. Imports are resolved against sibling fixture directories
+// first, then the standard library. Fixtures must type-check cleanly.
+func Fixture(root, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	fl := &fixtureLoader{
+		root:  root,
+		fset:  fset,
+		im:    newImports(root, fset),
+		cache: make(map[string]*fixturePkg),
+	}
+	fp, err := fl.load(importPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path: importPath, Name: fp.pkg.Name(), Fset: fset,
+		Files: fp.files, Types: fp.pkg, Info: fp.info,
+	}, nil
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type fixtureLoader struct {
+	root  string
+	fset  *token.FileSet
+	im    *imports
+	cache map[string]*fixturePkg
+}
+
+func (fl *fixtureLoader) load(importPath string) (*fixturePkg, error) {
+	if fp, ok := fl.cache[importPath]; ok {
+		if fp == nil {
+			return nil, fmt.Errorf("load: fixture import cycle through %q", importPath)
+		}
+		return fp, nil
+	}
+	fl.cache[importPath] = nil // cycle marker
+
+	dir := filepath.Join(fl.root, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: fixture %q: %w", importPath, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: fixture %q has no Go files", importPath)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fl.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: fixture %q: %w", importPath, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := check(importPath, fl.fset, files, fl)
+	if err != nil {
+		return nil, fmt.Errorf("load: fixture %q: %w", importPath, err)
+	}
+	fp := &fixturePkg{files: files, pkg: pkg, info: info}
+	fl.cache[importPath] = fp
+	return fp, nil
+}
+
+// CheckFiles type-checks already-parsed files as one package under the
+// given importer — the entry point for go vet's unitchecker-style driver,
+// where the file set and export-data locations come from the vet config.
+func CheckFiles(path string, fset *token.FileSet, files []*ast.File, im types.Importer) (*Package, error) {
+	pkg, info, err := check(path, fset, files, im)
+	if err != nil {
+		return nil, err
+	}
+	name := ""
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return &Package{Path: path, Name: name, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// VetImporter returns an importer over the export-data files the go vet
+// driver hands its tool: importMap aliases import paths to canonical ones,
+// packageFile locates each canonical path's export data.
+func VetImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &vetImporter{
+		gc:        importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		importMap: importMap,
+	}
+}
+
+type vetImporter struct {
+	gc        types.ImporterFrom
+	importMap map[string]string
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := v.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return v.gc.ImportFrom(path, "", 0)
+}
+
+// Import resolves fixture-tree imports from source and everything else
+// from export data.
+func (fl *fixtureLoader) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(fl.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		fp, err := fl.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return fl.im.Import(path)
+}

@@ -1,0 +1,17 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"tcpburst/internal/analysis/analysistest"
+	"tcpburst/internal/analysis/nondeterminism"
+)
+
+func TestNondeterminism(t *testing.T) {
+	analysistest.Run(t, nondeterminism.Analyzer, "testdata/src",
+		"tcpburst/internal/sim",
+		"tcpburst/internal/runner",
+		"tcpburst/internal/clock",
+		"example.com/other",
+	)
+}

@@ -1,0 +1,10 @@
+// Package other sits outside the deterministic package set entirely, so
+// nothing here is flagged.
+package other
+
+import "time"
+
+func Stamp() time.Time {
+	go func() {}()
+	return time.Now()
+}

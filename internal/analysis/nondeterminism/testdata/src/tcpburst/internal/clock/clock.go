@@ -1,0 +1,9 @@
+// Package clock is a fixture for the wall-clock seam: the one package
+// allowed to read the real clock.
+package clock
+
+import "time"
+
+func Now() time.Time {
+	return time.Now() // the seam itself is the sanctioned reader
+}

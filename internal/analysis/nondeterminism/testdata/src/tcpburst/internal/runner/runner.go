@@ -1,0 +1,13 @@
+// Package runner is a nondeterminism fixture for the harness tier: the
+// goroutine allowlist covers it, the wall-clock allowlist does not.
+package runner
+
+import "time"
+
+func Launch(fn func()) {
+	go fn() // the parallel runner is the sanctioned concurrency site
+}
+
+func Stamp() time.Time {
+	return time.Now() // want `wall-clock call time.Now`
+}

@@ -1,0 +1,18 @@
+package sim
+
+import "math/rand" // the sanctioned importer file (Config.RandImportFiles)
+
+// RNG wraps an explicitly seeded source, mirroring the real sim RNG.
+type RNG struct{ r *rand.Rand }
+
+// NewRNG builds a stream from a seed; seeded constructors are allowed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Intn draws from the wrapped stream; methods on a Rand value are fine.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+func Global() int {
+	return rand.Int() // want `global math/rand.Int draws from the process-wide source`
+}

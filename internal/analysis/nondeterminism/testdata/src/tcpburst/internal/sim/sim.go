@@ -1,0 +1,74 @@
+// Package sim is a nondeterminism fixture impersonating the event-loop
+// package, which sits in the strict deterministic tier.
+package sim
+
+import (
+	"time"
+
+	_ "math/rand/v2" // want `imports math/rand/v2`
+)
+
+type clk struct{ now time.Time }
+
+func Stamp() int64 {
+	t := time.Now() // want `wall-clock call time.Now`
+	return t.UnixNano()
+}
+
+func Pause() {
+	time.Sleep(time.Millisecond) // want `wall-clock call time.Sleep`
+}
+
+func Elapsed(c clk) time.Duration {
+	// Methods on time values are pure arithmetic, not clock reads.
+	return c.now.Sub(c.now)
+}
+
+func Spawn(fn func()) {
+	go fn() // want `goroutine launched in deterministic package`
+}
+
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	// Pure collection loop: the caller is expected to sort.
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func Sum(m map[string]int) int {
+	total := 0
+	// Commutative accumulation into a plain local is order-insensitive.
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func Emit(m map[string]int, out func(string)) {
+	for k := range m {
+		out(k) // want `order-dependent body \(calls a function`
+	}
+}
+
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `concatenates strings in iteration order`
+	}
+	return s
+}
+
+func First(m map[string]int) string {
+	for k := range m {
+		return k // want `returns from inside the loop`
+	}
+	return ""
+}
+
+func Waived(m map[string]int, out func(string)) {
+	for k := range m {
+		out(k) //burstlint:ignore nondeterminism output order is checked by the caller
+	}
+}

@@ -1,0 +1,505 @@
+// Package packetrelease enforces the pooled packet's linear-ownership
+// protocol: every *packet.Packet checked out of a packet.Pool must be
+// released (Pool.Put), forwarded (passed to another component), stored, or
+// returned on every exit path of the acquiring function. A drop or error
+// branch that simply returns leaks the packet — the pool's Live() counter
+// drifts and, worse, the leak changes pooled-run behavior relative to the
+// unpooled equivalence baseline.
+//
+// The check is intra-function and syntax-directed: it walks each function
+// body tracking variables bound to Pool.Get results, treating these uses
+// as ownership transfers:
+//
+//   - the variable appearing as any call argument (Put, Send, Enqueue, ...);
+//   - being returned, stored (assigned to anything, composite literal
+//     element, channel send), or captured by a function literal;
+//   - having its address taken.
+//
+// Field reads/writes (p.Seq = 4) and comparisons do not transfer
+// ownership. A return statement reachable while a tracked packet has seen
+// no transfer on that syntactic path is reported; so is a Get whose result
+// is discarded or never transferred anywhere in the function. Branches
+// merge optimistically (a transfer in either surviving arm counts), which
+// keeps the check flow-insensitive and false-positive-light; genuinely
+// intentional leaks carry //burstlint:ignore packetrelease with a reason.
+package packetrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tcpburst/internal/analysis"
+)
+
+// Analyzer is the packet-ownership checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "packetrelease",
+	Doc:  "pooled packets must be released, forwarded, stored, or returned on every exit path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// flow describes how a statement (list) ends.
+type flow int
+
+const (
+	// flowFall: execution continues to the next statement.
+	flowFall flow = iota
+	// flowJump: break/continue/goto — leaves the enclosing construct but
+	// stays in the function, so transfers on the path remain visible.
+	flowJump
+	// flowExit: return or panic — leaves the function; leak checks have
+	// already fired at the exit site.
+	flowExit
+)
+
+// state of one tracked packet variable.
+type state struct {
+	acquiredAt token.Pos
+	name       string
+	moved      bool // ownership transferred somewhere on the current path
+	everMoved  bool // ownership transferred anywhere in the function
+}
+
+type tracker struct {
+	pass  *analysis.Pass
+	vars  map[*types.Var]*state
+	order []*types.Var // acquisition order, for deterministic reports
+}
+
+// checkBody analyzes one function body. Nested function literals are
+// skipped here (each gets its own checkBody from run) except that tracked
+// variables they capture count as transferred.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	t := &tracker{pass: pass, vars: make(map[*types.Var]*state)}
+	if t.stmts(body.List) != flowExit {
+		t.leakCheck(body.End())
+	}
+	for _, v := range t.order {
+		if st := t.vars[v]; !st.everMoved {
+			pass.Reportf(st.acquiredAt,
+				"packet %s obtained from the pool is never released, forwarded, or stored", st.name)
+		}
+	}
+}
+
+// stmts walks a statement list on one path.
+func (t *tracker) stmts(list []ast.Stmt) flow {
+	for _, s := range list {
+		if f := t.stmt(s); f != flowFall {
+			return f
+		}
+	}
+	return flowFall
+}
+
+func (t *tracker) stmt(s ast.Stmt) flow {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			t.scan(r)
+		}
+		t.leakCheck(s.Pos())
+		return flowExit
+
+	case *ast.BranchStmt:
+		return flowJump
+
+	case *ast.AssignStmt:
+		// Acquisition: p := pool.Get() / p = pool.Get().
+		if len(s.Rhs) == 1 && len(s.Lhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && t.isPoolGet(call) {
+				t.scanCallArgs(call)
+				if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok {
+					if v, ok := t.objOf(id).(*types.Var); ok {
+						t.acquire(v, id)
+						return flowFall
+					}
+				}
+				// Stored straight into a field/slot: ownership transferred
+				// at birth; nothing to track.
+				return flowFall
+			}
+		}
+		for _, r := range s.Rhs {
+			t.scan(r)
+		}
+		for _, l := range s.Lhs {
+			// Selector/index targets may contain consuming sub-expressions
+			// (inflight[take(p)] = x); a bare ident LHS is just a rebind.
+			if _, ok := ast.Unparen(l).(*ast.Ident); !ok {
+				t.scanNonMoving(l)
+			}
+		}
+		return flowFall
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if t.isPoolGet(call) {
+				t.pass.Reportf(call.Pos(), "result of Pool.Get is discarded; the packet leaks immediately")
+				t.scanCallArgs(call)
+				return flowFall
+			}
+			if name, ok := analysis.IsBuiltinCall(t.pass.TypesInfo, call); ok && name == "panic" {
+				t.scanCallArgs(call)
+				return flowExit
+			}
+		}
+		t.scan(s.X)
+		return flowFall
+
+	case *ast.DeferStmt:
+		// defer pool.Put(p): releases on every subsequent exit path.
+		t.scan(s.Call)
+		return flowFall
+
+	case *ast.GoStmt:
+		t.scan(s.Call)
+		return flowFall
+
+	case *ast.SendStmt:
+		t.scanNonMoving(s.Chan)
+		t.scan(s.Value)
+		return flowFall
+
+	case *ast.IncDecStmt:
+		return flowFall
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					if call, ok := ast.Unparen(val).(*ast.CallExpr); ok && t.isPoolGet(call) && i < len(vs.Names) {
+						if obj, ok := t.pass.TypesInfo.Defs[vs.Names[i]].(*types.Var); ok {
+							t.scanCallArgs(call)
+							t.acquire(obj, vs.Names[i])
+							continue
+						}
+					}
+					t.scan(val)
+				}
+			}
+		}
+		return flowFall
+
+	case *ast.BlockStmt:
+		return t.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		t.scanNonMoving(s.Cond)
+		pre := t.snapshot()
+		thenFlow := t.stmts(s.Body.List)
+		thenMoved := t.snapshot()
+		t.restore(pre)
+		elseFlow := flowFall
+		elseMoved := pre
+		if s.Else != nil {
+			elseFlow = t.stmt(s.Else)
+			elseMoved = t.snapshot()
+			t.restore(pre)
+		}
+		for v, st := range t.vars {
+			if thenFlow != flowExit && thenMoved[v] {
+				st.moved = true
+			}
+			if s.Else != nil && elseFlow != flowExit && elseMoved[v] {
+				st.moved = true
+			}
+		}
+		if s.Else == nil {
+			return flowFall
+		}
+		if thenFlow == flowFall || elseFlow == flowFall {
+			return flowFall
+		}
+		if thenFlow == flowJump || elseFlow == flowJump {
+			return flowJump
+		}
+		return flowExit
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			t.scanNonMoving(s.Cond)
+		}
+		t.stmts(s.Body.List)
+		if s.Post != nil {
+			t.stmt(s.Post)
+		}
+		return flowFall
+
+	case *ast.RangeStmt:
+		t.scanNonMoving(s.X)
+		t.stmts(s.Body.List)
+		return flowFall
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			t.scanNonMoving(s.Tag)
+		}
+		return t.clauses(s.Body)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		t.stmt(s.Assign)
+		return t.clauses(s.Body)
+
+	case *ast.SelectStmt:
+		return t.clauses(s.Body)
+
+	case *ast.LabeledStmt:
+		return t.stmt(s.Stmt)
+
+	default:
+		return flowFall
+	}
+}
+
+// clauses walks each switch/select clause from the same entry state,
+// merging transfers from every arm that does not exit the function. The
+// construct exits only when every clause exits and (for switches) a
+// default clause exists.
+func (t *tracker) clauses(body *ast.BlockStmt) flow {
+	pre := t.snapshot()
+	merged := t.snapshot()
+	hasDefault := false
+	allExit := len(body.List) > 0
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				t.scanNonMoving(e)
+			}
+			list = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				t.stmt(cc.Comm)
+			}
+			list = cc.Body
+		default:
+			continue
+		}
+		f := t.stmts(list)
+		if f != flowExit {
+			allExit = false
+			for v, st := range t.vars {
+				if st.moved {
+					merged[v] = true
+				}
+			}
+		}
+		t.restore(pre)
+	}
+	t.restore(merged)
+	if allExit && hasDefault {
+		return flowExit
+	}
+	return flowFall
+}
+
+// snapshot captures per-variable moved flags.
+func (t *tracker) snapshot() map[*types.Var]bool {
+	m := make(map[*types.Var]bool, len(t.vars))
+	for v, st := range t.vars {
+		m[v] = st.moved
+	}
+	return m
+}
+
+// restore resets moved flags to a snapshot (everMoved stays monotonic;
+// variables acquired after the snapshot reset to unmoved).
+func (t *tracker) restore(snap map[*types.Var]bool) {
+	for v, st := range t.vars {
+		st.moved = snap[v]
+	}
+}
+
+// leakCheck reports every tracked variable still holding an untransferred
+// packet at a function exit point.
+func (t *tracker) leakCheck(at token.Pos) {
+	for _, v := range t.order {
+		st := t.vars[v]
+		if !st.moved {
+			t.pass.Reportf(at,
+				"packet %s from Pool.Get leaks on this path: not released, forwarded, or stored before exit", st.name)
+			st.moved = true // one report per leaky path
+			st.everMoved = true
+		}
+	}
+}
+
+func (t *tracker) acquire(v *types.Var, id *ast.Ident) {
+	if _, ok := t.vars[v]; !ok {
+		t.order = append(t.order, v)
+	}
+	t.vars[v] = &state{acquiredAt: id.Pos(), name: id.Name}
+}
+
+func (t *tracker) objOf(id *ast.Ident) types.Object {
+	if o := t.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return t.pass.TypesInfo.Uses[id]
+}
+
+// isPoolGet reports whether call is packet.Pool.Get.
+func (t *tracker) isPoolGet(call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(t.pass.TypesInfo, call)
+	return fn != nil && fn.Name() == "Get" &&
+		analysis.IsMethodOn(fn, analysis.Default.PacketPackage, "Pool")
+}
+
+// scan walks an expression marking ownership transfers of tracked
+// variables.
+func (t *tracker) scan(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		t.move(e)
+	case *ast.ParenExpr:
+		t.scan(e.X)
+	case *ast.SelectorExpr:
+		// p.field / p.Method: not a transfer; but the selector base may be
+		// a more complex expression containing transfers.
+		t.scanNonMoving(e.X)
+	case *ast.CallExpr:
+		if t.isPoolGet(e) {
+			// Get used directly as an argument/operand: transferred at birth.
+			t.scanCallArgs(e)
+			return
+		}
+		t.scanNonMoving(e.Fun)
+		t.scanCallArgs(e)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// Address taken: the packet escapes our tracking.
+			t.move(innerIdent(e.X))
+			return
+		}
+		t.scanNonMoving(e.X)
+	case *ast.BinaryExpr:
+		// Comparisons and arithmetic never transfer ownership.
+		t.scanNonMoving(e.X)
+		t.scanNonMoving(e.Y)
+	case *ast.StarExpr:
+		t.scanNonMoving(e.X)
+	case *ast.IndexExpr:
+		t.scanNonMoving(e.X)
+		t.scanNonMoving(e.Index)
+	case *ast.SliceExpr:
+		t.scanNonMoving(e.X)
+		t.scanNonMoving(e.Low)
+		t.scanNonMoving(e.High)
+		t.scanNonMoving(e.Max)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t.scan(kv.Value)
+				continue
+			}
+			t.scan(el)
+		}
+	case *ast.KeyValueExpr:
+		t.scan(e.Value)
+	case *ast.TypeAssertExpr:
+		t.scanNonMoving(e.X)
+	case *ast.FuncLit:
+		// Captured by a closure (prebound callback): ownership handed over.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				t.move(id)
+			}
+			return true
+		})
+	}
+}
+
+// scanNonMoving walks a sub-expression where a bare tracked ident is a
+// read, not a transfer, but nested calls/literals still transfer.
+func (t *tracker) scanNonMoving(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	if _, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return
+	}
+	t.scan(e)
+}
+
+func (t *tracker) scanCallArgs(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		t.scan(a)
+	}
+}
+
+// move marks id's variable as transferred if tracked.
+func (t *tracker) move(id *ast.Ident) {
+	if id == nil {
+		return
+	}
+	v, ok := t.objOf(id).(*types.Var)
+	if !ok {
+		return
+	}
+	if st, ok := t.vars[v]; ok {
+		st.moved = true
+		st.everMoved = true
+	}
+}
+
+// innerIdent digs the base identifier out of &p / &p.field.
+func innerIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

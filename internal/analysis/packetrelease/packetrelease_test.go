@@ -1,0 +1,14 @@
+package packetrelease_test
+
+import (
+	"testing"
+
+	"tcpburst/internal/analysis/analysistest"
+	"tcpburst/internal/analysis/packetrelease"
+)
+
+func TestPacketRelease(t *testing.T) {
+	analysistest.Run(t, packetrelease.Analyzer, "testdata/src",
+		"example.com/forward",
+	)
+}

@@ -1,0 +1,78 @@
+// Package forward exercises the packet-ownership analyzer: the check is
+// not path-gated, so any package handling pooled packets is covered.
+package forward
+
+import "tcpburst/internal/packet"
+
+type sink struct{ pool *packet.Pool }
+
+func (s *sink) deliver(p *packet.Packet) {}
+
+func okForward(pool *packet.Pool, s *sink) {
+	p := pool.Get()
+	s.deliver(p) // forwarded: ownership moved to the sink
+}
+
+func okDefer(pool *packet.Pool) {
+	p := pool.Get()
+	defer pool.Put(p) // released on every subsequent exit path
+	p.Seq = 1
+}
+
+func okReturn(pool *packet.Pool) *packet.Packet {
+	p := pool.Get()
+	p.Seq = 7
+	return p // ownership handed to the caller
+}
+
+func okStore(pool *packet.Pool, slots []*packet.Packet) {
+	p := pool.Get()
+	slots[0] = p // stored: something else owns it now
+}
+
+func okBothArms(pool *packet.Pool, s *sink, fast bool) {
+	p := pool.Get()
+	if fast {
+		s.deliver(p)
+	} else {
+		pool.Put(p)
+	}
+}
+
+func okBreakPath(pool *packet.Pool, s *sink, n int) {
+	p := pool.Get()
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			s.deliver(p)
+			break
+		}
+	}
+}
+
+func leakOnError(pool *packet.Pool, s *sink, bad bool) int {
+	p := pool.Get()
+	if bad {
+		return 1 // want `packet p from Pool.Get leaks on this path`
+	}
+	s.deliver(p)
+	return 0
+}
+
+func discarded(pool *packet.Pool) {
+	pool.Get() // want `result of Pool.Get is discarded`
+}
+
+func leakAtEnd(pool *packet.Pool) {
+	p := pool.Get()
+	p.Seq = 2
+} // want `packet p from Pool.Get leaks on this path`
+
+func neverMoved(pool *packet.Pool) {
+	p := pool.Get() // want `never released, forwarded, or stored`
+	p.Seq = 3
+	panic("fixture: exits without a leak-checked return")
+}
+
+func waived(pool *packet.Pool) {
+	pool.Get() //burstlint:ignore packetrelease pre-touching the pool during setup
+}

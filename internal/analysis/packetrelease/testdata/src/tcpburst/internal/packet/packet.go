@@ -1,0 +1,25 @@
+// Package packet is a fixture stub of the pooled-packet package; the
+// analyzer identifies Pool.Get by this import path.
+package packet
+
+// Packet is a pooled datagram.
+type Packet struct {
+	Seq  int
+	Size int
+}
+
+// Pool hands out packets for reuse.
+type Pool struct{ free []*Packet }
+
+// Get checks a packet out of the pool.
+func (p *Pool) Get() *Packet {
+	if n := len(p.free); n > 0 {
+		pkt := p.free[n-1]
+		p.free = p.free[:n-1]
+		return pkt
+	}
+	return &Packet{}
+}
+
+// Put returns a packet to the pool.
+func (p *Pool) Put(pkt *Packet) { p.free = append(p.free, pkt) }

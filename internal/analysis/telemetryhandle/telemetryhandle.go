@@ -1,0 +1,87 @@
+// Package telemetryhandle keeps the telemetry layer zero-allocation on
+// per-event hot paths. Handles (telemetry.Counter, Gauge, Histogram) must
+// be acquired once at construction time and stored in the instrumented
+// component; registry registration calls and map-keyed metric lookups
+// inside Send/Recv/Enqueue/Dequeue/OnEvent would re-introduce exactly the
+// per-packet hashing and allocation the dense handle design removed.
+package telemetryhandle
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tcpburst/internal/analysis"
+)
+
+// Analyzer is the hot-path telemetry checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemetryhandle",
+	Doc:  "telemetry handles are acquired at construction, never inside per-event hot paths; no map-keyed metric lookups there",
+	Run:  run,
+}
+
+// registration are the *Registry methods (plus constructors) that allocate
+// or hash on acquisition.
+var registration = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Probe": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	cfg := analysis.Default
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !cfg.HotPathFunc(fd.Name.Name) {
+				return true
+			}
+			hot := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkCall(pass, cfg, hot, n)
+				case *ast.IndexExpr:
+					checkIndex(pass, cfg, hot, n)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, cfg analysis.Config, hot string, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != cfg.TelemetryPackage {
+		return
+	}
+	if registration[fn.Name()] && analysis.IsMethodOn(fn, cfg.TelemetryPackage, "Registry") {
+		pass.Reportf(call.Pos(),
+			"telemetry handle acquired via Registry.%s inside hot path %s; acquire at construction and store the handle", fn.Name(), hot)
+		return
+	}
+	switch fn.Name() {
+	case "NewRegistry", "NewSampler":
+		pass.Reportf(call.Pos(),
+			"telemetry %s called inside hot path %s; registries and samplers are constructed at setup", fn.Name(), hot)
+	}
+}
+
+// checkIndex flags m[key] lookups that resolve to telemetry handle values:
+// the dense-id design exists so hot paths never hash a metric name.
+func checkIndex(pass *analysis.Pass, cfg analysis.Config, hot string, idx *ast.IndexExpr) {
+	xt := pass.TypesInfo.TypeOf(idx.X)
+	if xt == nil {
+		return
+	}
+	mt, ok := xt.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	named := analysis.NamedOf(mt.Elem())
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != cfg.TelemetryPackage {
+		return
+	}
+	pass.Reportf(idx.Pos(),
+		"map-keyed lookup of telemetry.%s inside hot path %s; use a preregistered handle field instead", named.Obj().Name(), hot)
+}

@@ -1,0 +1,14 @@
+package telemetryhandle_test
+
+import (
+	"testing"
+
+	"tcpburst/internal/analysis/analysistest"
+	"tcpburst/internal/analysis/telemetryhandle"
+)
+
+func TestTelemetryHandle(t *testing.T) {
+	analysistest.Run(t, telemetryhandle.Analyzer, "testdata/src",
+		"example.com/queue",
+	)
+}

@@ -1,0 +1,40 @@
+// Package queue exercises the hot-path telemetry analyzer.
+package queue
+
+import "tcpburst/internal/telemetry"
+
+type Queue struct {
+	reg    *telemetry.Registry
+	drops  telemetry.Counter
+	byName map[string]telemetry.Counter
+}
+
+func New(reg *telemetry.Registry) *Queue {
+	// Construction-time registration is the sanctioned pattern.
+	return &Queue{reg: reg, drops: reg.Counter("queue.drops")}
+}
+
+func (q *Queue) Enqueue(v int) {
+	c := q.reg.Counter("queue.enqueued") // want `Registry.Counter inside hot path Enqueue`
+	c.Add(1)
+	q.byName["drops"].Add(1) // want `map-keyed lookup of telemetry.Counter inside hot path Enqueue`
+}
+
+func (q *Queue) Send(v int) {
+	q.drops.Add(1) // stored handle: the hot path never hashes a name
+}
+
+func (q *Queue) OnEvent() {
+	reg := telemetry.NewRegistry()                 // want `NewRegistry called inside hot path OnEvent`
+	reg.Probe("noop", func() float64 { return 0 }) // want `Registry.Probe inside hot path OnEvent`
+}
+
+func (q *Queue) Dequeue() {
+	h := q.reg.Histogram("queue.wait", 1, 8) //burstlint:ignore telemetryhandle cold slow-path rebuild, measured
+	h.Observe(0)
+}
+
+func (q *Queue) Setup() {
+	// Not a hot-path method name: registration is fine here.
+	q.drops = q.reg.Counter("queue.drops")
+}

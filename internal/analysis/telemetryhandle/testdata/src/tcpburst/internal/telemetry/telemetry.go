@@ -1,0 +1,48 @@
+// Package telemetry is a fixture stub of the metrics registry; the
+// analyzer identifies registration calls by this import path.
+package telemetry
+
+// Counter is a dense-id counter handle.
+type Counter struct{ id int32 }
+
+// Add bumps the counter; handle methods are hot-path safe.
+func (c Counter) Add(v float64) {}
+
+// Gauge is a dense-id gauge handle.
+type Gauge struct{ id int32 }
+
+// Set stores the gauge value.
+func (g Gauge) Set(v float64) {}
+
+// Histogram is a dense-id histogram handle.
+type Histogram struct{ id int32 }
+
+// Observe records one sample.
+func (h Histogram) Observe(v float64) {}
+
+// Registry hands out handles at construction time.
+type Registry struct{ next int32 }
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers (or finds) a counter by name.
+func (r *Registry) Counter(name string) Counter { r.next++; return Counter{id: r.next} }
+
+// Gauge registers (or finds) a gauge by name.
+func (r *Registry) Gauge(name string) Gauge { r.next++; return Gauge{id: r.next} }
+
+// Histogram registers (or finds) a histogram by name.
+func (r *Registry) Histogram(name string, width float64, buckets int) Histogram {
+	r.next++
+	return Histogram{id: r.next}
+}
+
+// Probe registers a pull-style metric.
+func (r *Registry) Probe(name string, fn func() float64) { r.next++ }
+
+// Sampler drains registries on an interval.
+type Sampler struct{}
+
+// NewSampler builds a sampler.
+func NewSampler() *Sampler { return &Sampler{} }

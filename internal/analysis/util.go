@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the function or method a call expression invokes, or
+// nil when the call is a conversion, a builtin, or an indirect call
+// through a function value.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsBuiltinCall reports whether call invokes a language builtin (append,
+// len, delete, ...) and returns its name.
+func IsBuiltinCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// IsMethodOn reports whether fn is a method on the (possibly pointered)
+// named type pkgPath.typeName.
+func IsMethodOn(fn *types.Func, pkgPath, typeName string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := NamedOf(sig.Recv().Type())
+	return named != nil &&
+		named.Obj().Name() == typeName &&
+		named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == pkgPath
+}
+
+// NamedOf unwraps one level of pointer and returns the named type
+// underneath, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsFloat reports whether t's core type is a floating-point basic type
+// (including untyped float constants).
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

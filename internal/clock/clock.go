@@ -1,0 +1,60 @@
+// Package clock is the simulator's only sanctioned source of wall-clock
+// time. Simulation packages must never read the wall clock — virtual time
+// comes from the scheduler — but the harness layer (the parallel runner's
+// job timing, the progress line, the live telemetry line) legitimately
+// measures real elapsed time. Routing every such read through this seam
+// keeps the burstlint nondeterminism analyzer's allowlist to exactly one
+// package and lets tests of time-dependent output run on a fake clock
+// instead of sleeping.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the wall-time interface the harness layer depends on.
+type Clock interface {
+	// Now returns the current wall-clock time.
+	Now() time.Time
+	// Since returns the elapsed wall time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Wall is the real wall clock — the production default everywhere a Clock
+// is left nil.
+var Wall Clock = wall{}
+
+type wall struct{}
+
+func (wall) Now() time.Time                  { return time.Now() }
+func (wall) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Fake is a manually advanced clock for tests. It is safe for concurrent
+// use so runner tests can read it from worker goroutines.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFake returns a fake clock frozen at start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now returns the fake's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since returns the fake elapsed time since t.
+func (f *Fake) Since(t time.Time) time.Duration {
+	return f.Now().Sub(t)
+}
+
+// Advance moves the fake clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}

@@ -1,0 +1,28 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallAdvances(t *testing.T) {
+	a := Wall.Now()
+	if Wall.Since(a) < 0 {
+		t.Fatalf("wall clock ran backwards")
+	}
+}
+
+func TestFake(t *testing.T) {
+	start := time.Date(2000, 1, 2, 3, 4, 5, 0, time.UTC)
+	f := NewFake(start)
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	f.Advance(90 * time.Second)
+	if got := f.Since(start); got != 90*time.Second {
+		t.Fatalf("Since(start) = %v, want 90s", got)
+	}
+	if got := f.Now(); !got.Equal(start.Add(90 * time.Second)) {
+		t.Fatalf("Now() after Advance = %v", got)
+	}
+}

@@ -361,13 +361,13 @@ func (c Config) WithDefaults() Config {
 	if c.Duration == 0 {
 		c.Duration = d.Duration
 	}
-	if c.ClientRateBps == 0 {
+	if c.ClientRateBps == 0 { //burstlint:ignore floateq zero means unset; take the default
 		c.ClientRateBps = d.ClientRateBps
 	}
 	if c.ClientDelay == 0 {
 		c.ClientDelay = d.ClientDelay
 	}
-	if c.BottleneckRateBps == 0 {
+	if c.BottleneckRateBps == 0 { //burstlint:ignore floateq zero means unset; take the default
 		c.BottleneckRateBps = d.BottleneckRateBps
 	}
 	if c.BottleneckDelay == 0 {
@@ -394,7 +394,7 @@ func (c Config) WithDefaults() Config {
 	if c.Traffic == 0 {
 		c.Traffic = d.Traffic
 	}
-	if c.ParetoShape == 0 {
+	if c.ParetoShape == 0 { //burstlint:ignore floateq zero means unset; take the default
 		c.ParetoShape = d.ParetoShape
 	}
 	if c.MeanOnTime == 0 {
@@ -403,16 +403,16 @@ func (c Config) WithDefaults() Config {
 	if c.MeanOffTime == 0 {
 		c.MeanOffTime = d.MeanOffTime
 	}
-	if c.REDMinThreshold == 0 {
+	if c.REDMinThreshold == 0 { //burstlint:ignore floateq zero means unset; take the default
 		c.REDMinThreshold = d.REDMinThreshold
 	}
-	if c.REDMaxThreshold == 0 {
+	if c.REDMaxThreshold == 0 { //burstlint:ignore floateq zero means unset; take the default
 		c.REDMaxThreshold = d.REDMaxThreshold
 	}
-	if c.REDWeight == 0 {
+	if c.REDWeight == 0 { //burstlint:ignore floateq zero means unset; take the default
 		c.REDWeight = d.REDWeight
 	}
-	if c.REDMaxProb == 0 {
+	if c.REDMaxProb == 0 { //burstlint:ignore floateq zero means unset; take the default
 		c.REDMaxProb = d.REDMaxProb
 	}
 	if c.Vegas == (tcp.VegasParams{}) {

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tcpburst/internal/telemetry"
+)
+
+// TestSameSeedSameBytes is the determinism regression guard behind the
+// burstlint nondeterminism analyzer: two runs from the same seed must
+// produce byte-identical telemetry JSONL streams and summary JSON, for
+// both a Reno/FIFO and a Vegas/RED cell. It runs under -race in CI, so a
+// stray goroutine or shared-state leak in the simulator surfaces here
+// even if the analyzer's static allowlists miss it.
+func TestSameSeedSameBytes(t *testing.T) {
+	cells := []Cell{
+		{Protocol: Reno, Gateway: FIFO},
+		{Protocol: Vegas, Gateway: RED},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func() (summary, telem []byte) {
+				t.Helper()
+				var stream bytes.Buffer
+				cfg := DefaultConfig(24, cell.Protocol, cell.Gateway)
+				cfg.Duration = 2 * time.Second
+				cfg.Seed = 7
+				cfg.TelemetryInterval = 50 * time.Millisecond
+				cfg.TelemetrySink = telemetry.NewJSONL(&stream)
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("Run(%s): %v", cell, err)
+				}
+				s := res.Summary()
+				s.SchemaVersion = 0
+				raw, err := json.Marshal(s)
+				if err != nil {
+					t.Fatalf("marshal summary: %v", err)
+				}
+				return raw, stream.Bytes()
+			}
+			sum1, tel1 := run()
+			sum2, tel2 := run()
+			if len(tel1) == 0 {
+				t.Fatal("telemetry stream is empty; the sink was not exercised")
+			}
+			if !bytes.Equal(sum1, sum2) {
+				t.Errorf("summary JSON differs between identical-seed runs:\n%s\n%s",
+					digest(sum1), digest(sum2))
+			}
+			if !bytes.Equal(tel1, tel2) {
+				t.Errorf("telemetry JSONL differs between identical-seed runs: %s vs %s (%d vs %d bytes)",
+					digest(tel1), digest(tel2), len(tel1), len(tel2))
+			}
+		})
+	}
+}
+
+func digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

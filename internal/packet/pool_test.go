@@ -82,8 +82,8 @@ func TestNilPoolFallsBackToAllocation(t *testing.T) {
 	if p == nil {
 		t.Fatal("nil pool Get returned nil")
 	}
-	pl.Put(p)      // no-op, must not panic
-	pl.Put(nil)    // no-op
+	pl.Put(p)   // no-op, must not panic
+	pl.Put(nil) // no-op
 	pl.SetDebug(true)
 	if g, pu, a := pl.Stats(); g != 0 || pu != 0 || a != 0 {
 		t.Errorf("nil pool Stats() = %d,%d,%d, want zeros", g, pu, a)

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tcpburst/internal/clock"
 )
 
 // Progress renders the pool's event stream as one live, carriage-return
@@ -13,7 +15,8 @@ import (
 // on stdout stays clean. It is an Options.OnEvent observer; call Finish
 // once the batch returns to terminate the line with a newline.
 type Progress struct {
-	w io.Writer
+	w   io.Writer
+	clk clock.Clock
 
 	mu        sync.Mutex
 	start     time.Time
@@ -26,9 +29,16 @@ type Progress struct {
 	simEvents uint64
 }
 
-// NewProgress returns a progress renderer writing to w.
+// NewProgress returns a progress renderer writing to w on the real wall
+// clock.
 func NewProgress(w io.Writer) *Progress {
-	return &Progress{w: w, start: time.Now()}
+	return NewProgressClock(w, clock.Wall)
+}
+
+// NewProgressClock returns a progress renderer on an explicit clock, so
+// tests can drive throttling and the elapsed column deterministically.
+func NewProgressClock(w io.Writer, clk clock.Clock) *Progress {
+	return &Progress{w: w, clk: clk, start: clk.Now()}
 }
 
 // Observe consumes one pool event; pass it as Options.OnEvent (directly or
@@ -51,7 +61,7 @@ func (p *Progress) Observe(ev Event) {
 	}
 	// Terminal events only, throttled so a fast cache-warm batch does not
 	// spend its time repainting the terminal.
-	now := time.Now()
+	now := p.clk.Now()
 	if now.Sub(p.last) < 100*time.Millisecond && p.ran+p.cached+p.failed < p.total {
 		return
 	}
@@ -62,7 +72,7 @@ func (p *Progress) Observe(ev Event) {
 // render repaints the status line; callers hold p.mu.
 func (p *Progress) render() {
 	done := p.ran + p.cached + p.failed
-	elapsed := time.Since(p.start)
+	elapsed := p.clk.Since(p.start)
 	line := fmt.Sprintf("\r%d/%d jobs · %d ran · %d cached", done, p.total, p.ran, p.cached)
 	if p.failed > 0 {
 		line += fmt.Sprintf(" · %d FAILED", p.failed)

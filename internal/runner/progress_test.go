@@ -1,0 +1,60 @@
+package runner
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"tcpburst/internal/clock"
+)
+
+// With a fake clock the progress line's elapsed column and throttling are
+// exact, so the rendered output can be asserted byte-for-byte instead of
+// sleeping through real repaint intervals.
+func TestProgressDeterministicOnFakeClock(t *testing.T) {
+	clk := clock.NewFake(time.Unix(0, 0))
+	var sb strings.Builder
+	p := NewProgressClock(&sb, clk)
+
+	p.Observe(Event{Kind: EventDone, Total: 3, SimEvents: 1000})
+	clk.Advance(50 * time.Millisecond) // inside the 100ms throttle window
+	p.Observe(Event{Kind: EventCached, Total: 3, SimEvents: 1000})
+	clk.Advance(time.Second)
+	p.Observe(Event{Kind: EventFailed, Total: 3})
+	p.Finish()
+
+	out := sb.String()
+	// The second event lands inside the throttle window of the first, so
+	// exactly three repaints happen: first event, third event, Finish.
+	if got := strings.Count(out, "\r"); got != 3 {
+		t.Fatalf("repaints = %d, want 3\noutput: %q", got, out)
+	}
+	if !strings.Contains(out, "3/3 jobs · 1 ran · 1 cached · 1 FAILED") {
+		t.Fatalf("final counts missing from output: %q", out)
+	}
+	if !strings.Contains(out, "1.1s") {
+		t.Fatalf("fake-clock elapsed 1.1s missing from output: %q", out)
+	}
+}
+
+// The pool's Stats timing flows from Options.Clock, so a frozen fake
+// yields zero wall time regardless of real scheduling delays.
+func TestRunUsesInjectedClock(t *testing.T) {
+	clk := clock.NewFake(time.Unix(100, 0))
+	jobs := []Job[int]{
+		{Label: "a", Do: func(context.Context) (int, error) { return 1, nil }},
+		{Label: "b", Do: func(context.Context) (int, error) { return 2, nil }},
+	}
+	res, stats, err := Run(context.Background(), Options[int]{Jobs: 2, Clock: clk}, jobs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res[0] != 1 || res[1] != 2 {
+		t.Fatalf("results = %v", res)
+	}
+	if stats.Wall != 0 || stats.JobWall != 0 {
+		t.Fatalf("frozen clock should yield zero wall times, got Wall=%v JobWall=%v",
+			stats.Wall, stats.JobWall)
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"tcpburst/internal/clock"
 )
 
 // Job is one independent unit of work.
@@ -64,6 +66,9 @@ type Options[T any] struct {
 	// WeighRecords extracts a result's streamed telemetry-record count; it
 	// feeds Event.Records and Stats.TelemetryRecords.
 	WeighRecords func(T) uint64
+	// Clock supplies wall time for Stats and Event timing; nil means the
+	// real wall clock. Tests inject a fake so timing assertions are exact.
+	Clock clock.Clock
 }
 
 // EventKind classifies a progress event.
@@ -198,10 +203,13 @@ func Run[T any](ctx context.Context, opts Options[T], jobs []Job[T]) ([]T, Stats
 		workers = len(jobs)
 	}
 
+	if opts.Clock == nil {
+		opts.Clock = clock.Wall
+	}
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	stats := Stats{Total: len(jobs)}
-	start := time.Now()
+	start := opts.Clock.Now()
 
 	var mu sync.Mutex // guards stats and serializes OnEvent
 	emit := func(ev Event) {
@@ -244,7 +252,7 @@ feed:
 	close(indices)
 	wg.Wait()
 
-	stats.Wall = time.Since(start)
+	stats.Wall = opts.Clock.Since(start)
 	joined := make([]error, 0, len(errs)+1)
 	if err := ctx.Err(); err != nil {
 		joined = append(joined, err)
@@ -274,7 +282,7 @@ func runJob[T any](
 	mu.Lock()
 	emit(Event{Kind: EventStarted, Job: i, Label: job.Label, Done: finished()})
 	mu.Unlock()
-	start := time.Now()
+	start := opts.Clock.Now()
 
 	// Cache lookup: decode failures (corrupt or stale entries) degrade to
 	// a miss rather than failing the job.
@@ -295,7 +303,7 @@ func runJob[T any](
 				stats.TelemetryRecords += recs
 				emit(Event{
 					Kind: EventCached, Job: i, Label: job.Label,
-					Wall: time.Since(start), SimEvents: ev, Records: recs, Done: finished(),
+					Wall: opts.Clock.Since(start), SimEvents: ev, Records: recs, Done: finished(),
 				})
 				mu.Unlock()
 				return
@@ -310,7 +318,7 @@ func runJob[T any](
 		defer cancel()
 	}
 	v, err := protect(runCtx, job.Do)
-	wall := time.Since(start)
+	wall := opts.Clock.Since(start)
 
 	if err != nil {
 		var je *JobError

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tcpburst/internal/clock"
+)
+
+// A fake clock makes the live line's wall-clock throttling exact: records
+// inside the repaint interval are swallowed, records past it repaint.
+func TestLiveLineThrottlesOnFakeClock(t *testing.T) {
+	clk := clock.NewFake(time.Unix(0, 0))
+	var sb strings.Builder
+	l := NewLiveLine(&sb, "x")
+	l.SetClock(clk)
+	if err := l.Begin([]string{"x"}); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+
+	clk.Advance(200 * time.Millisecond)
+	if err := l.Record(1.0, []float64{42}); err != nil { // past interval: paints
+		t.Fatalf("Record: %v", err)
+	}
+	clk.Advance(10 * time.Millisecond)
+	if err := l.Record(2.0, []float64{43}); err != nil { // inside interval: swallowed
+		t.Fatalf("Record: %v", err)
+	}
+	clk.Advance(200 * time.Millisecond)
+	if err := l.Record(3.0, []float64{44}); err != nil { // past interval: paints
+		t.Fatalf("Record: %v", err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	out := sb.String()
+	if got := strings.Count(out, "\r"); got != 2 {
+		t.Fatalf("repaints = %d, want 2\noutput: %q", got, out)
+	}
+	if !strings.Contains(out, "x=42") || !strings.Contains(out, "x=44") {
+		t.Fatalf("painted values missing: %q", out)
+	}
+	if strings.Contains(out, "x=43") {
+		t.Fatalf("throttled record leaked into output: %q", out)
+	}
+}

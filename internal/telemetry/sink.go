@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tcpburst/internal/clock"
 )
 
 // Sink consumes the snapshot stream. Begin is called once with the column
@@ -291,6 +293,7 @@ func (s *SyncWriter) Flush() error {
 // the registry are silently skipped.
 type LiveLine struct {
 	w      io.Writer
+	clk    clock.Clock
 	pick   []string
 	idx    []int
 	every  time.Duration
@@ -300,10 +303,15 @@ type LiveLine struct {
 	wrote  bool
 }
 
-// NewLiveLine returns a live line writing to w showing the given fields.
+// NewLiveLine returns a live line writing to w showing the given fields,
+// throttled against the real wall clock.
 func NewLiveLine(w io.Writer, fields ...string) *LiveLine {
-	return &LiveLine{w: w, pick: fields, every: 100 * time.Millisecond}
+	return &LiveLine{w: w, clk: clock.Wall, pick: fields, every: 100 * time.Millisecond}
 }
+
+// SetClock replaces the throttling clock — tests use a fake so repaint
+// behavior is deterministic instead of sleep-based.
+func (l *LiveLine) SetClock(clk clock.Clock) { l.clk = clk }
 
 // Begin resolves the selected fields against the column set.
 func (l *LiveLine) Begin(fields []string) error {
@@ -326,7 +334,7 @@ func (l *LiveLine) Begin(fields []string) error {
 // Record repaints the line, throttled to wall-clock intervals.
 func (l *LiveLine) Record(t float64, values []float64) error {
 	l.record++
-	now := time.Now()
+	now := l.clk.Now()
 	if now.Sub(l.last) < l.every {
 		return nil
 	}
