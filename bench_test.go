@@ -456,6 +456,37 @@ func BenchmarkScalingClients(b *testing.B) {
 	}
 }
 
+// BenchmarkFluidBackend measures the mean-field solver across client counts
+// the packet engine cannot touch. The aggregate offered load is pinned at
+// 0.9x the bottleneck so every N solves the same operating point; solve
+// cost must stay flat in N (the state is per-class window densities plus a
+// (B+1)-state queue chain, never per-flow).
+func BenchmarkFluidBackend(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			cfg := core.DefaultConfig(n, core.Reno, core.FIFO)
+			cfg.Backend = core.FluidBackend
+			cfg.Duration = 60 * time.Second
+			capacity := cfg.BottleneckRateBps / (8 * float64(cfg.PacketSize))
+			cfg.MeanInterval = time.Duration(float64(time.Second) * float64(n) / (0.9 * capacity))
+			var res *core.Result
+			var err error
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err = core.Run(cfg)
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(res.Fluid.Iterations), "iterations")
+			b.ReportMetric(res.Fluid.DropProb, "drop_prob")
+			b.ReportMetric(res.COV, "cov")
+		})
+	}
+}
+
 // BenchmarkTelemetryOverhead measures what the telemetry subsystem costs a
 // large run: the same 2000-client experiment with telemetry disabled and
 // with 100 ms snapshots into an in-memory ring. The counter handles on

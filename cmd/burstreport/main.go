@@ -43,6 +43,7 @@ func run(w io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("burstreport", flag.ContinueOnError)
 	var (
 		seed     = fs.Int64("seed", 1, "random seed")
+		backend  = fs.String("backend", "packet", "execution engine for the sweep: packet (event-level simulation) or fluid (mean-field model)")
 		duration = fs.Duration("duration", 200*time.Second, "simulated test time per point")
 		step     = fs.Int("step", 4, "client-count step for the sweep")
 		maxN     = fs.Int("max-clients", 60, "largest client count")
@@ -80,10 +81,16 @@ func run(w io.Writer, args []string) (err error) {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
+	b, err := core.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+
 	// A sweep/trace template: Clients stays zero and is filled per job, so
 	// the base skips defaulting and validation until each run.
 	baseOpts := []core.Option{
 		core.WithSeed(*seed),
+		core.WithBackend(b),
 		core.WithDuration(*duration),
 	}
 	if *telemetryOn {
@@ -133,7 +140,17 @@ func run(w io.Writer, args []string) (err error) {
 	fmt.Fprintf(w, "# TCP burstiness report (seed %d, %s per point)\n\n", *seed, *duration)
 	writeTable1(w, base)
 	writeSweepSection(w, sweep)
-	traceStats, err := writeTraceSection(ctx, w, base, *maxN, exec)
+	var traceStats runner.Stats
+	if b == core.FluidBackend {
+		// The window-evolution figures need per-flow cwnd samples, which the
+		// mean-field model deliberately does not carry.
+		fmt.Fprintf(w, "## Figures 5–12 — window evolution\n\n")
+		fmt.Fprintf(w, "_Skipped on the fluid backend: the mean-field model tracks window densities, "+
+			"not per-flow windows. Re-run with `-backend packet`, or use `burstsim -backend fluid "+
+			"-fluid-trace FILE` for the ODE state trajectory._\n\n")
+	} else {
+		traceStats, err = writeTraceSection(ctx, w, base, *maxN, exec)
+	}
 	if prog != nil {
 		prog.Finish()
 	}

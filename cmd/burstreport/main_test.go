@@ -50,3 +50,32 @@ func TestReportQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestReportFluidBackend(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-backend", "fluid", "-duration", "5s", "-step", "30", "-max-clients", "30",
+		"-cache-dir", t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TCP burstiness report",
+		"## Figures 2–4 and 13",
+		// The window-evolution figures need per-flow state; the fluid
+		// report must say so instead of running them.
+		"Skipped on the fluid backend",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fluid report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "| 5 | reno | 20 |") {
+		t.Error("fluid report should not contain window-evolution rows")
+	}
+	if err := run(&sb, []string{"-backend", "bogus"}); err == nil {
+		t.Error("bogus backend accepted")
+	}
+}

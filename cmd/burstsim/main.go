@@ -6,6 +6,11 @@
 //
 //	burstsim -clients 39 -proto reno -queue fifo -duration 200s
 //	burstsim -clients 39 -cache -stats     # reuse/store the result on disk
+//	burstsim -backend fluid -clients 1000000 -mean-interval 286.7s
+//
+// With -backend fluid the run solves the mean-field model instead of
+// simulating packets: cost independent of N, same summary and telemetry
+// shapes, and -fluid-trace FILE dumps the ODE state trajectory as CSV.
 //
 // With -cache the run is served from the persistent result store when the
 // same configuration has been simulated before (-flows always simulates:
@@ -44,7 +49,9 @@ func run(w io.Writer, args []string) error {
 		clients  = fs.Int("clients", 20, "number of Poisson client streams")
 		proto    = fs.String("proto", "reno", "transport protocol: udp, reno, reno-delayack, vegas, tahoe, newreno, sack")
 		qdisc    = fs.String("queue", "fifo", "gateway queueing discipline: fifo, red")
+		backend  = fs.String("backend", "packet", "execution engine: packet (event-level simulation) or fluid (mean-field model)")
 		seed     = fs.Int64("seed", 1, "random seed (identical seeds replay identically)")
+		interarr = fs.Duration("mean-interval", 0, "mean packet inter-generation time per client (0 = paper default)")
 		duration = fs.Duration("duration", 200*time.Second, "simulated test time")
 		perFlow  = fs.Bool("flows", false, "print per-flow breakdown")
 		asJSON   = fs.Bool("json", false, "emit the result summary as JSON")
@@ -64,6 +71,9 @@ func run(w io.Writer, args []string) error {
 		telemetryOn       = fs.Bool("telemetry", false, "stream periodic metric snapshots (implied by -telemetry-out)")
 		telemetryInterval = fs.Duration("telemetry-interval", 100*time.Millisecond, "telemetry snapshot period (simulated time)")
 		telemetryOut      = fs.String("telemetry-out", "", "telemetry stream destination (.csv for CSV, anything else JSONL)")
+
+		fluidTrace         = fs.String("fluid-trace", "", "write the fluid backend's ODE state trajectory as CSV to this file (requires -backend fluid)")
+		fluidTraceInterval = fs.Duration("fluid-trace-interval", 0, "simulated time between fluid-trace samples (0 = every integrator step)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,11 +92,22 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	b, err := core.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	if *fluidTrace != "" && b != core.FluidBackend {
+		return fmt.Errorf("-fluid-trace requires -backend fluid")
+	}
+	if *perFlow && b == core.FluidBackend {
+		return fmt.Errorf("-flows requires the packet backend: the fluid model tracks window densities, not individual flows")
+	}
 
 	opts := []core.Option{
 		core.WithClients(*clients),
 		core.WithProtocol(p),
 		core.WithGateway(q),
+		core.WithBackend(b),
 		core.WithSeed(*seed),
 		core.WithDuration(*duration),
 		core.WithWireLoss(*wireLoss),
@@ -96,6 +117,9 @@ func run(w io.Writer, args []string) error {
 	}
 	if *minRTO > 0 {
 		opts = append(opts, core.WithMinRTO(*minRTO))
+	}
+	if *interarr > 0 {
+		opts = append(opts, core.WithMeanInterval(*interarr))
 	}
 	var closeSink func() error
 	if *telemetryOn || *telemetryOut != "" {
@@ -140,6 +164,19 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	res := results[0]
+	if *fluidTrace != "" {
+		f, err := os.Create(*fluidTrace)
+		if err != nil {
+			return err
+		}
+		err = core.WriteFluidTrace(f, cfg, *fluidTraceInterval)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
 	if *stats {
 		fmt.Fprint(os.Stderr, batchStats.Table())
 	}
@@ -189,6 +226,11 @@ func printResult(w io.Writer, res *core.Result, perFlow bool) {
 	if res.RED != nil {
 		fmt.Fprintf(w, "  RED: %d early drops, %d forced drops, %d marks, final avg %.1f\n",
 			res.RED.EarlyDrops, res.RED.ForcedDrops, res.RED.Marks, res.RED.FinalAvg)
+	}
+	if res.Fluid != nil {
+		fmt.Fprintf(w, "  fluid: %d iterations, residual %.2e, drop prob %.4f, mean window %.2f, rtt %.1f ms\n",
+			res.Fluid.Iterations, res.Fluid.Residual, res.Fluid.DropProb,
+			res.Fluid.MeanWindow, res.Fluid.RTTSec*1000)
 	}
 	if perFlow {
 		fmt.Fprintln(w, "  per-flow:")

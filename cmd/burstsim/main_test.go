@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -70,6 +71,59 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(&sb, []string{"-queue", "bogus"}); err == nil {
 		t.Error("bogus queue accepted")
+	}
+	if err := run(&sb, []string{"-backend", "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("bogus backend not rejected clearly: %v", err)
+	}
+	if err := run(&sb, []string{"-fluid-trace", "x.csv"}); err == nil ||
+		!strings.Contains(err.Error(), "-backend fluid") {
+		t.Errorf("-fluid-trace without fluid backend not rejected clearly: %v", err)
+	}
+	if err := run(&sb, []string{"-backend", "fluid", "-flows"}); err == nil ||
+		!strings.Contains(err.Error(), "packet backend") {
+		t.Errorf("-flows on fluid backend not rejected clearly: %v", err)
+	}
+	if err := run(&sb, []string{"-backend", "fluid", "-wireloss", "0.1"}); err == nil ||
+		!strings.Contains(err.Error(), "WireLossProb") {
+		t.Errorf("fluid-incompatible wireloss not rejected clearly: %v", err)
+	}
+}
+
+func TestRunFluidBackend(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-backend", "fluid", "-clients", "500", "-duration", "10s"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fluid:", "iterations", "drop prob"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fluid output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFluidTrace(t *testing.T) {
+	path := t.TempDir() + "/ode.csv"
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-backend", "fluid", "-clients", "500", "-duration", "5s",
+		"-fluid-trace", path, "-fluid-trace-interval", "1s",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace has %d lines, want header + samples:\n%s", len(lines), raw)
+	}
+	if !strings.Contains(lines[0], "time_s") || !strings.Contains(lines[0], "queue_pkts") {
+		t.Errorf("trace header malformed: %q", lines[0])
 	}
 }
 

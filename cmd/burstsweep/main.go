@@ -55,6 +55,8 @@ func run(args []string) error {
 		table1   = fs.Bool("table1", false, "print Table 1 (simulation parameters)")
 		outDir   = fs.String("out", "", "directory for CSV output (default stdout; required with -all)")
 		seed     = fs.Int64("seed", 1, "random seed")
+		backend  = fs.String("backend", "packet", "execution engine: packet (event-level simulation) or fluid (mean-field model)")
+		interarr = fs.Duration("mean-interval", 0, "mean packet inter-generation time per client (0 = paper default; lower it to hold aggregate load fixed on large -max-clients fluid sweeps)")
 		duration = fs.Duration("duration", 200*time.Second, "simulated test time per point")
 		step     = fs.Int("step", 4, "client-count step for the sweep")
 		maxN     = fs.Int("max-clients", 60, "largest client count")
@@ -93,11 +95,20 @@ func run(args []string) error {
 		return fmt.Errorf("-all requires -out DIR")
 	}
 
+	b, err := core.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+
 	// A sweep template: Clients stays zero and protocol/gateway are filled
 	// per cell, so the base skips defaulting and validation until each job.
 	baseOpts := []core.Option{
 		core.WithSeed(*seed),
+		core.WithBackend(b),
 		core.WithDuration(*duration),
+	}
+	if *interarr > 0 {
+		baseOpts = append(baseOpts, core.WithMeanInterval(*interarr))
 	}
 	var closeTelemetry func() error
 	if *telemetryOn {

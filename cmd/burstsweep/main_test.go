@@ -38,3 +38,9 @@ func TestRunRequiresMode(t *testing.T) {
 		t.Error("-all without -out accepted")
 	}
 }
+
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	if err := run([]string{"-fig", "2", "-backend", "bogus"}); err == nil {
+		t.Error("bogus backend accepted")
+	}
+}

@@ -43,6 +43,7 @@ func run(args []string) error {
 		clients  = fs.Int("clients", 20, "number of Poisson client streams")
 		proto    = fs.String("proto", "reno", "transport protocol (TCP variants only)")
 		qdisc    = fs.String("queue", "fifo", "gateway queueing discipline: fifo, red")
+		backend  = fs.String("backend", "packet", "execution engine (window tracing requires packet)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		duration = fs.Duration("duration", 200*time.Second, "simulated test time")
 		interval = fs.Duration("interval", 100*time.Millisecond, "sampling interval (paper: 0.1s)")
@@ -60,6 +61,13 @@ func run(args []string) error {
 		return err
 	}
 
+	b, err := core.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	if b != core.PacketBackend {
+		return fmt.Errorf("backend %s has no per-flow windows to trace; use burstsim -backend fluid -fluid-trace FILE for the ODE trajectory", b)
+	}
 	p, err := core.ParseProtocol(*proto)
 	if err != nil {
 		return err

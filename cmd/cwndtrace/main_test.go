@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseClientList(t *testing.T) {
 	got, err := parseClientList("1, 10,20")
@@ -40,5 +43,18 @@ func TestRunRejectsUDP(t *testing.T) {
 func TestRunRejectsUnknownProtocol(t *testing.T) {
 	if err := run([]string{"-proto", "quic"}); err == nil {
 		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestRunRejectsFluidBackend(t *testing.T) {
+	err := run([]string{"-backend", "fluid"})
+	if err == nil {
+		t.Fatal("fluid backend accepted for cwnd tracing")
+	}
+	if !strings.Contains(err.Error(), "fluid-trace") {
+		t.Errorf("error should point at burstsim -fluid-trace: %v", err)
+	}
+	if err := run([]string{"-backend", "bogus"}); err == nil {
+		t.Error("bogus backend accepted")
 	}
 }

@@ -60,6 +60,10 @@ var Default = Config{
 		"tcpburst/internal/packet",
 		"tcpburst/internal/trace",
 		"tcpburst/internal/transport",
+		// The mean-field solver is not event-driven, but it carries the same
+		// determinism contract: a fluid solve must replay bit-identically, so
+		// no wall clock, no RNG, no goroutines, no map iteration.
+		"tcpburst/internal/meanfield",
 	},
 	HarnessPackages: []string{
 		"tcpburst/internal/stats",
@@ -73,6 +77,7 @@ var Default = Config{
 	FloatPackages: []string{
 		"tcpburst/internal/stats",
 		"tcpburst/internal/core",
+		"tcpburst/internal/meanfield",
 	},
 	HotPathFuncs:     []string{"Send", "Recv", "Enqueue", "Dequeue", "OnEvent"},
 	PacketPackage:    "tcpburst/internal/packet",

@@ -175,6 +175,11 @@ type MixEntry struct {
 }
 
 type Config struct {
+	// Backend selects the execution engine: PacketBackend (the zero value,
+	// event-by-event simulation) or FluidBackend (the internal/meanfield
+	// ODE/fixed-point model, cost independent of Clients). Omitted from
+	// JSON when zero so packet configs encode exactly as before.
+	Backend Backend `json:",omitempty"`
 	// Clients is the number of Poisson client streams N.
 	Clients int
 	// Protocol is the transport protocol run by every client.
@@ -430,6 +435,8 @@ func (c Config) WithDefaults() Config {
 // Validate reports the first configuration error, or nil.
 func (c Config) Validate() error {
 	switch {
+	case c.Backend < PacketBackend || c.Backend > FluidBackend:
+		return fmt.Errorf("config: unknown backend %d", int(c.Backend))
 	case c.Clients < 1:
 		return fmt.Errorf("config: clients %d < 1", c.Clients)
 	case c.Protocol < UDP || c.Protocol > Sack:
@@ -483,6 +490,11 @@ func (c Config) Validate() error {
 		}
 		if sum != c.Clients {
 			return fmt.Errorf("config: mix totals %d clients but Clients = %d", sum, c.Clients)
+		}
+	}
+	if c.Backend == FluidBackend {
+		if err := c.validateFluid(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -35,9 +35,17 @@ type ExecOptions struct {
 // Cache-key namespaces. Bump the version suffix when the stored encoding
 // changes incompatibly; old entries simply stop hitting.
 const (
-	resultCacheKind = "result/v2"
-	chainCacheKind  = "chain/v2"
+	resultCacheKindPrefix = "result/v3/"
+	chainCacheKind        = "chain/v2"
 )
+
+// resultCacheKind namespaces result digests by execution engine: a packet
+// and a fluid run of byte-identical configurations measure different
+// things and must never share a cache entry, even across versions of the
+// Config type that encode them identically.
+func resultCacheKind(c Config) string {
+	return resultCacheKindPrefix + c.Backend.String()
+}
 
 // cacheable reports whether cfg's outcome is fully captured by its
 // Summary: congestion-window traces, queue traces, and packet logs are
@@ -61,7 +69,7 @@ func RunBatch(ctx context.Context, cfgs []Config, exec ExecOptions) ([]*Result, 
 		defaulted[i] = c
 		key := ""
 		if exec.Cache != nil && cacheable(c) {
-			if k, err := runcache.Key(resultCacheKind, c); err == nil {
+			if k, err := runcache.Key(resultCacheKind(c), c); err == nil {
 				key = k
 			}
 		}

@@ -120,6 +120,9 @@ type Result struct {
 
 	// Queue summarizes the bottleneck queue occupancy over the run.
 	Queue QueueStats
+	// Fluid carries the mean-field solver's outcome when the run executed
+	// on the fluid backend; nil for packet runs.
+	Fluid *FluidStats
 	// PacketLog retains the most recent bottleneck packet events when
 	// Config.PacketLogCapacity was set.
 	PacketLog *trace.PacketLog
@@ -186,6 +189,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Backend == FluidBackend {
+		return runFluidContext(ctx, cfg)
 	}
 
 	sched := sim.NewScheduler()

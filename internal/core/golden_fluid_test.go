@@ -1,0 +1,133 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"tcpburst/internal/sim"
+)
+
+// The fluid golden table pins the mean-field backend the same way
+// golden_summaries.json pins the packet engine: each paper cell solves at a
+// large client count and the SHA-256 of its full summary JSON must be
+// byte-identical to the captured baseline. The solver is pure float64
+// arithmetic with no RNG, no map iteration, and no goroutines in the hot
+// path, so digests must reproduce across runs and across GOMAXPROCS.
+// Regenerate deliberately with
+//
+//	go test ./internal/core -run TestGoldenFluidSummaries -update-golden-fluid
+//
+// and justify the diff in review: a changed digest means the model changed.
+
+var updateGoldenFluid = flag.Bool("update-golden-fluid", false,
+	"rewrite testdata/golden_fluid.json from the current implementation")
+
+const goldenFluidPath = "testdata/golden_fluid.json"
+
+// goldenFluidN is large enough that the summary exercises the mean-field
+// regime the backend exists for, yet each cell still solves in milliseconds.
+const goldenFluidN = 10000
+
+func goldenFluidSummary(cell Cell) ([]byte, error) {
+	cfg := DefaultConfig(goldenFluidN, cell.Protocol, cell.Gateway)
+	cfg.Backend = FluidBackend
+	// Pin the aggregate offered load at 0.9x capacity so every cell sits in
+	// the well-mixed regime regardless of protocol defaults.
+	capacity := cfg.BottleneckRateBps / (8 * float64(cfg.PacketSize))
+	cfg.MeanInterval = sim.Duration(float64(time.Second) * float64(goldenFluidN) / (0.9 * capacity))
+	cfg.Duration = 60 * time.Second
+	cfg.Warmup = 10 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The schema stamp is encoding metadata, not behavior; exclude it so
+	// the digest survives version bumps.
+	s := res.Summary()
+	s.SchemaVersion = 0
+	return json.Marshal(s)
+}
+
+// computeGoldenFluidDigests solves every cell and returns
+// name -> sha256(summary JSON). Cells run sequentially — each solve is
+// milliseconds — which also makes any run-order sensitivity impossible to
+// hide behind scheduling.
+func computeGoldenFluidDigests(t *testing.T) map[string]string {
+	t.Helper()
+	digests := make(map[string]string, len(PaperCells()))
+	for _, cell := range PaperCells() {
+		name := fmt.Sprintf("%s/n%d", cell, goldenFluidN)
+		raw, err := goldenFluidSummary(cell)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		sum := sha256.Sum256(raw)
+		digests[name] = hex.EncodeToString(sum[:])
+	}
+	return digests
+}
+
+func TestGoldenFluidSummaries(t *testing.T) {
+	if *updateGoldenFluid {
+		digests := computeGoldenFluidDigests(t)
+		if t.Failed() {
+			t.Fatal("not writing golden file: some cases failed")
+		}
+		names := make([]string, 0, len(digests))
+		for name := range digests {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		ordered := make(map[string]string, len(digests)) // json sorts keys
+		for _, name := range names {
+			ordered[name] = digests[name]
+		}
+		raw, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal golden table: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenFluidPath), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(goldenFluidPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatalf("write golden table: %v", err)
+		}
+		t.Logf("wrote %d digests to %s", len(digests), goldenFluidPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenFluidPath)
+	if err != nil {
+		t.Fatalf("read golden table (regenerate with -update-golden-fluid): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse golden table: %v", err)
+	}
+
+	got := computeGoldenFluidDigests(t)
+	if len(got) != len(want) {
+		t.Errorf("golden table has %d entries, current run produced %d (regenerate with -update-golden-fluid)",
+			len(want), len(got))
+	}
+	for name, wantDigest := range want {
+		gotDigest, ok := got[name]
+		if !ok {
+			t.Errorf("%s: missing from current run", name)
+			continue
+		}
+		if gotDigest != wantDigest {
+			t.Errorf("%s: fluid summary digest changed\n  golden:  %s\n  current: %s\nthe mean-field solve is no longer bit-for-bit identical to the captured baseline",
+				name, wantDigest, gotDigest)
+		}
+	}
+}

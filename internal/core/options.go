@@ -48,6 +48,11 @@ func BaseConfig(opts ...Option) Config {
 	return c
 }
 
+// WithBackend selects the execution engine (packet or fluid).
+func WithBackend(b Backend) Option {
+	return func(c *Config) { c.Backend = b }
+}
+
 // WithClients sets the number of client streams N.
 func WithClients(n int) Option {
 	return func(c *Config) { c.Clients = n }

@@ -60,6 +60,20 @@ type Summary struct {
 	SimEvents uint64 `json:"simEvents,omitempty"`
 	// TelemetryRecords counts snapshot records streamed during the run.
 	TelemetryRecords uint64 `json:"telemetryRecords,omitempty"`
+
+	// Backend names the execution engine for fluid runs; omitted (empty)
+	// for packet runs so their digests are byte-identical to before the
+	// fluid backend existed. The Fluid* fields mirror Result.Fluid.
+	Backend         string  `json:"backend,omitempty"`
+	FluidIterations int     `json:"fluidIterations,omitempty"`
+	FluidResidual   float64 `json:"fluidResidual,omitempty"`
+	FluidDropProb   float64 `json:"fluidDropProb,omitempty"`
+	FluidSignalProb float64 `json:"fluidSignalProb,omitempty"`
+	FluidRTTSec     float64 `json:"fluidRttSec,omitempty"`
+	FluidMeanWindow float64 `json:"fluidMeanWindow,omitempty"`
+	FluidDispersion float64 `json:"fluidDispersion,omitempty"`
+	FluidArrivalPPS float64 `json:"fluidArrivalPps,omitempty"`
+	FluidGoodputPPS float64 `json:"fluidGoodputPps,omitempty"`
 }
 
 // Summary flattens the result for serialization.
@@ -104,6 +118,18 @@ func (r *Result) Summary() Summary {
 		s.REDForcedDrops = r.RED.ForcedDrops
 		s.REDMarks = r.RED.Marks
 		s.REDFinalAvg = r.RED.FinalAvg
+	}
+	if r.Fluid != nil {
+		s.Backend = r.Config.Backend.String()
+		s.FluidIterations = r.Fluid.Iterations
+		s.FluidResidual = r.Fluid.Residual
+		s.FluidDropProb = r.Fluid.DropProb
+		s.FluidSignalProb = r.Fluid.SignalProb
+		s.FluidRTTSec = r.Fluid.RTTSec
+		s.FluidMeanWindow = r.Fluid.MeanWindow
+		s.FluidDispersion = r.Fluid.Dispersion
+		s.FluidArrivalPPS = r.Fluid.ArrivalPPS
+		s.FluidGoodputPPS = r.Fluid.GoodputPPS
 	}
 	return s
 }
@@ -157,6 +183,19 @@ func ResultFromSummary(cfg Config, s Summary) *Result {
 			ForcedDrops: s.REDForcedDrops,
 			Marks:       s.REDMarks,
 			FinalAvg:    s.REDFinalAvg,
+		}
+	}
+	if cfg.Backend == FluidBackend {
+		r.Fluid = &FluidStats{
+			Iterations: s.FluidIterations,
+			Residual:   s.FluidResidual,
+			DropProb:   s.FluidDropProb,
+			SignalProb: s.FluidSignalProb,
+			RTTSec:     s.FluidRTTSec,
+			MeanWindow: s.FluidMeanWindow,
+			Dispersion: s.FluidDispersion,
+			ArrivalPPS: s.FluidArrivalPPS,
+			GoodputPPS: s.FluidGoodputPPS,
 		}
 	}
 	return r

@@ -148,7 +148,7 @@ func TestStaleSchemaVersionIsMiss(t *testing.T) {
 	}
 
 	// Rewrite the stored entry as if an older binary had written it.
-	key, err := runcache.Key(resultCacheKind, cfg.WithDefaults())
+	key, err := runcache.Key(resultCacheKind(cfg.WithDefaults()), cfg.WithDefaults())
 	if err != nil {
 		t.Fatalf("Key: %v", err)
 	}

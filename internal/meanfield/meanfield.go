@@ -1,0 +1,249 @@
+// Package meanfield is the fluid execution engine behind the `fluid`
+// backend: a deterministic mean-field model of N TCP (or UDP) flows
+// multiplexed through one bottleneck queue, whose cost is independent of N.
+//
+// The model follows the many-flows limit of McDonald–Reynier (mean-field
+// convergence of TCP through a RED buffer) and the congestion-avoidance
+// window asymptotics of Ott–Swanson: as N grows, flows decouple, each flow
+// sees the queue only through the drop probability p and the round-trip
+// time R, and the population is fully described by a per-class window
+// DENSITY f_c(w) rather than per-flow state. Two components share the same
+// discretized dynamics (see DESIGN.md §10 for the derivation):
+//
+//   - a fixed-step RK4 integrator over virtual time (Integrator) evolving
+//     the per-class window densities, the fluid queue occupancy, and the
+//     RED averaged queue — the transient trajectory behind `-fluid-trace`
+//     and the fluid backend's telemetry stream; and
+//   - a damped fixed-point solver (Solve) for the steady state, which
+//     replaces the deterministic fluid queue with a stochastic M/D/1/B
+//     closure (the slotted queue chain in queue.go) so sub-saturated
+//     regimes report the overflow loss, queue distribution, and RED drop
+//     rates a packet simulation actually measures.
+//
+// Everything here is seeded-RNG-free and wall-clock-free: identical Params
+// produce byte-identical results, which the fluid golden-digest table
+// pins. The package deliberately has no dependency on the packet
+// simulator; internal/core adapts Config to Params and dispatches on
+// Config.Backend.
+package meanfield
+
+import "fmt"
+
+// QueueKind selects the bottleneck discipline the fluid model couples to.
+type QueueKind int
+
+// Disciplines with a fluid law. DRR has no mean-field reduction here and
+// is rejected by core before Params are built.
+const (
+	FIFO QueueKind = iota + 1
+	RED
+)
+
+// Variant selects the per-class congestion-control law.
+type Variant int
+
+// Window laws. Reno covers NewReno and SACK too: their loss recovery
+// differs per event, but the mean-field window dynamics (additive increase
+// 1/W per ACK, halving per loss signal) are identical. Tahoe resets to one
+// packet on every loss. Vegas adjusts on queueing delay and halves only on
+// loss. UDP is the unmodulated constant-rate class.
+const (
+	UDP Variant = iota + 1
+	Reno
+	Tahoe
+	Vegas
+)
+
+// String returns the law's name.
+func (v Variant) String() string {
+	switch v {
+	case UDP:
+		return "udp"
+	case Reno:
+		return "reno"
+	case Tahoe:
+		return "tahoe"
+	case Vegas:
+		return "vegas"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Class is one block of exchangeable flows: same law, same application
+// rate. Heterogeneous experiments (core's Config.Mix) map each block to
+// one class; the homogeneous case is a single class.
+type Class struct {
+	// Flows is the block size N_c.
+	Flows int
+	// Variant is the window law.
+	Variant Variant
+	// Lambda is the per-flow application packet rate in packets/second
+	// (the Poisson sources' 1/MeanInterval).
+	Lambda float64
+	// DelayedAck halves the window growth rate (one ACK per two packets).
+	DelayedAck bool
+}
+
+// REDParams mirrors the gateway's RED configuration in fluid units.
+type REDParams struct {
+	MinThreshold float64
+	MaxThreshold float64
+	Weight       float64
+	MaxProb      float64
+	Gentle       bool
+	// ECN marks instead of dropping: the early-drop probability still
+	// drives window halving but marked packets are admitted to the queue.
+	ECN bool
+}
+
+// VegasParams carries the Vegas alpha/beta thresholds in packets.
+type VegasParams struct {
+	Alpha float64
+	Beta  float64
+}
+
+// Params fully describes one fluid experiment. Core builds it from a
+// defaulted Config; zero-valued tunables (Step, Bins, solver limits) are
+// filled by withDefaults.
+type Params struct {
+	// Classes lists the flow blocks; at least one, all with Flows >= 1.
+	Classes []Class
+	// CapacityPPS is the bottleneck service rate C in packets/second.
+	CapacityPPS float64
+	// BaseRTT is the round-trip propagation delay 2(tau_c+tau_s) in
+	// seconds — also the c.o.v. measurement window.
+	BaseRTT float64
+	// Buffer is the gateway buffer size B in packets.
+	Buffer int
+	// MaxWindow is the advertised-window cap in packets.
+	MaxWindow float64
+	// MinRTO is the retransmission-timeout floor in seconds, used by the
+	// timeout-availability closure for small windows.
+	MinRTO float64
+	// Queue selects FIFO (drop-tail) or RED coupling.
+	Queue QueueKind
+	// RED parameterizes the RED law when Queue == RED.
+	RED REDParams
+	// Vegas parameterizes the Vegas law for Vegas classes.
+	Vegas VegasParams
+	// Duration is the virtual-time horizon in seconds.
+	Duration float64
+
+	// Step is the RK4 step in virtual seconds (default 1 ms, clamped so
+	// at least 64 steps cover the queue drain time B/C).
+	Step float64
+	// Bins is the window-density grid resolution (default 64).
+	Bins int
+	// MaxIterations caps the fixed-point solver (default 500). Lowering
+	// it forces the typed non-convergence error in tests.
+	MaxIterations int
+	// Tolerance is the fixed-point residual target on (p, R) updates
+	// (default 1e-10).
+	Tolerance float64
+}
+
+// Defaults for the numeric knobs.
+const (
+	defaultStep    = 1e-3
+	defaultBins    = 64
+	defaultMaxIter = 500
+	defaultTol     = 1e-10
+
+	// timeoutWindow is the window below which a loss cannot gather the
+	// three duplicate ACKs fast retransmit needs, so it becomes a timeout
+	// (RFC 5681's rationale; DESIGN.md §10).
+	timeoutWindow = 4.0
+)
+
+// withDefaults fills the numeric knobs.
+func (p Params) withDefaults() Params {
+	if p.Step <= 0 {
+		p.Step = defaultStep
+	}
+	if p.CapacityPPS > 0 {
+		drain := float64(p.Buffer) / p.CapacityPPS
+		if drain > 0 && p.Step > drain/64 {
+			p.Step = drain / 64
+		}
+	}
+	if p.Bins <= 0 {
+		p.Bins = defaultBins
+	}
+	if p.MaxIterations <= 0 {
+		p.MaxIterations = defaultMaxIter
+	}
+	if p.Tolerance <= 0 {
+		p.Tolerance = defaultTol
+	}
+	return p
+}
+
+// Validate reports the first parameter error, or nil.
+func (p Params) Validate() error {
+	if len(p.Classes) == 0 {
+		return fmt.Errorf("meanfield: no flow classes")
+	}
+	for i, c := range p.Classes {
+		switch {
+		case c.Flows < 1:
+			return fmt.Errorf("meanfield: class %d has %d flows", i, c.Flows)
+		case c.Variant < UDP || c.Variant > Vegas:
+			return fmt.Errorf("meanfield: class %d has unknown variant %d", i, int(c.Variant))
+		case c.Lambda <= 0:
+			return fmt.Errorf("meanfield: class %d lambda %v <= 0", i, c.Lambda)
+		}
+	}
+	switch {
+	case p.CapacityPPS <= 0:
+		return fmt.Errorf("meanfield: capacity %v pkts/s <= 0", p.CapacityPPS)
+	case p.BaseRTT <= 0:
+		return fmt.Errorf("meanfield: base RTT %v <= 0", p.BaseRTT)
+	case p.Buffer < 1:
+		return fmt.Errorf("meanfield: buffer %d < 1", p.Buffer)
+	case p.MaxWindow < 1:
+		return fmt.Errorf("meanfield: max window %v < 1", p.MaxWindow)
+	case p.Queue < FIFO || p.Queue > RED:
+		return fmt.Errorf("meanfield: unknown queue kind %d", int(p.Queue))
+	case p.Duration <= 0:
+		return fmt.Errorf("meanfield: duration %v <= 0", p.Duration)
+	}
+	if p.Queue == RED {
+		r := p.RED
+		switch {
+		case r.MinThreshold <= 0 || r.MaxThreshold <= r.MinThreshold:
+			return fmt.Errorf("meanfield: RED thresholds %v/%v invalid", r.MinThreshold, r.MaxThreshold)
+		case r.Weight <= 0 || r.Weight >= 1:
+			return fmt.Errorf("meanfield: RED weight %v outside (0,1)", r.Weight)
+		case r.MaxProb <= 0 || r.MaxProb > 1:
+			return fmt.Errorf("meanfield: RED max prob %v outside (0,1]", r.MaxProb)
+		}
+	}
+	return nil
+}
+
+// TotalFlows returns N, the population size across classes.
+func (p Params) TotalFlows() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += c.Flows
+	}
+	return n
+}
+
+// OfferedPPS returns the aggregate application packet rate sum N_c·λ_c.
+func (p Params) OfferedPPS() float64 {
+	var a float64
+	for _, c := range p.Classes {
+		a += float64(c.Flows) * c.Lambda
+	}
+	return a
+}
+
+// ackFactor is the delayed-ACK growth divisor b.
+func (c Class) ackFactor() float64 {
+	if c.DelayedAck {
+		return 2
+	}
+	return 1
+}

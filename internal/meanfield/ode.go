@@ -1,0 +1,383 @@
+package meanfield
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transient dynamics: a fixed-step classical Runge–Kutta (RK4) integrator
+// over virtual time for the coupled system
+//
+//	df_c/dt = transport-jump generator (density.go)
+//	dQ/dt   = A_admitted − C·busy(Q)          (fluid queue)
+//	dv/dt   = −ln(1−w)·A·(Q − v)              (RED averaged queue)
+//	dp/dt   = (p_inst − p)/R0                 (perceived loss signal)
+//
+// The instantaneous loss probability p_inst is deterministic — the RED
+// ramp on v plus fluid overflow when Q presses against B — but the flows'
+// window law responds to p, its RTT-smoothed relaxation: loss feedback
+// reaches a sender one round trip late and spread over the window. Without
+// that state the on/off overflow law at the buffer boundary rings against
+// the send rate instead of settling. The stochastic queue closure lives
+// only in the steady-state solver; the integrator exists for the fluid
+// backend's telemetry stream and the -fluid-trace CSV dump: it shows how
+// the population approaches equilibrium, at a cost independent of the
+// flow count.
+
+// Integrator advances the fluid state in fixed virtual-time steps. Create
+// with NewIntegrator; call Step until Time reaches the horizon. Identical
+// Params produce identical trajectories — no RNG, no wall clock.
+type Integrator struct {
+	params Params
+	grid   grid
+
+	// tcp maps class index → density offset in state; -1 for UDP classes.
+	tcp []int
+
+	// state holds the packed system [densities..., Q, v, pDrop, pSignal];
+	// the index fields locate the scalar components.
+	state                  []float64
+	qIdx, vIdx, pIdx, sIdx int
+
+	// RK4 stage buffers.
+	k1, k2, k3, k4, tmp []float64
+
+	t     float64
+	steps uint64
+
+	// Accumulated virtual-time totals (packets), integrated with the same
+	// step as the state.
+	Arrivals, Drops, Marks, Departures, Timeouts float64
+}
+
+// NewIntegrator validates and defaults params and returns an integrator at
+// t = 0 with every TCP flow at window one (the congestion-avoidance start
+// after the initial exchange), an empty queue, and a zero RED average.
+func NewIntegrator(params Params) (*Integrator, error) {
+	params = params.withDefaults()
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Integrator{
+		params: params,
+		grid:   newGrid(params.Bins, params.MaxWindow),
+		tcp:    make([]int, len(params.Classes)),
+	}
+	n := 0
+	for i, c := range params.Classes {
+		if c.Variant == UDP {
+			in.tcp[i] = -1
+			continue
+		}
+		in.tcp[i] = n
+		n += in.grid.n
+	}
+	in.qIdx = n
+	in.vIdx = n + 1
+	in.pIdx = n + 2
+	in.sIdx = n + 3
+	size := n + 4
+	in.state = make([]float64, size)
+	in.k1 = make([]float64, size)
+	in.k2 = make([]float64, size)
+	in.k3 = make([]float64, size)
+	in.k4 = make([]float64, size)
+	in.tmp = make([]float64, size)
+	for i := range params.Classes {
+		if off := in.tcp[i]; off >= 0 {
+			in.state[off] = 1 // all density in the lowest-window bin
+		}
+	}
+	return in, nil
+}
+
+// StepSize returns the (defaulted, drain-clamped) RK4 step in seconds.
+func (in *Integrator) StepSize() float64 { return in.params.Step }
+
+// Time returns the current virtual time in seconds.
+func (in *Integrator) Time() float64 { return in.t }
+
+// Steps returns how many RK4 steps have run.
+func (in *Integrator) Steps() uint64 { return in.steps }
+
+// Step advances one RK4 step of StepSize.
+func (in *Integrator) Step() {
+	h := in.params.Step
+	s := in.state
+
+	in.derivative(s, in.k1)
+	addScaled(in.tmp, s, in.k1, h/2)
+	in.clampState(in.tmp)
+	in.derivative(in.tmp, in.k2)
+	addScaled(in.tmp, s, in.k2, h/2)
+	in.clampState(in.tmp)
+	in.derivative(in.tmp, in.k3)
+	addScaled(in.tmp, s, in.k3, h)
+	in.clampState(in.tmp)
+	in.derivative(in.tmp, in.k4)
+
+	for i := range s {
+		s[i] += h / 6 * (in.k1[i] + 2*in.k2[i] + 2*in.k3[i] + in.k4[i])
+	}
+	in.clampState(s)
+
+	// Accumulate the flow totals from the post-step state.
+	r := in.rates(s)
+	in.Arrivals += h * r.arrival
+	in.Drops += h * r.arrival * r.pDrop
+	in.Marks += h * r.mark
+	in.Departures += h * r.departure
+	in.Timeouts += h * r.timeouts
+	in.steps++
+	in.t = float64(in.steps) * h
+}
+
+// instantRates is a snapshot of the flow quantities at one state. pDrop
+// and pSignal are the INSTANTANEOUS loss probabilities implied by the
+// queue right now — the relaxation targets of the smoothed state entries.
+type instantRates struct {
+	arrival   float64 // gateway data arrivals, pkts/s
+	departure float64 // bottleneck service, pkts/s
+	mark      float64 // ECN marks, pkts/s
+	timeouts  float64 // population timeout events, events/s
+	pDrop     float64
+	pSignal   float64
+	meanW     float64 // population mean window (TCP flows)
+	cov       float64 // instantaneous c.o.v. closure
+}
+
+// rates evaluates arrival/drop/service rates at a state; the send-rate law
+// reads the smoothed perceived loss probabilities from the state vector.
+func (in *Integrator) rates(s []float64) instantRates {
+	p := in.params
+	var r instantRates
+	q := s[in.qIdx]
+	v := s[in.vIdx]
+	pd, ps := s[in.pIdx], s[in.sIdx]
+	rtt := p.BaseRTT + (q+1)/p.CapacityPPS
+
+	var dispersionNum, tcpFlows, winSum float64
+	for i, c := range p.Classes {
+		n := float64(c.Flows)
+		if in.tcp[i] < 0 {
+			r.arrival += n * c.Lambda
+			dispersionNum += n * c.Lambda
+			continue
+		}
+		env := in.env(c, rtt, pd, ps)
+		f := s[in.tcp[i] : in.tcp[i]+in.grid.n]
+		m := env.moments(in.grid, f)
+		r.arrival += n * m.sendPPS
+		r.timeouts += n * m.timeoutPPS
+		tcpFlows += n
+		winSum += n * m.meanW
+		d := 1.0
+		if m.meanW > 0 && m.windowPPS > 0 {
+			batch := m.meanW2 / m.meanW
+			wl := math.Min(1, env.lambdaEff/m.windowPPS)
+			if batch > 1 {
+				d += (batch - 1) * wl
+			}
+		}
+		dispersionNum += n * m.sendPPS * d
+	}
+	if tcpFlows > 0 {
+		r.meanW = winSum / tcpFlows
+	}
+
+	// Deterministic drop law: RED ramp on the averaged queue, plus fluid
+	// overflow — the excess of admitted inflow over service once the
+	// buffer is (within one packet of) full.
+	var pe float64
+	if p.Queue == RED {
+		pe = redRamp(v, p.RED)
+	}
+	admitted := r.arrival
+	if p.Queue == RED && !p.RED.ECN {
+		admitted *= 1 - pe
+	}
+	var pov float64
+	if q >= float64(p.Buffer)-1 && admitted > p.CapacityPPS {
+		pov = 1 - p.CapacityPPS/admitted
+	}
+	if p.Queue == RED && p.RED.ECN {
+		r.pDrop = pov
+		r.pSignal = pe + (1-pe)*pov
+		r.mark = r.arrival * pe
+	} else {
+		r.pDrop = pe + (1-pe)*pov
+		r.pSignal = r.pDrop
+	}
+	if q > 1e-9 {
+		r.departure = p.CapacityPPS
+	} else {
+		r.departure = math.Min(p.CapacityPPS, admitted*(1-pov))
+	}
+	if r.arrival > 0 {
+		r.cov = math.Sqrt(dispersionNum / r.arrival / (r.arrival * p.BaseRTT))
+	}
+	return r
+}
+
+// env builds the per-class environment at the perceived loss probabilities.
+func (in *Integrator) env(c Class, rtt, pDrop, pSignal float64) classEnv {
+	return classEnv{
+		class:        c,
+		lambdaEff:    c.Lambda / (1 - math.Min(pDrop, 0.99)),
+		rtt:          rtt,
+		baseRTT:      in.params.BaseRTT,
+		pSignal:      pSignal,
+		pTimeoutLoss: pDrop,
+		minRTO:       in.params.MinRTO,
+		vegas:        in.params.Vegas,
+	}
+}
+
+// derivative fills dst with d(state)/dt at s.
+func (in *Integrator) derivative(s, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	p := in.params
+	r := in.rates(s)
+	q := s[in.qIdx]
+	rtt := p.BaseRTT + (q+1)/p.CapacityPPS
+
+	pd, ps := s[in.pIdx], s[in.sIdx]
+	for i, c := range p.Classes {
+		off := in.tcp[i]
+		if off < 0 {
+			continue
+		}
+		env := in.env(c, rtt, pd, ps)
+		f := s[off : off+in.grid.n]
+		env.applyGenerator(in.grid, f, dst[off:off+in.grid.n])
+	}
+
+	// Queue inflow: gross arrivals minus everything dropped (early RED
+	// drops and overflow; ECN marks are admitted).
+	inflow := r.arrival * (1 - r.pDrop)
+	dst[in.qIdx] = inflow - r.departure
+	// RED averaged queue: EWMA with weight w per arrival relaxes v toward
+	// Q at rate −ln(1−w)·A.
+	if p.Queue == RED {
+		rate := -math.Log(1-p.RED.Weight) * math.Max(r.arrival, p.CapacityPPS)
+		dst[in.vIdx] = rate * (q - s[in.vIdx])
+	}
+	// Perceived loss relaxes to the instantaneous probability over one
+	// propagation round trip — the feedback delay of the loss signal.
+	dst[in.pIdx] = (r.pDrop - pd) / p.BaseRTT
+	dst[in.sIdx] = (r.pSignal - ps) / p.BaseRTT
+}
+
+// clampState keeps densities nonnegative and normalized and the queue
+// inside [0, B] after each RK4 stage — the continuous dynamics preserve
+// these invariants exactly, the discrete steps only up to O(h⁵).
+func (in *Integrator) clampState(s []float64) {
+	for i := range in.params.Classes {
+		off := in.tcp[i]
+		if off < 0 {
+			continue
+		}
+		f := s[off : off+in.grid.n]
+		var sum float64
+		for j := range f {
+			if f[j] < 0 {
+				f[j] = 0
+			}
+			sum += f[j]
+		}
+		if sum > 0 {
+			for j := range f {
+				f[j] /= sum
+			}
+		} else {
+			f[0] = 1
+		}
+	}
+	if s[in.qIdx] < 0 {
+		s[in.qIdx] = 0
+	}
+	if max := float64(in.params.Buffer); s[in.qIdx] > max {
+		s[in.qIdx] = max
+	}
+	if s[in.vIdx] < 0 {
+		s[in.vIdx] = 0
+	}
+	for _, i := range [...]int{in.pIdx, in.sIdx} {
+		if s[i] < 0 {
+			s[i] = 0
+		}
+		if s[i] > 0.99 {
+			s[i] = 0.99
+		}
+	}
+}
+
+// Snapshot reports the instantaneous observables at the current state —
+// the fluid backend's telemetry probes read these.
+type Snapshot struct {
+	Time        float64
+	Queue       float64
+	REDAvg      float64
+	ArrivalPPS  float64
+	Utilization float64
+	DropProb    float64
+	COV         float64
+	MeanWindow  float64
+	// Cumulative totals since t = 0, in packets (events for Timeouts).
+	Arrivals, Drops, Marks, Departures, Timeouts float64
+}
+
+// Snapshot evaluates the current state.
+func (in *Integrator) Snapshot() Snapshot {
+	r := in.rates(in.state)
+	return Snapshot{
+		Time:        in.t,
+		Queue:       in.state[in.qIdx],
+		REDAvg:      in.state[in.vIdx],
+		ArrivalPPS:  r.arrival,
+		Utilization: math.Min(1, r.departure/in.params.CapacityPPS),
+		DropProb:    in.state[in.pIdx],
+		COV:         r.cov,
+		MeanWindow:  r.meanW,
+		Arrivals:    in.Arrivals,
+		Drops:       in.Drops,
+		Marks:       in.Marks,
+		Departures:  in.Departures,
+		Timeouts:    in.Timeouts,
+	}
+}
+
+// Density returns a copy of class i's current window density and the
+// shared bin centers; ok is false for UDP classes.
+func (in *Integrator) Density(i int) (bins, density []float64, ok bool) {
+	if i < 0 || i >= len(in.tcp) || in.tcp[i] < 0 {
+		return nil, nil, false
+	}
+	f := make([]float64, in.grid.n)
+	copy(f, in.state[in.tcp[i]:in.tcp[i]+in.grid.n])
+	return in.grid.centers, f, true
+}
+
+// Run integrates until Duration and returns the final snapshot.
+func (in *Integrator) Run() Snapshot {
+	steps := uint64(math.Ceil(in.params.Duration / in.params.Step))
+	for in.steps < steps {
+		in.Step()
+	}
+	return in.Snapshot()
+}
+
+// addScaled sets dst = base + c·k.
+func addScaled(dst, base, k []float64, c float64) {
+	for i := range dst {
+		dst[i] = base[i] + c*k[i]
+	}
+}
+
+// String describes the integrator for debugging.
+func (in *Integrator) String() string {
+	return fmt.Sprintf("meanfield.Integrator{t=%.3fs steps=%d classes=%d bins=%d}",
+		in.t, in.steps, len(in.params.Classes), in.grid.n)
+}

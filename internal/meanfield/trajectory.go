@@ -1,0 +1,123 @@
+package meanfield
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trajectory recording for -fluid-trace: sampled ODE snapshots written as
+// CSV, the fluid counterpart of cwndtrace's per-flow window dump. The
+// column set is fixed so downstream tooling can rely on it.
+
+// trajectoryHeader lists the CSV columns, in order.
+var trajectoryHeader = []string{
+	"time_s",
+	"queue_pkts",
+	"red_avg_pkts",
+	"arrival_pps",
+	"utilization",
+	"drop_prob",
+	"cov",
+	"mean_window_pkts",
+	"arrivals_total",
+	"drops_total",
+	"marks_total",
+	"departures_total",
+	"timeouts_total",
+}
+
+// Trajectory accumulates sampled snapshots.
+type Trajectory struct {
+	rows []Snapshot
+}
+
+// Append records one snapshot.
+func (tr *Trajectory) Append(s Snapshot) {
+	tr.rows = append(tr.rows, s)
+}
+
+// Len returns the number of recorded samples.
+func (tr *Trajectory) Len() int { return len(tr.rows) }
+
+// Rows returns the recorded snapshots in order.
+func (tr *Trajectory) Rows() []Snapshot { return tr.rows }
+
+// WriteCSV writes the header and all recorded rows. Floats are encoded
+// with strconv 'g' shortest-round-trip formatting, so a trajectory is
+// byte-stable for identical Params.
+func (tr *Trajectory) WriteCSV(w io.Writer) error {
+	if err := writeCSVRow(w, trajectoryHeader); err != nil {
+		return err
+	}
+	cols := make([]string, len(trajectoryHeader))
+	for _, s := range tr.rows {
+		vals := [...]float64{
+			s.Time, s.Queue, s.REDAvg, s.ArrivalPPS, s.Utilization,
+			s.DropProb, s.COV, s.MeanWindow,
+			s.Arrivals, s.Drops, s.Marks, s.Departures, s.Timeouts,
+		}
+		for i, v := range vals {
+			cols[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := writeCSVRow(w, cols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSVRow emits one comma-joined line. No column here ever needs
+// quoting (fixed header names and numeric values only).
+func writeCSVRow(w io.Writer, cols []string) error {
+	for i, c := range cols {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, c); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SampleTrajectory integrates params to its horizon, recording a snapshot
+// every interval seconds of virtual time (clamped to at least one step)
+// plus the initial and final states. It is the -fluid-trace engine.
+func SampleTrajectory(params Params, interval float64) (*Trajectory, error) {
+	in, err := NewIntegrator(params)
+	if err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("meanfield: trace interval %v <= 0", interval)
+	}
+	every := uint64(interval / in.StepSize())
+	if every < 1 {
+		every = 1
+	}
+	tr := &Trajectory{}
+	tr.Append(in.Snapshot())
+	total := uint64(totalSteps(in.params))
+	for in.Steps() < total {
+		in.Step()
+		if in.Steps()%every == 0 || in.Steps() >= total {
+			tr.Append(in.Snapshot())
+		}
+	}
+	return tr, nil
+}
+
+// totalSteps returns the step count covering Duration.
+func totalSteps(p Params) uint64 {
+	n := uint64(p.Duration / p.Step)
+	if float64(n)*p.Step < p.Duration {
+		n++
+	}
+	return n
+}
