@@ -16,6 +16,7 @@
 //	BenchmarkFigure13TimeoutRatio — timeout / duplicate-ACK ratio
 //	BenchmarkAblation*           — design-choice ablations beyond the paper
 //	BenchmarkKernel*             — substrate micro-benchmarks
+//	BenchmarkShardedScaling      — multi-core sharded execution speedup
 package tcpburst
 
 import (
@@ -453,6 +454,53 @@ func BenchmarkScalingClients(b *testing.B) {
 			}
 			b.ReportMetric(stateBytesPerFlow(b, cfg), "state_bytes/flow")
 		})
+	}
+}
+
+// BenchmarkShardedScaling measures the window-barrier sharded executor on
+// one large packet simulation. The aggregate offered load is pinned at
+// 0.9x the bottleneck (the convergence-gate operating point), so every N
+// simulates the same event volume and the sweep isolates two effects: how
+// per-event cost grows with resident flow state (shards=1 column), and how
+// much of it sharding wins back (speedup = sharded rate / serial rate at
+// the same N, only reported when the serial cell ran first). Results are
+// bit-identical across the shards axis — the golden and determinism suites
+// pin that — so this tier measures time, not behavior. Speedup scales
+// with physical cores; on a single-core runner it still exceeds 1 at
+// large N because each shard's scheduler heap and packet pool shrink.
+func BenchmarkShardedScaling(b *testing.B) {
+	serial := make(map[int]float64)
+	for _, n := range []int{5_000, 20_000, 100_000} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("N=%d/shards=%d", n, shards), func(b *testing.B) {
+				cfg := core.DefaultConfig(n, core.Reno, core.FIFO)
+				cfg.Duration = 20 * time.Second
+				cfg.BufferPackets = 20
+				capacity := cfg.BottleneckRateBps / (8 * float64(cfg.PacketSize))
+				cfg.MeanInterval = time.Duration(float64(time.Second) * float64(n) / (0.9 * capacity))
+				cfg.Shards = shards
+				var total uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(cfg)
+					if err != nil {
+						b.Fatalf("run: %v", err)
+					}
+					total += res.DataSent
+				}
+				b.StopTimer()
+				if b.Elapsed() <= 0 {
+					return
+				}
+				rate := float64(total) / b.Elapsed().Seconds()
+				b.ReportMetric(rate, "sim_pkts/s")
+				if shards == 1 {
+					serial[n] = rate
+				} else if base := serial[n]; base > 0 {
+					b.ReportMetric(rate/base, "speedup")
+				}
+			})
+		}
 	}
 }
 

@@ -44,6 +44,7 @@ func run(w io.Writer, args []string) (err error) {
 	var (
 		seed     = fs.Int64("seed", 1, "random seed")
 		backend  = fs.String("backend", "packet", "execution engine for the sweep: packet (event-level simulation) or fluid (mean-field model)")
+		shards   = fs.Int("shards", 1, "partition each packet run over this many cores (bit-identical results)")
 		duration = fs.Duration("duration", 200*time.Second, "simulated test time per point")
 		step     = fs.Int("step", 4, "client-count step for the sweep")
 		maxN     = fs.Int("max-clients", 60, "largest client count")
@@ -92,6 +93,7 @@ func run(w io.Writer, args []string) (err error) {
 		core.WithSeed(*seed),
 		core.WithBackend(b),
 		core.WithDuration(*duration),
+		core.WithShards(*shards),
 	}
 	if *telemetryOn {
 		f, err := os.Create(*telemetryOut)
@@ -225,6 +227,9 @@ func writeTraceSection(ctx context.Context, w io.Writer, base core.Config, maxN 
 		cfg.Protocol = row.proto
 		cfg.Gateway = core.FIFO
 		cfg.CwndSampleInterval = 100 * time.Millisecond
+		// Per-flow tracing samples cross-shard state, so traced figures run
+		// serially even when -shards accelerates the sweep points.
+		cfg.Shards = 0
 		rows = append(rows, row)
 		cfgs = append(cfgs, cfg)
 	}

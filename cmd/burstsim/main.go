@@ -50,6 +50,7 @@ func run(w io.Writer, args []string) error {
 		proto    = fs.String("proto", "reno", "transport protocol: udp, reno, reno-delayack, vegas, tahoe, newreno, sack")
 		qdisc    = fs.String("queue", "fifo", "gateway queueing discipline: fifo, red")
 		backend  = fs.String("backend", "packet", "execution engine: packet (event-level simulation) or fluid (mean-field model)")
+		shards   = fs.Int("shards", 1, "partition the packet simulation over this many cores (results are bit-identical to -shards 1)")
 		seed     = fs.Int64("seed", 1, "random seed (identical seeds replay identically)")
 		interarr = fs.Duration("mean-interval", 0, "mean packet inter-generation time per client (0 = paper default)")
 		duration = fs.Duration("duration", 200*time.Second, "simulated test time")
@@ -112,6 +113,7 @@ func run(w io.Writer, args []string) error {
 		core.WithDuration(*duration),
 		core.WithWireLoss(*wireLoss),
 		core.WithReverseRate(*revRate),
+		core.WithShards(*shards),
 		// Zero-valued RED knobs fall back to the paper defaults.
 		core.WithRED(*redMin, *redMax, *redW, *redMaxP),
 	}

@@ -56,6 +56,7 @@ func run(args []string) error {
 		outDir   = fs.String("out", "", "directory for CSV output (default stdout; required with -all)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		backend  = fs.String("backend", "packet", "execution engine: packet (event-level simulation) or fluid (mean-field model)")
+		shards   = fs.Int("shards", 1, "partition each packet run over this many cores (bit-identical results; best with -jobs 1 on large -max-clients sweeps)")
 		interarr = fs.Duration("mean-interval", 0, "mean packet inter-generation time per client (0 = paper default; lower it to hold aggregate load fixed on large -max-clients fluid sweeps)")
 		duration = fs.Duration("duration", 200*time.Second, "simulated test time per point")
 		step     = fs.Int("step", 4, "client-count step for the sweep")
@@ -106,6 +107,7 @@ func run(args []string) error {
 		core.WithSeed(*seed),
 		core.WithBackend(b),
 		core.WithDuration(*duration),
+		core.WithShards(*shards),
 	}
 	if *interarr > 0 {
 		baseOpts = append(baseOpts, core.WithMeanInterval(*interarr))

@@ -9,6 +9,7 @@ import (
 	"tcpburst/internal/analysis/load"
 	"tcpburst/internal/analysis/nondeterminism"
 	"tcpburst/internal/analysis/packetrelease"
+	"tcpburst/internal/analysis/shardownership"
 	"tcpburst/internal/analysis/telemetryhandle"
 )
 
@@ -17,6 +18,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nondeterminism.Analyzer,
 		packetrelease.Analyzer,
+		shardownership.Analyzer,
 		telemetryhandle.Analyzer,
 		floateq.Analyzer,
 	}

@@ -43,6 +43,15 @@ type Config struct {
 	// Pool.Get results must be released, forwarded, or stored on every
 	// exit path.
 	PacketPackage string
+	// ShardPackage is the import path of the window-barrier executor, the
+	// one sanctioned cross-shard exchange surface.
+	ShardPackage string
+	// ShardHarnessPackages may drive the sharded executor (construct
+	// groups, buffer crossings, touch foreign schedulers). Everything else
+	// must stay shard-agnostic: sim-tier components ship cross-shard
+	// deliveries through lane-stamped XDeliver hooks wired at build time,
+	// never by reaching into another shard's state mid-window.
+	ShardHarnessPackages []string
 	// TelemetryPackage is the import path of the metrics registry whose
 	// registration calls are construction-time-only.
 	TelemetryPackage string
@@ -64,6 +73,10 @@ var Default = Config{
 		// determinism contract: a fluid solve must replay bit-identically, so
 		// no wall clock, no RNG, no goroutines, no map iteration.
 		"tcpburst/internal/meanfield",
+		// The window-barrier executor runs the event loop itself, K copies at
+		// a time; bit-identical replay across shard counts is its whole
+		// contract, so it carries the strict tier's rules.
+		"tcpburst/internal/shard",
 	},
 	HarnessPackages: []string{
 		"tcpburst/internal/stats",
@@ -72,15 +85,26 @@ var Default = Config{
 		"tcpburst/internal/clock",
 	},
 	WallClockPackages: []string{"tcpburst/internal/clock"},
-	GoroutinePackages: []string{"tcpburst/internal/runner"},
-	RandImportFiles:   []string{"internal/sim/rng.go"},
+	// The parallel batch runner and the sharded single-run executor are the
+	// two sanctioned concurrency sites; simulations are otherwise
+	// single-threaded by contract.
+	GoroutinePackages: []string{
+		"tcpburst/internal/runner",
+		"tcpburst/internal/shard",
+	},
+	RandImportFiles: []string{"internal/sim/rng.go"},
 	FloatPackages: []string{
 		"tcpburst/internal/stats",
 		"tcpburst/internal/core",
 		"tcpburst/internal/meanfield",
 	},
-	HotPathFuncs:     []string{"Send", "Recv", "Enqueue", "Dequeue", "OnEvent"},
-	PacketPackage:    "tcpburst/internal/packet",
+	HotPathFuncs:  []string{"Send", "Recv", "Enqueue", "Dequeue", "OnEvent"},
+	PacketPackage: "tcpburst/internal/packet",
+	ShardPackage:  "tcpburst/internal/shard",
+	ShardHarnessPackages: []string{
+		"tcpburst/internal/core",
+		"tcpburst/internal/shard",
+	},
 	TelemetryPackage: "tcpburst/internal/telemetry",
 }
 
@@ -117,6 +141,12 @@ func (c Config) FloatPackage(path string) bool { return contains(c.FloatPackages
 // HotPathFunc reports whether a method of this name is a per-event hot
 // path.
 func (c Config) HotPathFunc(name string) bool { return contains(c.HotPathFuncs, name) }
+
+// ShardHarnessAllowed reports whether path may drive the sharded
+// executor.
+func (c Config) ShardHarnessAllowed(path string) bool {
+	return contains(c.ShardHarnessPackages, path)
+}
 
 func contains(list []string, s string) bool {
 	for _, v := range list {

@@ -1,0 +1,78 @@
+// Package shardownership confines cross-shard state exchange to the
+// window-boundary barrier. The sharded executor's determinism argument
+// rests on exactly one exchange surface: sim-tier components stamp
+// crossings through lane-ordered XDeliver hooks, the harness buffers them
+// with Group.Cross, and the barrier injects them with Scheduler.InjectAt
+// at a window edge. Any other path into a foreign shard's scheduler or
+// into the Group mid-window bypasses outbox ordering and the lookahead
+// guarantee — results would still usually match, which is why a human
+// reviewer won't catch it and a machine check must.
+package shardownership
+
+import (
+	"go/ast"
+	"strings"
+
+	"tcpburst/internal/analysis"
+)
+
+// Analyzer is the cross-shard ownership checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardownership",
+	Doc:  "cross-shard state moves only through the window barrier: InjectAt stays inside sim/shard, Group is driven by the harness, event-loop code never imports the executor",
+	Run:  run,
+}
+
+// simPackage owns Scheduler and is the one place InjectAt may be defined
+// against; the shard executor is the one place it may be called from
+// besides the scheduler's own internals.
+const simPackage = "tcpburst/internal/sim"
+
+// driving are the Group methods that mutate barrier state or hand out a
+// shard's scheduler; Shards and Fired are read-only counters and stay
+// unrestricted.
+var driving = map[string]bool{"Cross": true, "Run": true, "Scheduler": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	cfg := analysis.Default
+	path := pass.Pkg.Path()
+	if path == cfg.ShardPackage {
+		return nil, nil // the executor is the sanctioned surface
+	}
+	// Sim-tier components stay shard-agnostic: crossings leave through
+	// XDeliver hooks wired at build time, so none of them has a reason to
+	// see the executor's types at all.
+	if cfg.SimPackage(path) {
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) == cfg.ShardPackage {
+					pass.Reportf(imp.Pos(),
+						"sim-tier package %s imports %s; event-loop code is shard-agnostic — route crossings through an XDeliver hook wired by the harness", path, cfg.ShardPackage)
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if fn.Name() == "InjectAt" && analysis.IsMethodOn(fn, simPackage, "Scheduler") && path != simPackage {
+				pass.Reportf(call.Pos(),
+					"Scheduler.InjectAt outside the window barrier: only %s may inject cross-shard events; buffer through Group.Cross so the barrier orders and lookahead-checks the delivery", cfg.ShardPackage)
+			}
+			if driving[fn.Name()] && analysis.IsMethodOn(fn, cfg.ShardPackage, "Group") &&
+				!cfg.ShardHarnessAllowed(path) {
+				pass.Reportf(call.Pos(),
+					"Group.%s called from %s; only the shard harness packages drive the executor — pass data out through results, not by reaching into shard state", fn.Name(), path)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,16 @@
+package shardownership_test
+
+import (
+	"testing"
+
+	"tcpburst/internal/analysis/analysistest"
+	"tcpburst/internal/analysis/shardownership"
+)
+
+func TestShardOwnership(t *testing.T) {
+	analysistest.Run(t, shardownership.Analyzer, "testdata/src",
+		"example.com/rogue",
+		"tcpburst/internal/core",
+		"tcpburst/internal/link",
+	)
+}

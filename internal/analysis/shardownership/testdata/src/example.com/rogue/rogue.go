@@ -1,0 +1,26 @@
+// Package rogue exercises every way code outside the harness can reach
+// across a shard boundary.
+package rogue
+
+import (
+	"tcpburst/internal/shard"
+	"tcpburst/internal/sim"
+)
+
+// Steer bypasses the barrier from a package with no business driving it.
+func Steer(g *shard.Group, s *sim.Scheduler) error {
+	s.InjectAt(5, 1, nil, nil)     // want `Scheduler\.InjectAt outside the window barrier`
+	g.Cross(0, 1, 5, 1, nil, nil)  // want `Group\.Cross called from example\.com/rogue`
+	g.Scheduler(1).At(5, nil, nil) // want `Group\.Scheduler called from example\.com/rogue`
+	return g.Run(10)               // want `Group\.Run called from example\.com/rogue`
+}
+
+// Observe reads the barrier's counters, which is fine anywhere.
+func Observe(g *shard.Group) (int, uint64) {
+	return g.Shards(), g.Fired()
+}
+
+// Local schedules on a scheduler it owns; plain At is not a crossing.
+func Local(s *sim.Scheduler) {
+	s.At(5, nil, nil)
+}

@@ -1,0 +1,21 @@
+// Package core is a fixture impersonating the experiment harness: it may
+// drive the Group, but direct injection still belongs to the barrier.
+package core
+
+import (
+	"tcpburst/internal/shard"
+	"tcpburst/internal/sim"
+)
+
+// Drive wires and runs the executor the sanctioned way.
+func Drive(scheds []*sim.Scheduler) error {
+	g := shard.NewGroup(scheds)
+	g.Cross(0, 1, 5, 1, nil, nil)
+	g.Scheduler(0).At(5, nil, nil)
+	return g.Run(10)
+}
+
+// Shortcut skips the outbox; even the harness may not inject directly.
+func Shortcut(s *sim.Scheduler) {
+	s.InjectAt(5, 1, nil, nil) // want `Scheduler\.InjectAt outside the window barrier`
+}

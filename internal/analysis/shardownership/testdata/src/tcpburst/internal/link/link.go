@@ -1,0 +1,12 @@
+// Package link is a fixture impersonating a sim-tier component that grew
+// a dependency on the executor.
+package link
+
+import (
+	"tcpburst/internal/shard" // want `sim-tier package tcpburst/internal/link imports tcpburst/internal/shard`
+)
+
+// Link holds shard state it should not know exists.
+type Link struct {
+	group *shard.Group
+}

@@ -1,0 +1,26 @@
+// Package shard is a fixture stub of the window-barrier executor; the
+// analyzer identifies Group by this import path.
+package shard
+
+import "tcpburst/internal/sim"
+
+// Group runs K schedulers under a conservative window barrier.
+type Group struct{ scheds []*sim.Scheduler }
+
+// NewGroup builds a barrier over the given schedulers.
+func NewGroup(scheds []*sim.Scheduler) *Group { return &Group{scheds: scheds} }
+
+// Scheduler returns shard i's event loop.
+func (g *Group) Scheduler(i int) *sim.Scheduler { return g.scheds[i] }
+
+// Shards reports the shard count.
+func (g *Group) Shards() int { return len(g.scheds) }
+
+// Fired sums events fired across shards.
+func (g *Group) Fired() uint64 { return 0 }
+
+// Cross buffers a cross-shard delivery for the next window edge.
+func (g *Group) Cross(src, dst int, at sim.Time, ord uint64, fn func(any), arg any) {}
+
+// Run drives all shards to the horizon.
+func (g *Group) Run(horizon sim.Time) error { return nil }

@@ -1,0 +1,15 @@
+// Package sim is a fixture stub of the event scheduler; the analyzer
+// identifies Scheduler.InjectAt by this import path.
+package sim
+
+// Time is virtual time.
+type Time int64
+
+// Scheduler is one shard's event loop.
+type Scheduler struct{ now Time }
+
+// At schedules a local event.
+func (s *Scheduler) At(at Time, fn func(any), arg any) {}
+
+// InjectAt lands a cross-shard event from the window barrier.
+func (s *Scheduler) InjectAt(at Time, ord uint64, fn func(any), arg any) {}

@@ -310,6 +310,14 @@ type Config struct {
 	// bit-identical either way (the equivalence tests enforce this); the
 	// pooled path is just faster.
 	DisablePacketPool bool
+
+	// Shards partitions the packet simulation across this many schedulers
+	// running on separate cores, synchronized by conservative lookahead
+	// windows (DESIGN.md §11). 0 or 1 runs serially. Sharded runs are
+	// bit-identical to serial ones, so Shards is excluded from JSON — and
+	// therefore from cache keys: the same result artifact serves every
+	// shard count. Packet backend only.
+	Shards int `json:"-"`
 }
 
 // DefaultConfig returns the paper's Table 1 parameters for n clients using
@@ -490,6 +498,21 @@ func (c Config) Validate() error {
 		}
 		if sum != c.Clients {
 			return fmt.Errorf("config: mix totals %d clients but Clients = %d", sum, c.Clients)
+		}
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("config: shards %d < 0", c.Shards)
+	}
+	if c.Shards > 1 {
+		switch {
+		case c.Backend == FluidBackend:
+			return fmt.Errorf("config: the fluid backend is one ODE solve and cannot shard; drop -shards or use -backend packet")
+		case c.Shards > c.Clients:
+			return fmt.Errorf("config: shards %d > %d hosts; use at most one shard per client", c.Shards, c.Clients)
+		case c.ClientDelay <= 0 || c.BottleneckDelay <= 0:
+			return fmt.Errorf("config: sharding derives its lookahead from link delays; client %v and bottleneck %v must both be positive", c.ClientDelay, c.BottleneckDelay)
+		case c.CwndSampleInterval > 0 || c.TraceQueue:
+			return fmt.Errorf("config: cwnd/queue tracing samples cross-shard state; run tracing with shards=1")
 		}
 	}
 	if c.Backend == FluidBackend {

@@ -63,6 +63,53 @@ func TestSameSeedSameBytes(t *testing.T) {
 	}
 }
 
+// TestSameSeedSameBytesSharded is the cross-shard-count determinism
+// guard: the same seed must yield byte-identical summary JSON whether the
+// run is serial or partitioned over 2, 3, or 4 schedulers. Telemetry
+// stays off — each shard runs its own sampler event per tick, so the
+// SimEvents count (an honest record of scheduler work) legitimately
+// differs when sampling; everything physical must not. Like its serial
+// sibling this runs under -race in CI, which is what certifies the
+// window-barrier protocol: any shard touching foreign state outside a
+// barrier is a data race, not just a wrong number.
+func TestSameSeedSameBytesSharded(t *testing.T) {
+	cells := []Cell{
+		{Protocol: Reno, Gateway: FIFO},
+		{Protocol: Vegas, Gateway: RED},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(shards int) []byte {
+				t.Helper()
+				cfg := DefaultConfig(24, cell.Protocol, cell.Gateway)
+				cfg.Duration = 2 * time.Second
+				cfg.Seed = 7
+				cfg.Shards = shards
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("Run(%s, shards=%d): %v", cell, shards, err)
+				}
+				s := res.Summary()
+				s.SchemaVersion = 0
+				raw, err := json.Marshal(s)
+				if err != nil {
+					t.Fatalf("marshal summary: %v", err)
+				}
+				return raw
+			}
+			serial := run(1)
+			for _, shards := range []int{2, 3, 4} {
+				if sharded := run(shards); !bytes.Equal(sharded, serial) {
+					t.Errorf("shards=%d summary diverges from serial:\nserial:  %s\nsharded: %s",
+						shards, serial, sharded)
+				}
+			}
+		})
+	}
+}
+
 func digest(b []byte) string {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])

@@ -106,6 +106,49 @@ func TestRunBatchCacheRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCacheKeyShardIndependent: sharding changes how a result is computed,
+// never what it is, so the cache key must not see it — a sweep run with
+// -shards 8 must hit entries produced serially and vice versa.
+func TestCacheKeyShardIndependent(t *testing.T) {
+	base := Config{Clients: 6, Protocol: Reno, Gateway: FIFO, Duration: 10 * time.Second}
+	sharded := base
+	sharded.Shards = 8
+	kSerial, err := runcache.Key(resultCacheKind(base), base)
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	kSharded, err := runcache.Key(resultCacheKind(sharded), sharded)
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if kSerial != kSharded {
+		t.Fatalf("cache keys differ across shard counts: %s vs %s", kSerial, kSharded)
+	}
+
+	// End to end: a serial cold run must serve a sharded warm run.
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	exec := ExecOptions{Jobs: 1, Cache: store}
+	ctx := context.Background()
+	cold, _, err := RunBatch(ctx, []Config{base}, exec)
+	if err != nil {
+		t.Fatalf("cold RunBatch: %v", err)
+	}
+	warm, stats, err := RunBatch(ctx, []Config{sharded}, exec)
+	if err != nil {
+		t.Fatalf("warm RunBatch: %v", err)
+	}
+	if stats.Cached != 1 || stats.Ran != 0 {
+		t.Fatalf("sharded warm stats = %+v, want a hit on the serial entry", stats)
+	}
+	if !reflect.DeepEqual(cold[0].Summary(), warm[0].Summary()) {
+		t.Errorf("sharded warm summary differs from serial cold:\ncold: %+v\nwarm: %+v",
+			cold[0].Summary(), warm[0].Summary())
+	}
+}
+
 // TestRunBatchTracedNeverCached: runs that request series data bypass the
 // cache, because the stored digest cannot reproduce them.
 func TestRunBatchTracedNeverCached(t *testing.T) {

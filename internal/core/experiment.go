@@ -194,22 +194,29 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return runFluidContext(ctx, cfg)
 	}
 
-	sched := sim.NewScheduler()
+	// One scheduler, packet pool, and telemetry registry per shard (one of
+	// each when serial). The serial and sharded builds share every code
+	// path below: RNG forks and lane allocations happen in build order, so
+	// a single build sequence is what keeps the two modes bit-identical.
+	env := newBuildEnv(cfg)
+	place := env.place
 	rng := sim.NewRNG(cfg.Seed)
-	tel := newTelem(cfg)
 
-	// One packet pool per simulation: single-threaded, deterministic, and
-	// torn down with the run. nil (DisablePacketPool) makes every Get a
-	// fresh allocation and every Put a no-op — same behavior, slower.
-	var pool *packet.Pool
-	if !cfg.DisablePacketPool {
-		pool = packet.NewPool()
-	}
+	// sched/pool/tel of the gateway shard, where the bottleneck, its taps,
+	// the queue probe, and the context watchdog live.
+	sched := env.scheds[place.gw]
+	pool := env.pools[place.gw]
+	tel := env.tels[place.gw]
 
 	server := node.NewHost(serverAddr)
-	server.SetPool(pool)
+	server.SetPool(env.pools[place.srv])
 	gateway := node.NewGateway(0)
 	gateway.SetPool(pool)
+	// gwDeliver executes a gateway delivery on whatever shard the barrier
+	// routes it to; the routing table is immutable after build and every
+	// egress link lives on its packet's destination shard.
+	gwDeliver := func(arg any) { gateway.Receive(arg.(*packet.Packet)) }
+	env.wireGatewayCrossings(gwDeliver)
 
 	// Bottleneck gateway→server link with the discipline under study.
 	bottleneckQ, redQ, err := buildGatewayQueue(cfg, rng, tel)
@@ -222,13 +229,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		drr.OnEvict(pool.Put)
 	}
 	bottleneckLinkCfg := link.Config{
-		Name:    "gw->server",
-		RateBps: cfg.BottleneckRateBps,
-		Delay:   cfg.BottleneckDelay,
-		Queue:   bottleneckQ,
-		Dst:     server,
-		Pool:    pool,
-		Metrics: tel.link,
+		Name:     "gw->server",
+		RateBps:  cfg.BottleneckRateBps,
+		Delay:    cfg.BottleneckDelay,
+		Queue:    bottleneckQ,
+		Dst:      server,
+		Pool:     pool,
+		Metrics:  tel.link,
+		Lane:     env.lanes.Next(),
+		XDeliver: env.xDeliverTo(place.gw, place.srv, func(arg any) { server.Receive(arg.(*packet.Packet)) }),
 	}
 	if cfg.WireLossProb > 0 {
 		bottleneckLinkCfg.LossProb = cfg.WireLossProb
@@ -253,13 +262,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.ReverseBufferPackets > 0 {
 		reverseBuf = cfg.ReverseBufferPackets
 	}
-	serverOut, err := link.New(sched, link.Config{
-		Name:    "server->gw",
-		RateBps: reverseRate,
-		Delay:   cfg.BottleneckDelay,
-		Queue:   queue.NewFIFO(reverseBuf),
-		Dst:     gateway,
-		Pool:    pool,
+	serverOut, err := link.New(env.scheds[place.srv], link.Config{
+		Name:     "server->gw",
+		RateBps:  reverseRate,
+		Delay:    cfg.BottleneckDelay,
+		Queue:    queue.NewFIFO(reverseBuf),
+		Dst:      gateway,
+		Pool:     env.pools[place.srv],
+		Lane:     env.lanes.Next(),
+		XDeliver: env.xDeliverToClient(gwDeliver),
 	})
 	if err != nil {
 		return nil, err
@@ -292,13 +303,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	})
 
-	flows, accessLinks, reverseLinks, err := buildClients(cfg, sched, rng, pool, gateway, server, serverOut, tel)
+	flows, accessLinks, reverseLinks, err := buildClients(cfg, env, rng, gateway, server, serverOut)
 	if err != nil {
 		return nil, err
 	}
 
 	// Always-on queue-occupancy probe (10 ms grain); read-only, so it
-	// cannot perturb the experiment.
+	// cannot perturb the experiment. Lives on the gateway shard.
 	queueSamples := make([]float64, 0, int(cfg.Duration/(10*time.Millisecond))+1)
 	var sampleQueue func()
 	sampleQueue = func() {
@@ -311,7 +322,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := tel.start(cfg, sched, bottleneck, flows); err != nil {
+	rings, err := startTelemetry(cfg, env, bottleneck, flows)
+	if err != nil {
 		return nil, err
 	}
 
@@ -325,7 +337,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	watchContext(ctx, sched)
 
 	horizon := sim.TimeZero.Add(cfg.Duration)
-	if err := sched.Run(horizon); err != nil {
+	if env.group != nil {
+		err = env.group.Run(horizon)
+	} else {
+		err = sched.Run(horizon)
+	}
+	if err != nil {
 		if errors.Is(err, sim.ErrStopped) && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -341,8 +358,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	res := collect(cfg, flows, counter, horizon, bottleneck, serverOut, accessLinks, reverseLinks, redQ, cwndSeries, queueSeries)
 	res.Queue = summarizeQueue(queueSamples, cfg.BufferPackets)
 	res.PacketLog = pktLog
-	res.SimEvents = sched.Fired()
-	if err := tel.finish(res); err != nil {
+	res.SimEvents = 0
+	for _, s := range env.scheds {
+		res.SimEvents += s.Fired()
+	}
+	if err := finishTelemetry(cfg, env, rings, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -473,20 +493,24 @@ func buildGatewayQueue(cfg Config, rng *sim.RNG, tel *telem) (queue.Discipline, 
 }
 
 // buildClients wires every client host, its access links, transport agents,
-// and Poisson source.
+// and Poisson source. Each client's sender-side components live on its
+// shard; the sink side (receiver, delayed-ACK timers, reverse bottleneck
+// egress) lives on the server shard. Serial runs collapse both to shard 0.
 func buildClients(
 	cfg Config,
-	sched *sim.Scheduler,
+	env *buildEnv,
 	rng *sim.RNG,
-	pool *packet.Pool,
 	gateway *node.Gateway,
 	server *node.Host,
 	serverOut *link.Link,
-	tel *telem,
 ) ([]*flow, []*link.Link, []*link.Link, error) {
 	flows := make([]*flow, 0, cfg.Clients)
 	accessLinks := make([]*link.Link, 0, cfg.Clients)
 	reverseLinks := make([]*link.Link, 0, cfg.Clients)
+
+	srvSched := env.scheds[env.place.srv]
+	srvPool := env.pools[env.place.srv]
+	srvTel := env.tels[env.place.srv]
 
 	// Heterogeneous-RTT extension: draw per-client access delays from a
 	// dedicated stream so enabling jitter does not perturb the traffic
@@ -499,6 +523,10 @@ func buildClients(
 	for i := 0; i < cfg.Clients; i++ {
 		addr := clientAddrOff + packet.Addr(i)
 		flowID := packet.FlowID(i + 1)
+		cs := env.place.client[i]
+		sched := env.scheds[cs]
+		pool := env.pools[cs]
+		tel := env.tels[cs]
 		host := node.NewHost(addr)
 		host.SetPool(pool)
 
@@ -508,12 +536,14 @@ func buildClients(
 		}
 
 		access, err := link.New(sched, link.Config{
-			Name:    fmt.Sprintf("client%d->gw", i+1),
-			RateBps: cfg.ClientRateBps,
-			Delay:   delay,
-			Queue:   queue.NewFIFO(cfg.AccessBufferPackets),
-			Dst:     gateway,
-			Pool:    pool,
+			Name:     fmt.Sprintf("client%d->gw", i+1),
+			RateBps:  cfg.ClientRateBps,
+			Delay:    delay,
+			Queue:    queue.NewFIFO(cfg.AccessBufferPackets),
+			Dst:      gateway,
+			Pool:     pool,
+			Lane:     env.lanes.Next(),
+			XDeliver: env.crossToGw[cs],
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -525,6 +555,7 @@ func buildClients(
 			Queue:   queue.NewFIFO(cfg.AccessBufferPackets),
 			Dst:     host,
 			Pool:    pool,
+			Lane:    env.lanes.Next(),
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -563,6 +594,9 @@ func buildClients(
 			}
 			sinkCfg := tcpCfg
 			sinkCfg.Out = serverOut
+			sinkCfg.Sched = srvSched
+			sinkCfg.Pool = srvPool
+			sinkCfg.Metrics = srvTel.tcp
 			sink, err := tcp.NewSink(sinkCfg)
 			if err != nil {
 				return nil, nil, nil, err
@@ -584,8 +618,8 @@ func buildClients(
 			if err != nil {
 				return nil, nil, nil, err
 			}
-			sink := transport.NewUDPSinkWithClock(sched.Now)
-			sink.SetPool(pool)
+			sink := transport.NewUDPSinkWithClock(srvSched.Now)
+			sink.SetPool(srvPool)
 			host.Bind(flowID, sender)
 			server.Bind(flowID, sink)
 			f.udpSend, f.udpSink = sender, sink

@@ -418,8 +418,12 @@ func TestPacketLogCapturesArrivalsAndDrops(t *testing.T) {
 func TestGentleREDReducesForcedDrops(t *testing.T) {
 	// The gentle ramp matters when the EWMA lives above the max
 	// threshold — the Vegas/RED regime, where cliff RED force-drops
-	// everything that arrives.
+	// everything that arrives. Give the buffer headroom above twice the
+	// max threshold so the gentle region [maxth, 2*maxth] is reachable
+	// without physical overflow; with the default 50-packet buffer the
+	// ramp has only 10 packets of room and the comparison is a coin flip.
 	base := shortConfig(60, Vegas, RED, 30*time.Second)
+	base.BufferPackets = 100
 	cliff, err := Run(base)
 	if err != nil {
 		t.Fatalf("Run cliff: %v", err)

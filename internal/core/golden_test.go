@@ -41,7 +41,12 @@ type goldenCase struct {
 	run  func() ([]byte, error)
 }
 
-func goldenCases() []goldenCase {
+// goldenCases builds the digest matrix. shards > 1 runs every packet cell
+// partitioned over that many schedulers — the digests must still match the
+// serial table entry for entry, which is the tentpole determinism claim:
+// sharding changes wall-clock time and nothing else. The parking-lot case
+// only exists serially (its chain topology has no shard plan).
+func goldenCases(shards int) []goldenCase {
 	cells := append(PaperCells(),
 		Cell{Protocol: Sack, Gateway: FIFO},
 		Cell{Protocol: Reno, Gateway: DRR},
@@ -55,6 +60,7 @@ func goldenCases() []goldenCase {
 				run: func() ([]byte, error) {
 					cfg := DefaultConfig(n, cell.Protocol, cell.Gateway)
 					cfg.Duration = goldenDuration
+					cfg.Shards = shards
 					res, err := Run(cfg)
 					if err != nil {
 						return nil, err
@@ -67,6 +73,9 @@ func goldenCases() []goldenCase {
 				},
 			})
 		}
+	}
+	if shards > 1 {
+		return cases
 	}
 	cases = append(cases, goldenCase{
 		name: "parkinglot",
@@ -90,9 +99,8 @@ func goldenCases() []goldenCase {
 
 // computeGoldenDigests runs every case on a worker pool and returns
 // name -> sha256(summary JSON).
-func computeGoldenDigests(t *testing.T) map[string]string {
+func computeGoldenDigests(t *testing.T, cases []goldenCase) map[string]string {
 	t.Helper()
-	cases := goldenCases()
 	digests := make(map[string]string, len(cases))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -125,7 +133,7 @@ func TestGoldenSummaries(t *testing.T) {
 	}
 
 	if *updateGolden {
-		digests := computeGoldenDigests(t)
+		digests := computeGoldenDigests(t, goldenCases(1))
 		if t.Failed() {
 			t.Fatal("not writing golden file: some cases failed")
 		}
@@ -161,7 +169,7 @@ func TestGoldenSummaries(t *testing.T) {
 		t.Fatalf("parse golden table: %v", err)
 	}
 
-	got := computeGoldenDigests(t)
+	got := computeGoldenDigests(t, goldenCases(1))
 	if len(got) != len(want) {
 		t.Errorf("golden table has %d entries, current run produced %d (regenerate with -update-golden)",
 			len(want), len(got))
@@ -176,5 +184,44 @@ func TestGoldenSummaries(t *testing.T) {
 			t.Errorf("%s: summary digest changed\n  golden:  %s\n  current: %s\nbehavior is no longer bit-for-bit identical to the captured baseline",
 				name, wantDigest, gotDigest)
 		}
+	}
+}
+
+// TestGoldenSummariesSharded replays every packet cell of the golden
+// matrix partitioned over 2 and 4 shards and demands the serial digests,
+// entry for entry. This is the sharded extension of the golden table: the
+// table gains no new rows because the whole point is that a sharded run
+// has nothing new to pin — any divergence from the serial digest is a
+// lost or reordered cross-shard event, not a legitimate new baseline. Do
+// NOT regenerate the table to make this test pass; fix the barrier.
+func TestGoldenSummariesSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix is slow")
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden table (regenerate with -update-golden): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse golden table: %v", err)
+	}
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			t.Parallel()
+			got := computeGoldenDigests(t, goldenCases(shards))
+			for name, gotDigest := range got {
+				wantDigest, ok := want[name]
+				if !ok {
+					t.Errorf("%s: not in the golden table", name)
+					continue
+				}
+				if gotDigest != wantDigest {
+					t.Errorf("%s: sharded (K=%d) digest diverges from serial\n  serial:  %s\n  sharded: %s\na cross-shard event was lost, duplicated, or reordered",
+						name, shards, wantDigest, gotDigest)
+				}
+			}
+		})
 	}
 }

@@ -215,3 +215,11 @@ func WithTelemetrySinkFactory(f func(Config) telemetry.Sink) Option {
 func WithoutPacketPool() Option {
 	return func(c *Config) { c.DisablePacketPool = true }
 }
+
+// WithShards partitions the packet simulation over k schedulers running
+// on k goroutines, synchronized by conservative lookahead windows.
+// Results are bit-identical to the serial run for every k; only the
+// wall-clock time changes. k = 0 or 1 means serial. Packet backend only.
+func WithShards(k int) Option {
+	return func(c *Config) { c.Shards = k }
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"tcpburst/internal/packet"
+	"tcpburst/internal/shard"
+	"tcpburst/internal/sim"
+)
+
+// placement assigns every simulation component to a shard. The dumbbell
+// partitions along its links: the gateway (bottleneck queue, RED state,
+// arrival taps) anchors one shard, the server (sinks, delayed-ACK timers,
+// the reverse bottleneck) another, and the clients — the bulk of the state
+// and the event volume at large N — spread over the rest in contiguous
+// blocks. Every packet hop then crosses at most one shard boundary, over
+// a link whose propagation delay bounds the lookahead from below.
+type placement struct {
+	k       int   // shard count; 1 means serial
+	gw, srv int   // gateway and server shards
+	client  []int // shard of each 0-based client
+}
+
+// planShards maps the defaulted configuration onto shards.
+//
+//	K=1: everything on shard 0 (the serial schedule).
+//	K=2: gateway+server on shard 0, all clients on shard 1 — the smallest
+//	     cut that moves the per-client event mass off the bottleneck core.
+//	K≥3: gateway on 0, server on 1, clients in blocks over 2..K-1.
+func planShards(cfg Config) placement {
+	k := cfg.Shards
+	if k < 1 {
+		k = 1
+	}
+	p := placement{k: k, client: make([]int, cfg.Clients)}
+	switch {
+	case k == 1:
+		// zero values: one shard holds everything
+	case k == 2:
+		for i := range p.client {
+			p.client[i] = 1
+		}
+	default:
+		p.srv = 1
+		blocks := k - 2
+		n := cfg.Clients
+		for i := range p.client {
+			p.client[i] = 2 + i*blocks/n
+		}
+	}
+	return p
+}
+
+// lookahead returns the synchronization window width: the minimum
+// propagation delay of any link that can cross shards. Access and reverse
+// links carry ClientDelay (jitter only adds to it); the bottleneck pair
+// carries BottleneckDelay. Validate has already required both positive
+// when Shards > 1.
+func lookahead(cfg Config) sim.Duration {
+	la := cfg.ClientDelay
+	if cfg.BottleneckDelay < la {
+		la = cfg.BottleneckDelay
+	}
+	return la
+}
+
+// buildEnv threads the per-shard machinery through the topology build.
+// The serial and sharded paths share it — and must: RNG forks and lane
+// allocations happen in build order, so a single build path is what keeps
+// the two modes' event schedules bit-identical.
+type buildEnv struct {
+	place  placement
+	scheds []*sim.Scheduler
+	pools  []*packet.Pool
+	tels   []*telem
+	lanes  *sim.Lanes
+	group  *shard.Group // nil when serial
+	// crossToGw[s] buffers a delivery from shard s to the gateway shard;
+	// nil entries (serial, or s == gw) mean "schedule locally". One
+	// prebound hook per shard serves all of that shard's access links.
+	crossToGw []func(at sim.Time, ord uint64, p *packet.Packet)
+}
+
+// newBuildEnv allocates the per-shard kernels in deterministic order.
+func newBuildEnv(cfg Config) *buildEnv {
+	place := planShards(cfg)
+	e := &buildEnv{
+		place:     place,
+		scheds:    make([]*sim.Scheduler, place.k),
+		pools:     make([]*packet.Pool, place.k),
+		tels:      make([]*telem, place.k),
+		lanes:     sim.NewLanes(),
+		crossToGw: make([]func(sim.Time, uint64, *packet.Packet), place.k),
+	}
+	for i := range e.scheds {
+		e.scheds[i] = sim.NewScheduler()
+	}
+	if !cfg.DisablePacketPool {
+		for i := range e.pools {
+			e.pools[i] = packet.NewPool()
+		}
+	}
+	for i := range e.tels {
+		e.tels[i] = newTelem(cfg)
+	}
+	if place.k > 1 {
+		e.group = shard.NewGroup(e.scheds, lookahead(cfg))
+	}
+	return e
+}
+
+// wireGatewayCrossings installs the cross-shard delivery hooks that
+// terminate at the gateway: one per source shard for the access links,
+// built once the gateway exists. Executing gateway.Receive on the
+// destination shard is safe — the routing table is immutable after build,
+// and the egress link it dispatches to lives on that same shard.
+func (e *buildEnv) wireGatewayCrossings(gwDeliver func(any)) {
+	if e.group == nil {
+		return
+	}
+	for s := range e.crossToGw {
+		if s == e.place.gw {
+			continue
+		}
+		src := s
+		e.crossToGw[src] = func(at sim.Time, ord uint64, p *packet.Packet) {
+			e.group.Cross(src, e.place.gw, at, ord, gwDeliver, p)
+		}
+	}
+}
+
+// xDeliverTo returns an XDeliver hook carrying deliveries from shard src
+// to the fixed shard dst, or nil when the hop is local.
+func (e *buildEnv) xDeliverTo(src, dst int, deliver func(any)) func(sim.Time, uint64, *packet.Packet) {
+	if e.group == nil || src == dst {
+		return nil
+	}
+	return func(at sim.Time, ord uint64, p *packet.Packet) {
+		e.group.Cross(src, dst, at, ord, deliver, p)
+	}
+}
+
+// xDeliverToClient returns the reverse-path XDeliver hook: ACKs leaving
+// the server cross to the shard owning the destination client, where
+// gateway.Receive dispatches them onto that client's (local) reverse
+// link. Serial runs and the K=2 cut (server and gateway colocated) still
+// cross — the clients always live elsewhere when sharded.
+func (e *buildEnv) xDeliverToClient(gwDeliver func(any)) func(sim.Time, uint64, *packet.Packet) {
+	if e.group == nil {
+		return nil
+	}
+	src := e.place.srv
+	clients := e.place.client
+	return func(at sim.Time, ord uint64, p *packet.Packet) {
+		e.group.Cross(src, clients[int(p.Dst-clientAddrOff)], at, ord, gwDeliver, p)
+	}
+}

@@ -44,6 +44,20 @@ type Config struct {
 	// into on its hot path; the zero value disables publication. The
 	// experiment harness attaches handles to the bottleneck link only.
 	Metrics Metrics
+	// Lane, when non-nil, is the link's ordinal stream in the canonical
+	// event order: delivery events draw their same-instant tie-break from
+	// it instead of the scheduler's default lane. Sharded runs require it —
+	// the ordinal is what lets a crossing land in the destination shard's
+	// queue exactly where the serial schedule would have put it. A nil
+	// Lane falls back to the default lane (fine for standalone links).
+	Lane *sim.Lane
+	// XDeliver, when non-nil, routes deliveries to another shard: instead
+	// of scheduling locally, the link hands the delivery instant, its
+	// Lane ordinal, and the packet to this hook, which buffers it for
+	// injection into the destination scheduler at the next window barrier.
+	// Requires Lane. Serialization, queueing, and drop accounting still
+	// happen locally — only the delivery event crosses.
+	XDeliver func(at sim.Time, ord uint64, p *packet.Packet)
 }
 
 // Metrics bundles the telemetry handles a link publishes when attached.
@@ -119,6 +133,8 @@ func New(sched *sim.Scheduler, cfg Config) (*Link, error) {
 		return nil, fmt.Errorf("link %q: loss probability %v outside [0,1)", cfg.Name, cfg.LossProb)
 	case cfg.LossProb > 0 && cfg.LossRNG == nil:
 		return nil, fmt.Errorf("link %q: loss probability without RNG", cfg.Name)
+	case cfg.XDeliver != nil && cfg.Lane == nil:
+		return nil, fmt.Errorf("link %q: cross-shard delivery without a lane", cfg.Name)
 	}
 	l := &Link{sched: sched, cfg: cfg}
 	l.serializeDoneFn = l.serializeDone
@@ -202,10 +218,14 @@ func (l *Link) serializeDone() {
 		// never arrives.
 		l.stats.WireLosses++
 		l.cfg.Pool.Put(p)
+	} else if l.cfg.XDeliver != nil {
+		// The destination lives on another shard: stamp the delivery
+		// with this link's lane ordinal and hand it to the barrier.
+		l.cfg.XDeliver(l.sched.Now().Add(l.cfg.Delay), l.cfg.Lane.Take(), p)
 	} else {
 		// The wire is pipelined: propagation of this packet
 		// overlaps serialization of the next.
-		l.sched.AfterCall(l.cfg.Delay, l.deliverFn, p)
+		l.sched.AfterCallOn(l.cfg.Lane, l.cfg.Delay, l.deliverFn, p)
 	}
 	l.transmitNext()
 }
@@ -213,3 +233,9 @@ func (l *Link) serializeDone() {
 func (l *Link) deliver(arg any) {
 	l.cfg.Dst.Receive(arg.(*packet.Packet))
 }
+
+// DeliverFn exposes the link's prebound delivery trampoline (it calls
+// Dst.Receive on its argument). The sharded harness injects it into the
+// destination shard's scheduler for cross-shard deliveries; it reads only
+// immutable link configuration, so executing it on another shard is safe.
+func (l *Link) DeliverFn() func(any) { return l.deliverFn }

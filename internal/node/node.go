@@ -25,8 +25,12 @@ type Agent interface {
 // the packet's flow id.
 type Host struct {
 	addr packet.Addr
-	// agents is indexed by flow id; nil entries are unbound flows. The
+	// agents is indexed by flow id minus base; nil entries are unbound
+	// flows. The window is anchored at the first bound flow so a client
+	// host with one flow holds one entry regardless of its global flow id
+	// — indexing from zero made building N single-flow hosts O(N²). The
 	// slice grows on Bind, never on the receive path.
+	base   int
 	agents []Agent
 	pool   *packet.Pool
 }
@@ -43,10 +47,21 @@ func (h *Host) Addr() packet.Addr { return h.addr }
 
 // Bind attaches the agent handling the given flow.
 func (h *Host) Bind(flow packet.FlowID, a Agent) {
-	for int(flow) >= len(h.agents) {
+	f := int(flow)
+	if len(h.agents) == 0 {
+		h.base = f
+	}
+	if f < h.base {
+		shift := h.base - f
+		grown := make([]Agent, shift+len(h.agents))
+		copy(grown[shift:], h.agents)
+		h.agents = grown
+		h.base = f
+	}
+	for f-h.base >= len(h.agents) {
 		h.agents = append(h.agents, nil)
 	}
-	h.agents[flow] = a
+	h.agents[f-h.base] = a
 }
 
 // SetPool makes the host reclaim packets it must drop (unbound flows).
@@ -56,7 +71,7 @@ func (h *Host) SetPool(pl *packet.Pool) { h.pool = pl }
 // flows are dropped silently (they indicate a mis-wired topology and are
 // surfaced by tests, not production panics).
 func (h *Host) Receive(p *packet.Packet) {
-	if f := int(p.Flow); f < len(h.agents) {
+	if f := int(p.Flow) - h.base; f >= 0 && f < len(h.agents) {
 		if a := h.agents[f]; a != nil {
 			a.Receive(p)
 			return

@@ -1,0 +1,201 @@
+// Package shard executes one simulation partitioned across K schedulers
+// on K goroutines, synchronized by conservative lookahead windows.
+//
+// The protocol is Chandy–Misra conservative synchronization specialized
+// to a static topology with a known minimum cross-shard propagation
+// delay L (the lookahead): inside a window [W, W+L) every shard runs
+// independently, because no event another shard executes in that window
+// can affect it before W+L — all cross-shard causality travels over
+// links whose propagation delay is at least L. Cross-shard deliveries
+// generated inside the window are buffered in per-(src,dst) outboxes and
+// injected into the destination schedulers at the barrier, before the
+// next window opens. No null messages are needed: the barrier itself is
+// the global synchronization.
+//
+// Windows jump: the next window starts at the earliest pending event
+// across all shards, so idle stretches (e.g. before traffic ramps up, or
+// between sparse timer pops) cost one barrier, not ⌈gap/L⌉.
+//
+// Determinism: every event carries a canonical (time, ordinal) key
+// (see internal/sim lane.go). Crossings are stamped by the source link's
+// lane before they leave the shard and injected under that ordinal, so
+// each destination scheduler pops the exact event sequence the serial
+// scheduler would — sharded results are bit-identical to serial ones,
+// for every shard count. This package is the one sanctioned concurrency
+// site inside the simulation tier; burstlint's nondeterminism analyzer
+// allowlists exactly this package for goroutine launches.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"tcpburst/internal/sim"
+)
+
+// crossing is one buffered cross-shard event: a callback to run on the
+// destination shard at instant at, ordered by the ordinal its source lane
+// assigned when the packet left the source shard.
+type crossing struct {
+	at  sim.Time
+	ord uint64
+	fn  func(any)
+	arg any
+}
+
+// Group couples K schedulers into one logically serial simulation.
+// Build the topology single-threaded, then call Run once; Cross may only
+// be called from event callbacks executing under Run (each source shard
+// writes only its own outbox row, so no locking is needed).
+type Group struct {
+	scheds    []*sim.Scheduler
+	lookahead sim.Duration
+	out       [][]crossing // outbox rows indexed src*K+dst
+}
+
+// NewGroup returns a group over the given per-shard schedulers. The
+// lookahead must be positive and no larger than the minimum propagation
+// delay of any cross-shard link; a violation surfaces as an InjectAt
+// panic ("lookahead violated") rather than silent reordering.
+func NewGroup(scheds []*sim.Scheduler, lookahead sim.Duration) *Group {
+	if len(scheds) == 0 {
+		panic("shard: empty scheduler set")
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("shard: non-positive lookahead %v", lookahead))
+	}
+	k := len(scheds)
+	return &Group{
+		scheds:    scheds,
+		lookahead: lookahead,
+		out:       make([][]crossing, k*k),
+	}
+}
+
+// Scheduler returns shard i's scheduler.
+func (g *Group) Scheduler(i int) *sim.Scheduler { return g.scheds[i] }
+
+// Shards returns the number of shards.
+func (g *Group) Shards() int { return len(g.scheds) }
+
+// Fired returns the total number of events executed across all shards.
+func (g *Group) Fired() uint64 {
+	var n uint64
+	for _, s := range g.scheds {
+		n += s.Fired()
+	}
+	return n
+}
+
+// Cross buffers a cross-shard delivery: fn(arg) will run on shard dst at
+// instant at, under the source-lane ordinal ord. It must be called from
+// an event executing on shard src during a window; the event is injected
+// at the next barrier. The conservative window guarantees at lies beyond
+// the window end, so the destination never sees it arrive in its past.
+func (g *Group) Cross(src, dst int, at sim.Time, ord uint64, fn func(any), arg any) {
+	row := src*len(g.scheds) + dst
+	g.out[row] = append(g.out[row], crossing{at: at, ord: ord, fn: fn, arg: arg})
+}
+
+// inject drains every outbox into its destination scheduler. Called only
+// between windows, when no shard goroutine is running.
+func (g *Group) inject() {
+	k := len(g.scheds)
+	for row, box := range g.out {
+		if len(box) == 0 {
+			continue
+		}
+		dst := g.scheds[row%k]
+		for i := range box {
+			c := &box[i]
+			dst.InjectAt(c.at, c.ord, c.fn, c.arg)
+			*c = crossing{}
+		}
+		g.out[row] = box[:0]
+	}
+}
+
+// next returns the earliest pending event time across all shards.
+func (g *Group) next() (sim.Time, bool) {
+	var best sim.Time
+	any := false
+	for _, s := range g.scheds {
+		if t, ok := s.NextTime(); ok && (!any || t < best) {
+			best, any = t, true
+		}
+	}
+	return best, any
+}
+
+// Run executes the simulation to the horizon (inclusive, like
+// sim.Scheduler.Run). Shard 0 runs on the calling goroutine — context
+// watchdogs and other Stop callers should live there — and shards 1..K-1
+// on persistent workers that exist only for the duration of the call.
+// A Stop on any shard aborts at the next barrier with sim.ErrStopped.
+// On normal return every shard's clock rests at the horizon; crossings
+// still in flight past the horizon are abandoned exactly as a serial
+// run abandons its undelivered events.
+func (g *Group) Run(horizon sim.Time) error {
+	k := len(g.scheds)
+
+	// Workers block on their command channel between windows; the shared
+	// results channel is the barrier. Channel operations give the
+	// happens-before edges that make outbox writes and scheduler state
+	// visible to the coordinator — the race detector checks this in CI.
+	cmds := make([]chan sim.Time, k-1)
+	results := make(chan error, k-1)
+	var wg sync.WaitGroup
+	for i := 1; i < k; i++ {
+		cmd := make(chan sim.Time)
+		cmds[i-1] = cmd
+		sched := g.scheds[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range cmd {
+				results <- sched.Run(t)
+			}
+		}()
+	}
+	defer func() {
+		for _, c := range cmds {
+			close(c)
+		}
+		wg.Wait()
+	}()
+
+	for {
+		g.inject()
+		start, ok := g.next()
+		if !ok || start > horizon {
+			break
+		}
+		// The window is [start, end) exclusive; Run's horizon is
+		// inclusive, hence end-1. Events exactly at the simulation
+		// horizon fire in the final window, where end = horizon+1.
+		end := start.Add(g.lookahead)
+		if end > horizon+1 || end < start {
+			end = horizon + 1
+		}
+		for _, c := range cmds {
+			c <- end - 1
+		}
+		err := g.scheds[0].Run(end - 1)
+		for range cmds {
+			if e := <-results; err == nil {
+				err = e
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	// No events remain at or before the horizon; land every clock on it.
+	for _, s := range g.scheds {
+		if err := s.Run(horizon); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package shard
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"tcpburst/internal/sim"
+)
+
+const ms = sim.Duration(1_000_000)
+
+func newGroup(t *testing.T, k int, lookahead sim.Duration) *Group {
+	t.Helper()
+	scheds := make([]*sim.Scheduler, k)
+	for i := range scheds {
+		scheds[i] = sim.NewScheduler()
+	}
+	return NewGroup(scheds, lookahead)
+}
+
+// A ping-pong chain across two shards: each delivery schedules the next
+// crossing one lookahead later, so every window carries exactly one
+// crossing in each direction and the barrier machinery gets no slack.
+func TestGroupPingPong(t *testing.T) {
+	g := newGroup(t, 2, 10*ms)
+	lanes := sim.NewLanes()
+	lane0, lane1 := lanes.Next(), lanes.Next()
+
+	var hops atomic.Int64
+	var bounce0, bounce1 func(any)
+	bounce0 = func(any) { // runs on shard 0, sends to shard 1
+		hops.Add(1)
+		at := g.Scheduler(0).Now().Add(10 * ms)
+		g.Cross(0, 1, at, lane0.Take(), bounce1, nil)
+	}
+	bounce1 = func(any) { // runs on shard 1, sends back to shard 0
+		hops.Add(1)
+		at := g.Scheduler(1).Now().Add(10 * ms)
+		g.Cross(1, 0, at, lane1.Take(), bounce0, nil)
+	}
+	g.Scheduler(0).AtCall(0, bounce0, nil)
+
+	horizon := sim.Time(100 * ms)
+	if err := g.Run(horizon); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Hops at t = 0, 10ms, ..., 100ms inclusive.
+	if got := hops.Load(); got != 11 {
+		t.Errorf("hops = %d, want 11", got)
+	}
+	for i := 0; i < g.Shards(); i++ {
+		if now := g.Scheduler(i).Now(); now != horizon {
+			t.Errorf("shard %d clock %v, want horizon %v", i, now, horizon)
+		}
+	}
+	if g.Fired() < 11 {
+		t.Errorf("Fired() = %d, want >= 11", g.Fired())
+	}
+}
+
+// Crossings must execute on the destination shard in (time, ordinal)
+// order, interleaved correctly with the destination's own events.
+func TestGroupCrossingOrder(t *testing.T) {
+	g := newGroup(t, 2, 5*ms)
+	lanes := sim.NewLanes()
+	lane := lanes.Next()
+
+	var order []int
+	note := func(arg any) { order = append(order, arg.(int)) }
+
+	// Shard 1 schedules local events at 7ms and 8ms on its default lane.
+	g.Scheduler(1).AtCall(sim.Time(7*ms), note, 1)
+	g.Scheduler(1).AtCall(sim.Time(8*ms), note, 3)
+	// Shard 0 sends two crossings from t=2ms landing at 7ms and 8ms.
+	// Link lanes sort before the default lane at equal times, so the
+	// crossing at 7ms must run before shard 1's own 7ms event.
+	g.Scheduler(0).At(sim.Time(2*ms), func() {
+		g.Cross(0, 1, sim.Time(7*ms), lane.Take(), note, 0)
+		g.Cross(0, 1, sim.Time(8*ms), lane.Take(), note, 2)
+	})
+
+	if err := g.Run(sim.Time(20 * ms)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v, want [0 1 2 3]", order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("executed %d events, want 4", len(order))
+	}
+}
+
+// A Stop on a worker shard must abort the whole group with ErrStopped.
+func TestGroupStopPropagates(t *testing.T) {
+	g := newGroup(t, 3, 10*ms)
+	fired := 0
+	g.Scheduler(2).At(sim.Time(15*ms), func() { g.Scheduler(2).Stop() })
+	g.Scheduler(0).At(sim.Time(200*ms), func() { fired++ })
+	err := g.Run(sim.Time(300 * ms))
+	if !errors.Is(err, sim.ErrStopped) {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if fired != 0 {
+		t.Error("event after the stop barrier still fired")
+	}
+}
+
+// Windows jump over idle stretches: a sparse schedule must cost a bounded
+// number of barriers, not horizon/lookahead.
+func TestGroupWindowsJump(t *testing.T) {
+	g := newGroup(t, 2, 1*ms)
+	ran := 0
+	for i := 0; i < 5; i++ {
+		at := sim.Time(i) * sim.Time(1_000*ms) // every second
+		g.Scheduler(i%2).At(at, func() { ran++ })
+	}
+	if err := g.Run(sim.Time(10_000 * ms)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran != 5 {
+		t.Errorf("ran %d events, want 5", ran)
+	}
+	// Each sparse event costs one window; the jump logic means the 1ms
+	// lookahead never quantizes the 10s horizon into 10k barriers. Fired
+	// counts prove the events ran; the jump itself is observable as this
+	// test completing instantly rather than after 10k channel round-trips.
+}
+
+func TestGroupValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty group", func() { NewGroup(nil, 1*ms) })
+	mustPanic("zero lookahead", func() {
+		NewGroup([]*sim.Scheduler{sim.NewScheduler()}, 0)
+	})
+}
+
+// A crossing stamped inside the destination's past — the symptom of a
+// lookahead larger than the true minimum link delay — must panic loudly
+// at injection instead of silently reordering the schedule.
+func TestGroupLookaheadViolationPanics(t *testing.T) {
+	g := newGroup(t, 2, 50*ms) // lookahead overstates the 1ms "link delay"
+	lanes := sim.NewLanes()
+	lane := lanes.Next()
+	g.Scheduler(0).At(sim.Time(10*ms), func() {
+		// Lands at 11ms, but shard 1 has run to ~49ms by the barrier.
+		g.Cross(0, 1, sim.Time(11*ms), lane.Take(), func(any) {}, nil)
+	})
+	g.Scheduler(1).At(sim.Time(60*ms), func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("injecting a crossing behind the destination clock did not panic")
+		}
+	}()
+	_ = g.Run(sim.Time(100 * ms))
+}

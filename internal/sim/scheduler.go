@@ -31,9 +31,9 @@ func (h Handle) IsZero() bool { return h.slot == 0 }
 // bucket. Events beyond the window — retransmission-style timers, mostly —
 // go into a 4-ary min-heap and either get canceled there or migrate into
 // the wheel when the window advances past them. Both structures order
-// events by (time, seq); seq is unique, so the pop order is a total order
-// and identical to a single global priority queue: the split is invisible
-// to simulation results.
+// events by (time, ord); ord is unique (see lane.go), so the pop order is
+// a total order and identical to a single global priority queue: the split
+// is invisible to simulation results.
 //
 // The bucket width adapts between advances: when a window saw more pops
 // than buckets the width halves, when it saw almost none it doubles. The
@@ -49,28 +49,18 @@ const (
 )
 
 // heapNode is one entry of the far-future event min-heap, ordered by
-// (time, seq). Nodes are plain 16-byte values — no pointers, no interface
-// boxing — so sift operations are two-word memory moves and the heap
-// slice never needs per-element clearing.
-//
-// meta packs the tie-break sequence number (high 40 bits) above the slot
-// index (low 24 bits): comparing meta compares seq first, so the (time,
-// seq) order is untouched, and the four children of a 4-ary node fit in
-// one cache line.
+// (time, ord). Nodes are plain values — no pointers, no interface
+// boxing — so sift operations are plain memory moves and the heap slice
+// never needs per-element clearing. The ordinal occupies a full word (its
+// high bits are the lane id, which must survive intact for cross-lane
+// ties), so the slot index rides in its own field rather than packing.
 type heapNode struct {
 	time Time
-	meta uint64 // seq<<slotBits | slot
+	ord  uint64
+	slot int32
 }
 
-const (
-	slotBits = 24
-	slotMask = 1<<slotBits - 1
-	// maxSeq bounds the packed sequence counter: 2^40 events per
-	// scheduler, ~44 hours of continuous wall time at current speeds.
-	maxSeq = uint64(1) << (64 - slotBits)
-)
-
-// nodeLess orders nodes by (time, seq). It is written as straight boolean
+// nodeLess orders nodes by (time, ord). It is written as straight boolean
 // arithmetic — no short-circuiting — so the compiler lowers it to flag
 // materialization instead of branches; the comparison outcome is
 // data-dependent and unpredictable, and sift loops run one comparison per
@@ -78,14 +68,14 @@ const (
 // op.
 func nodeLess(a, b heapNode) bool {
 	lt := a.time < b.time
-	tie := a.time == b.time && a.meta < b.meta
+	tie := a.time == b.time && a.ord < b.ord
 	return lt || tie
 }
 
 // eventSlot holds one scheduled callback in the scheduler's slot arena.
 // pos encodes where the event lives: >= 0 is its index in the far heap
 // (maintained by every sift so Cancel can delete in place), <= -2 means
-// wheel bucket -2-pos (chained through next, sorted by (time, seq)).
+// wheel bucket -2-pos (chained through next, sorted by (time, ord)).
 // Freed slots are chained through next and recycled by later schedules;
 // gen increments on every free so stale handles miss.
 type eventSlot struct {
@@ -93,23 +83,25 @@ type eventSlot struct {
 	afn  func(any)
 	arg  any
 	time Time
-	seq  uint64
+	ord  uint64
 	gen  uint32
 	pos  int32
 	next int32
 }
 
-// eventLess orders slots by (time, seq) — the same total order the heap
+// eventLess orders slots by (time, ord) — the same total order the heap
 // uses, applied to wheel bucket chains.
 func eventLess(a, b *eventSlot) bool {
 	lt := a.time < b.time
-	tie := a.time == b.time && a.seq < b.seq
+	tie := a.time == b.time && a.ord < b.ord
 	return lt || tie
 }
 
 // Scheduler is the discrete-event simulation kernel. It is not safe for
 // concurrent use: simulations are single-threaded by design so that results
-// are bit-for-bit reproducible.
+// are bit-for-bit reproducible. Sharded runs use one Scheduler per shard,
+// synchronized externally at window barriers (internal/shard), with
+// cross-shard events entering through InjectAt.
 //
 // The kernel is allocation-free in steady state: events live in a slot
 // arena recycled through a free list, near events in a timing wheel, far
@@ -119,7 +111,7 @@ func eventLess(a, b *eventSlot) bool {
 // closure, which the compiler must heap-allocate per call.
 type Scheduler struct {
 	now      Time
-	seq      uint64
+	defLane  Lane
 	slots    []eventSlot
 	freeHead int32 // first free slot index, -1 when none
 	stopped  bool
@@ -140,7 +132,12 @@ type Scheduler struct {
 
 // NewScheduler returns a kernel with the clock at TimeZero.
 func NewScheduler() *Scheduler {
-	s := &Scheduler{freeHead: -1, shift: initShift, wheel: make([]int32, wheelBuckets)}
+	s := &Scheduler{
+		freeHead: -1,
+		shift:    initShift,
+		wheel:    make([]int32, wheelBuckets),
+		defLane:  newLane(defaultLaneID),
+	}
 	for i := range s.wheel {
 		s.wheel[i] = -1
 	}
@@ -159,46 +156,92 @@ func (s *Scheduler) Pending() int { return s.wheelCount + len(s.heap) }
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// At schedules fn to run at instant t. Scheduling in the past is a
-// programming error and returns the zero Handle without scheduling.
-func (s *Scheduler) At(t Time, fn func()) Handle {
-	if t < s.now || fn == nil {
-		return Handle{}
-	}
-	return s.schedule(t, fn, nil, nil)
-}
+// At schedules fn to run at instant t on the scheduler's default lane.
+// Scheduling in the past is a programming error and returns the zero
+// Handle without scheduling.
+func (s *Scheduler) At(t Time, fn func()) Handle { return s.AtOn(nil, t, fn) }
 
 // After schedules fn to run d after the current instant. Negative delays
 // clamp to zero (fire "now", after already-queued same-time events).
-func (s *Scheduler) After(d Duration, fn func()) Handle {
-	if d < 0 {
-		d = 0
-	}
-	return s.At(s.now.Add(d), fn)
-}
+func (s *Scheduler) After(d Duration, fn func()) Handle { return s.AfterOn(nil, d, fn) }
 
 // AtCall schedules fn(arg) at instant t. It exists so hot paths can reuse
 // one prebound fn for many events, threading per-event state through arg
 // instead of a freshly allocated closure (storing a pointer in arg does
 // not allocate).
 func (s *Scheduler) AtCall(t Time, fn func(any), arg any) Handle {
-	if t < s.now || fn == nil {
-		return Handle{}
-	}
-	return s.schedule(t, nil, fn, arg)
+	return s.AtCallOn(nil, t, fn, arg)
 }
 
 // AfterCall schedules fn(arg) to run d after the current instant.
 func (s *Scheduler) AfterCall(d Duration, fn func(any), arg any) Handle {
+	return s.AfterCallOn(nil, d, fn, arg)
+}
+
+// AtOn schedules fn at instant t drawing the tie-break ordinal from lane
+// (nil means the scheduler's default lane). Components whose same-instant
+// events must order identically in serial and sharded runs — the links —
+// schedule on their own lane.
+func (s *Scheduler) AtOn(lane *Lane, t Time, fn func()) Handle {
+	if t < s.now || fn == nil {
+		return Handle{}
+	}
+	return s.schedule(lane, t, fn, nil, nil)
+}
+
+// AfterOn schedules fn to run d after the current instant on lane.
+func (s *Scheduler) AfterOn(lane *Lane, d Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
-	return s.AtCall(s.now.Add(d), fn, arg)
+	return s.AtOn(lane, s.now.Add(d), fn)
 }
 
-// schedule places the callback in a recycled (or new) slot and files the
-// event in the wheel or the far heap depending on its deadline.
-func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Handle {
+// AtCallOn schedules fn(arg) at instant t on lane.
+func (s *Scheduler) AtCallOn(lane *Lane, t Time, fn func(any), arg any) Handle {
+	if t < s.now || fn == nil {
+		return Handle{}
+	}
+	return s.schedule(lane, t, nil, fn, arg)
+}
+
+// AfterCallOn schedules fn(arg) to run d after the current instant on lane.
+func (s *Scheduler) AfterCallOn(lane *Lane, d Duration, fn func(any), arg any) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtCallOn(lane, s.now.Add(d), fn, arg)
+}
+
+// InjectAt schedules fn(arg) at instant t under a caller-supplied ordinal.
+// It is the cross-shard entry point: the source shard stamps the event
+// from its own lane (Lane.Take) inside a synchronization window, and the
+// barrier delivers it here after the window closes. The ordinal places the
+// event exactly where the serial schedule would have: bit-identity across
+// shard counts follows. Injecting into the past panics — it would mean the
+// lookahead window was wider than the true minimum cross-shard delay.
+func (s *Scheduler) InjectAt(t Time, ord uint64, fn func(any), arg any) Handle {
+	if fn == nil {
+		return Handle{}
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: InjectAt(%v) behind clock %v: lookahead violated", t, s.now))
+	}
+	return s.scheduleOrd(t, ord, nil, fn, arg)
+}
+
+// schedule draws the next ordinal from lane (default lane when nil) and
+// files the event.
+func (s *Scheduler) schedule(lane *Lane, t Time, fn func(), afn func(any), arg any) Handle {
+	if lane == nil {
+		lane = &s.defLane
+	}
+	return s.scheduleOrd(t, lane.Take(), fn, afn, arg)
+}
+
+// scheduleOrd places the callback in a recycled (or new) slot and files
+// the event in the wheel or the far heap depending on its deadline.
+func (s *Scheduler) scheduleOrd(t Time, ord uint64, fn func(), afn func(any), arg any) Handle {
 	var idx int32
 	if s.freeHead >= 0 {
 		idx = s.freeHead
@@ -211,22 +254,17 @@ func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Handle {
 	sl.fn = fn
 	sl.afn = afn
 	sl.arg = arg
-	seq := s.seq
-	s.seq++
-	if seq >= maxSeq || idx >= slotMask {
-		panic("sim: event sequence or arena capacity exhausted")
-	}
 	sl.time = t
-	sl.seq = seq
+	sl.ord = ord
 	if d := t - s.wheelBase; 0 <= d && d < s.span() {
 		s.wheelInsert(idx)
 	} else {
-		s.push(heapNode{time: t, meta: seq<<slotBits | uint64(idx)})
+		s.push(heapNode{time: t, ord: ord, slot: idx})
 	}
 	return Handle{slot: uint32(idx) + 1, gen: sl.gen}
 }
 
-// wheelInsert splices slot idx into its bucket's (time, seq)-sorted chain.
+// wheelInsert splices slot idx into its bucket's (time, ord)-sorted chain.
 // The caller guarantees the slot's time lies inside the wheel window.
 func (s *Scheduler) wheelInsert(idx int32) {
 	sl := &s.slots[idx]
@@ -258,7 +296,7 @@ func (s *Scheduler) wheelInsert(idx int32) {
 // retransmission-style timers (deadline far beyond the wheel window) live
 // near the leaves, so their Reset/Stop churn is near O(1). Removal never
 // reorders the surviving events: pop order is fully determined by
-// (time, seq).
+// (time, ord).
 func (s *Scheduler) Cancel(h Handle) {
 	if !s.resolve(h) {
 		return
@@ -347,7 +385,7 @@ func (s *Scheduler) advance() {
 	span := s.span()
 	for len(s.heap) > 0 && s.heap[0].time-s.wheelBase < span {
 		n := s.pop()
-		s.wheelInsert(int32(n.meta & slotMask))
+		s.wheelInsert(n.slot)
 	}
 }
 
@@ -368,9 +406,9 @@ func (s *Scheduler) popEvent() (int32, Time, bool) {
 	sl := &s.slots[head]
 	if len(s.heap) > 0 {
 		top := s.heap[0]
-		if top.time < sl.time || (top.time == sl.time && top.meta>>slotBits < sl.seq) {
+		if top.time < sl.time || (top.time == sl.time && top.ord < sl.ord) {
 			n := s.pop()
-			return int32(n.meta & slotMask), n.time, true
+			return n.slot, n.time, true
 		}
 	}
 	s.wheel[b] = sl.next
@@ -394,6 +432,11 @@ func (s *Scheduler) nextTime() (Time, bool) {
 	}
 	return t, true
 }
+
+// NextTime returns the deadline of the earliest pending event without
+// popping it, and whether any event is pending. The window-barrier
+// coordinator uses it to pick the next synchronization window start.
+func (s *Scheduler) NextTime() (Time, bool) { return s.nextTime() }
 
 // Step executes the single next event, advancing the clock to its timestamp.
 // It reports false when no events remain.
@@ -464,14 +507,14 @@ const heapArity = 4
 // setNode places n at heap index i and records the position in its slot.
 func (s *Scheduler) setNode(i int, n heapNode) {
 	s.heap[i] = n
-	s.slots[n.meta&slotMask].pos = int32(i)
+	s.slots[n.slot].pos = int32(i)
 }
 
 // push appends n and sifts it up, writing the moving node only once at
 // its final position instead of swapping at every level.
 func (s *Scheduler) push(n heapNode) {
 	s.heap = append(s.heap, n)
-	s.slots[n.meta&slotMask].pos = int32(len(s.heap) - 1)
+	s.slots[n.slot].pos = int32(len(s.heap) - 1)
 	s.siftUp(len(s.heap) - 1)
 }
 
@@ -503,7 +546,7 @@ func (s *Scheduler) removeAt(i int) {
 	}
 	s.setNode(i, last)
 	s.siftDown(i)
-	if s.heap[i].meta == last.meta {
+	if s.heap[i].slot == last.slot {
 		s.siftUp(i)
 	}
 }
