@@ -1,16 +1,18 @@
 """Convert `go test -bench` output to a JSON array of metric rows.
 
-Usage: bench_to_json.py BENCH_OUTPUT.txt OUT.json
+Usage: bench_to_json.py BENCH_OUTPUT.txt OUT.json [COMMIT]
 
 Each benchmark line becomes one object with its name, iteration count,
 ns/op, and every custom metric (sim_pkts/s, state_bytes/flow, B/op, ...)
-keyed by unit with '/' replaced by '_per_'.
+keyed by unit with '/' replaced by '_per_'. When COMMIT is given it is
+stamped into every row so persisted artifacts under results/bench/ stay
+attributable after they are copied out of their per-commit directory.
 """
 import json
 import re
 import sys
 
-def main(src, dst):
+def main(src, dst, commit=None):
     rows = []
     for line in open(src):
         m = re.match(r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)', line)
@@ -20,10 +22,12 @@ def main(src, dst):
                'ns_per_op': float(m.group(3))}
         for val, unit in re.findall(r'([\d.]+) (\S+)', m.group(4)):
             row[unit.replace('/', '_per_')] = float(val)
+        if commit:
+            row['commit'] = commit
         rows.append(row)
     with open(dst, 'w') as f:
         json.dump(rows, f, indent=2)
     print(json.dumps(rows, indent=2))
 
 if __name__ == '__main__':
-    main(sys.argv[1], sys.argv[2])
+    main(sys.argv[1], sys.argv[2], sys.argv[3] if len(sys.argv) > 3 else None)

@@ -1,0 +1,66 @@
+"""Benchstat-style regression gate over the repo's bench JSON artifacts.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json \
+           [--metric sim_pkts_per_s] [--max-regression 0.10]
+
+Rows are matched by exact benchmark name between the committed baseline
+(results/bench/baseline/) and the JSON produced by the current run. For
+every matched row the gate computes current/baseline on the chosen
+metric (higher is better); any row that falls more than the allowed
+fraction below baseline fails the gate. Rows present in only one file,
+or missing the metric (e.g. a sub-benchmark that reports no throughput),
+are listed but never fail the gate, so adding or renaming cells does not
+require touching the baseline in the same commit.
+
+The tolerance deliberately absorbs runner noise: baselines are refreshed
+with `make bench-baseline` on the same machine class CI uses, and a 10%
+corridor is wide enough for the single-tenant jitter we have measured
+while still catching the kind of hot-path regressions this repo's
+batching work exists to prevent.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        rows = json.load(f)
+    return {r['name']: r for r in rows}
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith('--')]
+    opts = dict(a.lstrip('-').split('=', 1) for a in argv if a.startswith('--'))
+    if len(args) != 2:
+        sys.exit(__doc__)
+    metric = opts.get('metric', 'sim_pkts_per_s')
+    tol = float(opts.get('max-regression', '0.10'))
+
+    base, cur = load(args[0]), load(args[1])
+    failures = []
+    for name in sorted(set(base) | set(cur)):
+        b, c = base.get(name), cur.get(name)
+        if b is None or c is None:
+            print(f'  SKIP  {name}: only in {"current" if b is None else "baseline"}')
+            continue
+        bv, cv = b.get(metric), c.get(metric)
+        if bv is None or cv is None or bv == 0:
+            print(f'  SKIP  {name}: no {metric}')
+            continue
+        ratio = cv / bv
+        status = 'OK' if ratio >= 1 - tol else 'FAIL'
+        print(f'  {status:4}  {name}: {metric} {bv:.0f} -> {cv:.0f} ({ratio:.3f}x)')
+        if status == 'FAIL':
+            failures.append(name)
+
+    if failures:
+        print(f'\nregression gate FAILED: {len(failures)} row(s) more than '
+              f'{tol:.0%} below baseline on {metric}: {", ".join(failures)}')
+        print('If this slowdown is intentional, refresh the baseline with '
+              '`make bench-baseline` in the same commit and justify it in review.')
+        sys.exit(1)
+    print(f'\nregression gate passed ({metric}, tolerance {tol:.0%})')
+
+
+if __name__ == '__main__':
+    main(sys.argv[1:])

@@ -4,7 +4,7 @@
 STATICCHECK_VERSION = 2024.1.1
 GOVULNCHECK_VERSION = v1.1.3
 
-.PHONY: all build test race lint burstlint vet-burstlint staticcheck govulncheck golden bench
+.PHONY: all build test race lint burstlint vet-burstlint staticcheck govulncheck golden bench bench-baseline bench-gate
 
 all: build test lint
 
@@ -42,5 +42,26 @@ govulncheck:
 golden:
 	go test ./internal/core -run TestGoldenSummaries -update-golden
 
+## bench: run the gated benchmark tiers and aggregate the JSON artifacts
+## under results/bench/<short-sha>/ so the perf trajectory is tracked in
+## the repo, not just in CI artifact storage.
+BENCH_DIR = results/bench/$(shell git rev-parse --short HEAD)
 bench:
-	go test -bench='Kernel|ExperimentPackets|TransportRoundTrip' -benchtime=100x -benchmem -run '^$$' ./...
+	go test -bench='Kernel|ExperimentPackets|TransportRoundTrip' -benchtime=100x -benchmem -run '^$$' ./... | tee /tmp/bench_kernel.txt
+	go test -bench='ScalingClients' -benchtime=1x -run '^$$' . | tee /tmp/bench_scaling.txt
+	go test -bench='BurstBatching' -benchtime=1x -run '^$$' . | tee /tmp/bench_batch.txt
+	mkdir -p $(BENCH_DIR)
+	python3 .github/bench_to_json.py /tmp/bench_kernel.txt $(BENCH_DIR)/BENCH_kernel.json $(shell git rev-parse HEAD)
+	python3 .github/bench_to_json.py /tmp/bench_scaling.txt $(BENCH_DIR)/BENCH_scaling.json $(shell git rev-parse HEAD)
+	python3 .github/bench_to_json.py /tmp/bench_batch.txt $(BENCH_DIR)/BENCH_batch.json $(shell git rev-parse HEAD)
+
+## bench-gate: compare the most recent `make bench` output against the
+## committed baseline; fails on >10% sim_pkts/s regression.
+bench-gate:
+	python3 .github/check_bench_regression.py results/bench/baseline/BENCH_scaling.json $(BENCH_DIR)/BENCH_scaling.json
+	python3 .github/check_bench_regression.py results/bench/baseline/BENCH_batch.json $(BENCH_DIR)/BENCH_batch.json
+
+## bench-baseline: promote the current commit's bench run to the gate
+## baseline. Commit the diff alongside the change that justifies it.
+bench-baseline: bench
+	cp $(BENCH_DIR)/BENCH_scaling.json $(BENCH_DIR)/BENCH_batch.json results/bench/baseline/

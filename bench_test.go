@@ -504,6 +504,75 @@ func BenchmarkShardedScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkBurstBatching measures what burst-train coalescing buys on the
+// post-crossover scaling cells, where the workload emits the back-to-back
+// packet trains the batching targets: heavy-tailed Pareto on/off sources
+// whose in-burst interval equals the access-link serialization time, so
+// every burst leaves its client at line rate (the self-similar regime of
+// Willinger et al. layered over the paper's dumbbell, offered load pinned
+// at 1.11x the bottleneck). Each N runs with batching off (one scheduler
+// op per packet hop, eager timers) and on (train delivery, serialization
+// pipelining, idle-FIFO bypass, lazy timers); both execute the exact same
+// event schedule — the golden digests and the batching equivalence matrix
+// pin that — so speedup is pure kernel-overhead reduction. The
+// sched_ops/evt metric is the measured ops-per-event ratio: slot filings
+// per executed event, which batching pushes well below 1.
+func BenchmarkBurstBatching(b *testing.B) {
+	off := make(map[int]float64)
+	for _, n := range []int{2_000, 5_000, 20_000} {
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"off", true}, {"on", false}} {
+			b.Run(fmt.Sprintf("N=%d/batch=%s", n, mode.name), func(b *testing.B) {
+				cfg := core.DefaultConfig(n, core.Reno, core.FIFO)
+				cfg.Duration = 300 * time.Second
+				cfg.BufferPackets = 20
+				capacity := cfg.BottleneckRateBps / (8 * float64(cfg.PacketSize))
+				cfg.MeanInterval = time.Duration(float64(time.Second) * float64(n) / (0.9 * capacity))
+				cfg.Traffic = core.TrafficParetoOnOff
+				// Duty cycle such that the derived in-burst interval is the
+				// access serialization time (bursts leave clients at line
+				// rate); off periods short enough that every client bursts
+				// a handful of times inside the run, with the on period
+				// following from the duty cycle. Larger N therefore means
+				// rarer, shorter bursts per client at the same aggregate
+				// load — the scaling axis the tier sweeps.
+				ser := sim.SerializationDelay(cfg.PacketSize, cfg.ClientRateBps)
+				duty := float64(ser) / float64(cfg.MeanInterval)
+				cfg.MeanOffTime = cfg.Duration / 5
+				cfg.MeanOnTime = time.Duration(float64(cfg.MeanOffTime) * duty / (1 - duty))
+				cfg.DisableBatching = mode.disable
+				var total, ops, evts uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(cfg)
+					if err != nil {
+						b.Fatalf("run: %v", err)
+					}
+					total += res.DataSent
+					ops += res.SchedOps
+					evts += res.SimEvents
+				}
+				b.StopTimer()
+				if b.Elapsed() <= 0 {
+					return
+				}
+				rate := float64(total) / b.Elapsed().Seconds()
+				b.ReportMetric(rate, "sim_pkts/s")
+				if evts > 0 {
+					b.ReportMetric(float64(ops)/float64(evts), "sched_ops/evt")
+				}
+				if mode.disable {
+					off[n] = rate
+				} else if base := off[n]; base > 0 {
+					b.ReportMetric(rate/base, "speedup")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFluidBackend measures the mean-field solver across client counts
 // the packet engine cannot touch. The aggregate offered load is pinned at
 // 0.9x the bottleneck so every N solves the same operating point; solve

@@ -5,11 +5,15 @@
 // flows, (b) how Vegas vs Reno changes it, and (c) that TCP-induced
 // burstiness appears at both gateways.
 //
-// Run with: go run ./examples/parkinglot
+// Run with: go run ./examples/parkinglot [-shards 2]
+//
+// -shards 2 splits each run at the inter-gateway cut onto two
+// schedulers (bit-identical results; see DESIGN.md §11).
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -18,6 +22,9 @@ import (
 )
 
 func main() {
+	shards := flag.Int("shards", 0, "schedulers per run (0 or 1 serial; 2 splits at the inter-gateway cut)")
+	flag.Parse()
+
 	fmt.Println("Two-bottleneck parking lot: 20 long + 20 per-hop cross clients")
 	fmt.Println()
 	fmt.Printf("%-8s %8s %10s %10s %10s %10s %9s\n",
@@ -35,6 +42,7 @@ func main() {
 				Protocol:    p,
 				Gateway:     q,
 				Duration:    60 * time.Second,
+				Shards:      *shards,
 			})
 		}
 	}

@@ -76,3 +76,53 @@ func neverMoved(pool *packet.Pool) {
 func waived(pool *packet.Pool) {
 	pool.Get() //burstlint:ignore packetrelease pre-touching the pool during setup
 }
+
+// ---- burst-train batch path ------------------------------------------
+// The coalesced delivery path moves packets through a train ring (Add)
+// and back out via an any-typed unpack in the fire trampoline. The
+// fixtures below pin both directions: Add is an ownership transfer like
+// any forward, and the unpack loop must not trip false positives.
+
+type train struct{ buf []any }
+
+func (tr *train) Add(at int64, arg any) { tr.buf = append(tr.buf, arg) }
+
+func okTrainAdd(pool *packet.Pool, tr *train) {
+	p := pool.Get()
+	p.Seq = 9
+	tr.Add(42, p) // forwarded: the train ring owns it until unpack
+}
+
+func okBatchAdmit(pool *packet.Pool, tr *train, n int) {
+	for i := 0; i < n; i++ {
+		p := pool.Get()
+		tr.Add(int64(i), p) // each admission transfers before the next Get
+	}
+}
+
+func leakOnMidTrainDrop(pool *packet.Pool, tr *train, dropped bool) {
+	p := pool.Get()
+	if dropped {
+		return // want `packet p from Pool.Get leaks on this path`
+	}
+	tr.Add(7, p)
+}
+
+func okMidTrainDrop(pool *packet.Pool, tr *train, dropped bool) {
+	p := pool.Get()
+	if dropped {
+		pool.Put(p) // the drop branch of a batched admit still releases
+		return
+	}
+	tr.Add(7, p)
+}
+
+func okBatchUnpack(pool *packet.Pool, tr *train, s *sink) {
+	// Unpacked packets were transferred at Add time; re-forwarding them
+	// from the any-typed ring is not an acquisition and must stay quiet.
+	for _, arg := range tr.buf {
+		p := arg.(*packet.Packet)
+		s.deliver(p)
+	}
+	tr.buf = tr.buf[:0]
+}

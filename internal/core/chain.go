@@ -9,6 +9,7 @@ import (
 	"tcpburst/internal/node"
 	"tcpburst/internal/packet"
 	"tcpburst/internal/queue"
+	"tcpburst/internal/shard"
 	"tcpburst/internal/sim"
 	"tcpburst/internal/stats"
 	"tcpburst/internal/tcp"
@@ -45,6 +46,14 @@ type ChainConfig struct {
 	// Base supplies link rates, delays, buffer sizes, packet sizes and
 	// traffic parameters (Clients/Protocol/Gateway fields are ignored).
 	Base Config
+	// Shards runs the topology across this many schedulers (0 or 1:
+	// serial; 2: split at the hop-1 wire — gw1 and its attached clients
+	// against everything downstream). The parking lot has exactly one
+	// inter-gateway cut, so 2 is the maximum. Inherits Base.Shards when
+	// zero. Sharded runs are bit-identical to serial ones (the chain
+	// golden digests are replayed at 2 shards), so like Config.Shards the
+	// field is excluded from JSON and cache keys.
+	Shards int `json:"-"`
 }
 
 // withDefaults fills the embedded base config.
@@ -65,6 +74,12 @@ func (c ChainConfig) withDefaults() ChainConfig {
 	if c.Duration == 0 {
 		c.Duration = c.Base.Duration
 	}
+	if c.Shards == 0 {
+		c.Shards = c.Base.Shards
+	}
+	// The chain validates its own shard count against its own topology;
+	// the dumbbell rules in Base.Validate do not apply.
+	c.Base.Shards = 0
 	return c
 }
 
@@ -77,6 +92,10 @@ func (c ChainConfig) validate() error {
 		return fmt.Errorf("chain: negative cross-traffic counts")
 	case c.Duration <= 0:
 		return fmt.Errorf("chain: duration %v <= 0", c.Duration)
+	case c.Shards < 0 || c.Shards > 2:
+		return fmt.Errorf("chain: shards %d unsupported; the parking lot has one inter-gateway cut, so use at most 2", c.Shards)
+	case c.Shards == 2 && c.Base.BottleneckDelay <= 0:
+		return fmt.Errorf("chain: sharding requires a positive bottleneck delay (it bounds the lookahead window)")
 	}
 	return c.Base.Validate()
 }
@@ -150,12 +169,42 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 	}
 	base := cfg.Base
 
-	sched := sim.NewScheduler()
+	// Shard plan (DESIGN.md §11): the parking lot's only inter-gateway
+	// wire is hop 1 (gw1⇄gw2), so the two-shard cut places gw1 and every
+	// client attached to it upstream (shard 0), and gw2, the server,
+	// exit1 and the hop-2 clients downstream (shard 1). The long and
+	// hop-1 clients' sinks live on the downstream hosts, so they use the
+	// downstream kernel and pool. Serial runs use one scheduler (and one
+	// pool) for both roles. The two crossing links draw lanes in both
+	// modes — lane allocation order is part of the canonical event order
+	// and must not depend on the shard count.
+	const (
+		upShard   = 0
+		downShard = 1
+	)
+	k := cfg.Shards
+	if k < 1 {
+		k = 1
+	}
+	scheds := make([]*sim.Scheduler, k)
+	for i := range scheds {
+		scheds[i] = sim.NewScheduler()
+	}
+	up, down := scheds[0], scheds[k-1]
+	var group *shard.Group
+	if k == 2 {
+		group = shard.NewGroup(scheds, base.BottleneckDelay)
+	}
+	lanes := sim.NewLanes()
 	rng := sim.NewRNG(cfg.Seed)
 
-	var pool *packet.Pool
+	var poolUp, poolDown *packet.Pool
 	if !base.DisablePacketPool {
-		pool = packet.NewPool()
+		poolUp = packet.NewPool()
+		poolDown = poolUp
+		if k == 2 {
+			poolDown = packet.NewPool()
+		}
 	}
 
 	const (
@@ -163,71 +212,102 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 		exit1Addr   packet.Addr = 2 // hop-1 cross traffic's destination at gw2
 	)
 	server := node.NewHost(serverAddr2)
-	server.SetPool(pool)
+	server.SetPool(poolDown)
 	exit1 := node.NewHost(exit1Addr)
-	exit1.SetPool(pool)
+	exit1.SetPool(poolDown)
 	gw1 := node.NewGateway(10)
-	gw1.SetPool(pool)
+	gw1.SetPool(poolUp)
 	gw2 := node.NewGateway(11)
-	gw2.SetPool(pool)
+	gw2.SetPool(poolDown)
 
-	mkBottleneckQ := func(stream int64) (queue.Discipline, error) {
+	// xdel builds a cross-shard delivery hook, or nil when serial: the
+	// crossing is buffered by the barrier and injected into the
+	// destination kernel with the link lane's ordinal, exactly where the
+	// serial schedule would have placed it.
+	xdel := func(src, dst int, deliver func(any)) func(sim.Time, uint64, *packet.Packet) {
+		if group == nil {
+			return nil
+		}
+		return func(at sim.Time, ord uint64, p *packet.Packet) {
+			group.Cross(src, dst, at, ord, deliver, p)
+		}
+	}
+	gw1Deliver := func(arg any) { gw1.Receive(arg.(*packet.Packet)) }
+	gw2Deliver := func(arg any) { gw2.Receive(arg.(*packet.Packet)) }
+
+	mkBottleneckQ := func(stream int64, evictTo *packet.Pool) (queue.Discipline, error) {
 		chainCfg := base
 		q, _, err := buildGatewayQueue(chainCfg, rng.Fork(stream), &telem{})
 		if drr, ok := q.(*queue.DRR); ok {
-			drr.OnEvict(pool.Put)
+			drr.OnEvict(evictTo.Put)
 		}
 		return q, err
 	}
-	q1, err := mkBottleneckQ(1 << 23)
+	q1, err := mkBottleneckQ(1<<23, poolUp)
 	if err != nil {
 		return nil, err
 	}
-	q2, err := mkBottleneckQ(1 << 24)
+	q2, err := mkBottleneckQ(1<<24, poolDown)
 	if err != nil {
 		return nil, err
 	}
 
-	hop1, err := link.New(sched, link.Config{
+	hop1, err := link.New(up, link.Config{
 		Name: "gw1->gw2", RateBps: base.BottleneckRateBps,
-		Delay: base.BottleneckDelay, Queue: q1, Dst: gw2, Pool: pool,
+		Delay: base.BottleneckDelay, Queue: q1, Dst: gw2, Pool: poolUp,
+		Lane:     lanes.Next(),
+		XDeliver: xdel(upShard, downShard, gw2Deliver),
+
+		DisableBatching: base.DisableBatching,
 	})
 	if err != nil {
 		return nil, err
 	}
-	hop2, err := link.New(sched, link.Config{
+	hop2, err := link.New(down, link.Config{
 		Name: "gw2->server", RateBps: base.BottleneckRateBps,
-		Delay: base.BottleneckDelay, Queue: q2, Dst: server, Pool: pool,
+		Delay: base.BottleneckDelay, Queue: q2, Dst: server, Pool: poolDown,
+
+		DisableBatching: base.DisableBatching,
 	})
 	if err != nil {
 		return nil, err
 	}
 	// Reverse path: server -> gw2 -> gw1, amply provisioned.
-	rev2, err := link.New(sched, link.Config{
+	rev2, err := link.New(down, link.Config{
 		Name: "server->gw2", RateBps: base.BottleneckRateBps,
-		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw2, Pool: pool,
+		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw2, Pool: poolDown,
+
+		DisableBatching: base.DisableBatching,
 	})
 	if err != nil {
 		return nil, err
 	}
-	rev1, err := link.New(sched, link.Config{
+	rev1, err := link.New(down, link.Config{
 		Name: "gw2->gw1", RateBps: base.BottleneckRateBps,
-		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw1, Pool: pool,
+		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw1, Pool: poolDown,
+		Lane:     lanes.Next(),
+		XDeliver: xdel(downShard, upShard, gw1Deliver),
+
+		DisableBatching: base.DisableBatching,
 	})
 	if err != nil {
 		return nil, err
 	}
-	revExit, err := link.New(sched, link.Config{
+	revExit, err := link.New(down, link.Config{
 		Name: "exit1->gw2", RateBps: base.BottleneckRateBps,
-		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw2, Pool: pool,
+		Delay: base.BottleneckDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: gw2, Pool: poolDown,
+
+		DisableBatching: base.DisableBatching,
 	})
 	if err != nil {
 		return nil, err
 	}
 	// Forward local delivery from gw2 to exit1.
-	toExit1, err := link.New(sched, link.Config{
+	toExit1, err := link.New(down, link.Config{
 		Name: "gw2->exit1", RateBps: base.ClientRateBps,
-		Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: exit1, Pool: pool,
+		Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: exit1, Pool: poolDown,
+
+		DisableBatching: base.DisableBatching,
 	})
 	if err != nil {
 		return nil, err
@@ -278,6 +358,10 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 	hop1AddrOff := longAddrOff + packet.Addr(cfg.LongClients)
 	hop2AddrOff := hop1AddrOff + packet.Addr(cfg.Hop1Clients)
 	nextFlow := packet.FlowID(1)
+	// buildGroup wires one client group. The clients (hosts, access and
+	// reverse links, senders, generators) live on clientSched's shard; the
+	// sinks live with their destination host on down's shard, which is
+	// also where the group's serverOut link runs.
 	buildGroup := func(
 		n int,
 		addrOff packet.Addr,
@@ -287,6 +371,8 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 		dstHost *node.Host,
 		serverOut *link.Link,
 		streamOff int64,
+		clientSched *sim.Scheduler,
+		clientPool *packet.Pool,
 	) ([]*chainFlow, error) {
 		flows := make([]*chainFlow, 0, n)
 		for i := 0; i < n; i++ {
@@ -294,17 +380,21 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 			flowID := nextFlow
 			nextFlow++
 			host := node.NewHost(addr)
-			host.SetPool(pool)
-			access, err := link.New(sched, link.Config{
+			host.SetPool(clientPool)
+			access, err := link.New(clientSched, link.Config{
 				Name: fmt.Sprintf("c%d->gw", int(flowID)), RateBps: base.ClientRateBps,
-				Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: attach, Pool: pool,
+				Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: attach, Pool: clientPool,
+
+				DisableBatching: base.DisableBatching,
 			})
 			if err != nil {
 				return nil, err
 			}
-			reverse, err := link.New(sched, link.Config{
+			reverse, err := link.New(clientSched, link.Config{
 				Name: fmt.Sprintf("gw->c%d", int(flowID)), RateBps: base.ClientRateBps,
-				Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: host, Pool: pool,
+				Delay: base.ClientDelay, Queue: queue.NewFIFO(base.AccessBufferPackets), Dst: host, Pool: clientPool,
+
+				DisableBatching: base.DisableBatching,
 			})
 			if err != nil {
 				return nil, err
@@ -323,7 +413,8 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 					MaxWindow: base.MaxWindow, MinRTO: base.MinRTO,
 					DelayedAcks:       cfg.Protocol == RenoDelayAck,
 					DelayedAckTimeout: base.DelayedAckTimeout,
-					Vegas:             base.Vegas, Sched: sched, Pool: pool,
+					Vegas:             base.Vegas, Sched: clientSched, Pool: clientPool,
+					DisableBatching: base.DisableBatching,
 				}
 				sendCfg := tcpCfg
 				sendCfg.Out = access
@@ -333,6 +424,8 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 				}
 				sinkCfg := tcpCfg
 				sinkCfg.Out = serverOut
+				sinkCfg.Sched = down
+				sinkCfg.Pool = poolDown
 				sink, err := tcp.NewSink(sinkCfg)
 				if err != nil {
 					return nil, err
@@ -344,19 +437,19 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 			} else {
 				sender, err := transport.NewUDPSender(transport.UDPConfig{
 					Flow: flowID, Src: addr, Dst: dstAddr,
-					PacketSize: base.PacketSize, Out: access, Pool: pool,
+					PacketSize: base.PacketSize, Out: access, Pool: clientPool,
 				})
 				if err != nil {
 					return nil, err
 				}
 				sink := transport.NewUDPSink()
-				sink.SetPool(pool)
+				sink.SetPool(poolDown)
 				host.Bind(flowID, sender)
 				dstHost.Bind(flowID, sink)
 				f.udpS, f.udpK = sender, sink
 				src = sender
 			}
-			gen, err := buildGenerator(base, sched, rng.Fork(streamOff+int64(i)), src, telemetry.Counter{})
+			gen, err := buildGenerator(base, clientSched, rng.Fork(streamOff+int64(i)), src, telemetry.Counter{})
 			if err != nil {
 				return nil, err
 			}
@@ -366,15 +459,15 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 		return flows, nil
 	}
 
-	longFlows, err := buildGroup(cfg.LongClients, longAddrOff, gw1, gw1.AddRoute, serverAddr2, server, rev2, 1000)
+	longFlows, err := buildGroup(cfg.LongClients, longAddrOff, gw1, gw1.AddRoute, serverAddr2, server, rev2, 1000, up, poolUp)
 	if err != nil {
 		return nil, err
 	}
-	hop1Flows, err := buildGroup(cfg.Hop1Clients, hop1AddrOff, gw1, gw1.AddRoute, exit1Addr, exit1, revExit, 2000)
+	hop1Flows, err := buildGroup(cfg.Hop1Clients, hop1AddrOff, gw1, gw1.AddRoute, exit1Addr, exit1, revExit, 2000, up, poolUp)
 	if err != nil {
 		return nil, err
 	}
-	hop2Flows, err := buildGroup(cfg.Hop2Clients, hop2AddrOff, gw2, gw2.AddRoute, serverAddr2, server, rev2, 3000)
+	hop2Flows, err := buildGroup(cfg.Hop2Clients, hop2AddrOff, gw2, gw2.AddRoute, serverAddr2, server, rev2, 3000, down, poolDown)
 	if err != nil {
 		return nil, err
 	}
@@ -392,22 +485,31 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 		}
 	}
 
-	for _, group := range [][]*chainFlow{longFlows, hop1Flows, hop2Flows} {
-		for _, f := range group {
+	for _, g := range [][]*chainFlow{longFlows, hop1Flows, hop2Flows} {
+		for _, f := range g {
 			f.gen.Start()
 		}
 	}
-	watchContext(ctx, sched)
+	watchContext(ctx, scheds[0])
 
 	horizon := sim.TimeZero.Add(cfg.Duration)
-	if err := sched.Run(horizon); err != nil {
-		if errors.Is(err, sim.ErrStopped) && ctx.Err() != nil {
+	var runErr error
+	if group != nil {
+		runErr = group.Run(horizon)
+	} else {
+		runErr = scheds[0].Run(horizon)
+	}
+	if runErr != nil {
+		if errors.Is(runErr, sim.ErrStopped) && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		return nil, fmt.Errorf("run parking lot: %w", err)
+		return nil, fmt.Errorf("run parking lot: %w", runErr)
 	}
 
-	res := &ChainResult{SchemaVersion: SummarySchemaVersion, Config: cfg, SimEvents: sched.Fired()}
+	res := &ChainResult{SchemaVersion: SummarySchemaVersion, Config: cfg}
+	for _, s := range scheds {
+		res.SimEvents += s.Fired()
+	}
 	res.Long = summarizeChainGroup(longFlows)
 	res.Hop1 = summarizeChainGroup(hop1Flows)
 	res.Hop2 = summarizeChainGroup(hop2Flows)

@@ -318,6 +318,13 @@ type Config struct {
 	// therefore from cache keys: the same result artifact serves every
 	// shard count. Packet backend only.
 	Shards int `json:"-"`
+
+	// DisableBatching turns off burst-train coalescing, the idle-link
+	// FIFO fast path, and lazy endpoint timers (DESIGN.md §12), forcing
+	// one scheduler event per packet hop. Debug knob: results are
+	// bit-identical either way (the batching equivalence tests enforce
+	// this), so like Shards it is excluded from JSON and cache keys.
+	DisableBatching bool `json:"-"`
 }
 
 // DefaultConfig returns the paper's Table 1 parameters for n clients using

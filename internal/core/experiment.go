@@ -144,6 +144,12 @@ type Result struct {
 	// SimEvents counts the discrete events the kernel executed for this
 	// run — the work measure behind the runner's events/sec telemetry.
 	SimEvents uint64
+	// SchedOps counts scheduler slot filings — the wheel/heap traffic the
+	// run generated. Burst-train batching executes the same SimEvents
+	// while filing fewer slots, so SchedOps/SimEvents is the measured
+	// ops-per-event reduction the batching bench reports. Not part of the
+	// Summary (it is an implementation cost, not simulation behavior).
+	SchedOps uint64
 
 	// Telemetry carries the registry's final counter/gauge/histogram state
 	// when Config.TelemetryInterval was set; nil otherwise.
@@ -238,6 +244,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		Metrics:  tel.link,
 		Lane:     env.lanes.Next(),
 		XDeliver: env.xDeliverTo(place.gw, place.srv, func(arg any) { server.Receive(arg.(*packet.Packet)) }),
+
+		DisableBatching: cfg.DisableBatching,
 	}
 	if cfg.WireLossProb > 0 {
 		bottleneckLinkCfg.LossProb = cfg.WireLossProb
@@ -262,6 +270,21 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.ReverseBufferPackets > 0 {
 		reverseBuf = cfg.ReverseBufferPackets
 	}
+	// The shared ACK-return link can never fill when ACKs drain at least
+	// as fast as the data that clocks them: every data packet reaches the
+	// server through the single bottleneck serializer, so sink ACKs are
+	// spaced at least one data serialization apart, and with ACK
+	// serialization no slower the queue never holds more than a couple of
+	// ACKs. Delayed ACKs break the clocking — every flow's ACK timer can
+	// flush on the same instant — so the guarantee needs per-arrival acking
+	// throughout (and a little capacity slack for ties at the boundary).
+	serverOutOverprov := reverseBuf >= 16 &&
+		sim.SerializationDelay(cfg.AckSize, reverseRate) <= sim.SerializationDelay(cfg.PacketSize, cfg.BottleneckRateBps)
+	for i := 0; serverOutOverprov && i < cfg.Clients; i++ {
+		if cfg.clientProtocol(i) == RenoDelayAck {
+			serverOutOverprov = false
+		}
+	}
 	serverOut, err := link.New(env.scheds[place.srv], link.Config{
 		Name:     "server->gw",
 		RateBps:  reverseRate,
@@ -271,6 +294,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		Pool:     env.pools[place.srv],
 		Lane:     env.lanes.Next(),
 		XDeliver: env.xDeliverToClient(gwDeliver),
+
+		DisableBatching: cfg.DisableBatching,
+		Overprovisioned: serverOutOverprov,
 	})
 	if err != nil {
 		return nil, err
@@ -361,6 +387,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	res.SimEvents = 0
 	for _, s := range env.scheds {
 		res.SimEvents += s.Fired()
+		res.SchedOps += s.ScheduledOps()
+	}
+	// Serialization-pipelined links credit elided serialize-done events at
+	// delivery; completions in flight at the horizon settle here so
+	// SimEvents counts exactly what the per-event schedule fired.
+	res.SimEvents += bottleneck.FinishVirtual(horizon) + serverOut.FinishVirtual(horizon)
+	for _, l := range accessLinks {
+		res.SimEvents += l.FinishVirtual(horizon)
+	}
+	for _, l := range reverseLinks {
+		res.SimEvents += l.FinishVirtual(horizon)
 	}
 	if err := finishTelemetry(cfg, env, rings, res); err != nil {
 		return nil, err
@@ -535,6 +572,16 @@ func buildClients(
 			delay += sim.Duration(jitterRNG.Uniform(0, float64(cfg.ClientDelayJitter)))
 		}
 
+		proto := cfg.clientProtocol(i)
+		// A TCP client's access and reverse queues can never fill when the
+		// buffer dwarfs the window: in-network packets of one flow are
+		// bounded by a window of originals plus a window of go-back-N
+		// retransmission copies, so capacity ≥ 2·MaxWindow guarantees
+		// drop-free operation and unlocks the link layer's serialization
+		// pipelining. UDP clients are open-loop — nothing bounds their
+		// backlog — so their links keep the per-event path.
+		overprov := proto.IsTCP() && cfg.AccessBufferPackets >= 2*cfg.MaxWindow
+
 		access, err := link.New(sched, link.Config{
 			Name:     fmt.Sprintf("client%d->gw", i+1),
 			RateBps:  cfg.ClientRateBps,
@@ -544,6 +591,9 @@ func buildClients(
 			Pool:     pool,
 			Lane:     env.lanes.Next(),
 			XDeliver: env.crossToGw[cs],
+
+			DisableBatching: cfg.DisableBatching,
+			Overprovisioned: overprov,
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -556,6 +606,9 @@ func buildClients(
 			Dst:     host,
 			Pool:    pool,
 			Lane:    env.lanes.Next(),
+
+			DisableBatching: cfg.DisableBatching,
+			Overprovisioned: overprov,
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -566,7 +619,6 @@ func buildClients(
 		accessLinks = append(accessLinks, access)
 		reverseLinks = append(reverseLinks, reverse)
 
-		proto := cfg.clientProtocol(i)
 		f := &flow{client: i + 1, proto: proto}
 		var src transport.Source
 		if proto.IsTCP() {
@@ -585,6 +637,7 @@ func buildClients(
 				Sched:             sched,
 				Pool:              pool,
 				Metrics:           tel.tcp,
+				DisableBatching:   cfg.DisableBatching,
 			}
 			sendCfg := tcpCfg
 			sendCfg.Out = access

@@ -45,7 +45,8 @@ type goldenCase struct {
 // partitioned over that many schedulers — the digests must still match the
 // serial table entry for entry, which is the tentpole determinism claim:
 // sharding changes wall-clock time and nothing else. The parking-lot case
-// only exists serially (its chain topology has no shard plan).
+// runs serially and at 2 shards (its one inter-gateway cut caps the chain
+// shard plan at 2).
 func goldenCases(shards int) []goldenCase {
 	cells := append(PaperCells(),
 		Cell{Protocol: Sack, Gateway: FIFO},
@@ -74,8 +75,12 @@ func goldenCases(shards int) []goldenCase {
 			})
 		}
 	}
-	if shards > 1 {
+	if shards > 2 {
 		return cases
+	}
+	chainShards := shards
+	if chainShards == 1 {
+		chainShards = 0
 	}
 	cases = append(cases, goldenCase{
 		name: "parkinglot",
@@ -83,6 +88,7 @@ func goldenCases(shards int) []goldenCase {
 			res, err := RunParkingLot(ChainConfig{
 				LongClients: 4, Hop1Clients: 3, Hop2Clients: 3,
 				Protocol: Reno, Gateway: FIFO, Duration: goldenDuration,
+				Shards: chainShards,
 			})
 			if err != nil {
 				return nil, err

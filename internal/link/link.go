@@ -58,6 +58,24 @@ type Config struct {
 	// Requires Lane. Serialization, queueing, and drop accounting still
 	// happen locally — only the delivery event crosses.
 	XDeliver func(at sim.Time, ord uint64, p *packet.Packet)
+	// DisableBatching forces one scheduled event per delivery and
+	// disables the idle-transmitter FIFO fast path — the debug escape
+	// hatch for bisecting burst-train coalescing. Results are
+	// bit-identical either way (pinned by the batching equivalence
+	// tests); only the scheduler-op count differs.
+	DisableBatching bool
+	// Overprovisioned declares a builder-verified invariant: the queue
+	// capacity exceeds any occupancy the traffic wired into this link can
+	// reach, so the discipline never drops. On a loss-free FIFO link with
+	// batching enabled, local delivery, a private Lane, and no
+	// time-sampled departure telemetry, the guarantee unlocks
+	// serialization pipelining — the
+	// per-packet serialize-done event is elided and the whole
+	// store-and-forward pipeline is computed at admission (see DESIGN.md
+	// §12 for why this is exact). The link panics if the guarantee is
+	// ever violated, so a wrong declaration fails loudly instead of
+	// silently diverging from the per-event schedule.
+	Overprovisioned bool
 }
 
 // Metrics bundles the telemetry handles a link publishes when attached.
@@ -102,6 +120,33 @@ type Link struct {
 	serializeDoneFn func()    // prebound l.serializeDone
 	deliverFn       func(any) // prebound l.deliver
 
+	// train coalesces back-to-back deliveries into one scheduled event
+	// (nil when batching is disabled or deliveries cross shards).
+	train *sim.Train
+	// fastFIFO is the queue downcast to the plain FIFO discipline, when
+	// that is what it is; it enables the idle-transmitter bypass in Send.
+	fastFIFO *queue.FIFO
+
+	// Serialization pipelining (virtual drain). When virtual is set,
+	// Send computes the packet's entire store-and-forward pipeline at
+	// admission — transmission start, completion, and delivery instants
+	// follow the deterministic FIFO recurrence start = max(now,
+	// busyUntil) — and schedules only the delivery. The serialize-done
+	// event is elided: its count is credited at delivery (CreditFired)
+	// and its Departures accounting settles there too, so every
+	// externally visible outcome matches the per-event schedule exactly.
+	// vBuf is a ring of the admitted-but-unsettled pipeline entries with
+	// three monotone cursors into it: vStarted trails packets whose
+	// transmission has begun (drained lazily at each Send; the remainder
+	// is the logical queue depth), vCredited trails fired deliveries.
+	virtual    bool
+	vBuf       []vEntry
+	vMask      uint64
+	vAppended  uint64
+	vStarted   uint64
+	vCredited  uint64
+	vBusyUntil sim.Time
+
 	// lastSize/lastDelay memoize the serialization-delay division: a link
 	// carries at most a couple of distinct packet sizes (data and ACK),
 	// so the float computation almost always short-circuits to a load.
@@ -139,7 +184,36 @@ func New(sched *sim.Scheduler, cfg Config) (*Link, error) {
 	l := &Link{sched: sched, cfg: cfg}
 	l.serializeDoneFn = l.serializeDone
 	l.deliverFn = l.deliver
+	if !cfg.DisableBatching {
+		l.fastFIFO, _ = cfg.Queue.(*queue.FIFO)
+		if cfg.XDeliver == nil {
+			fn := l.deliverFn
+			if l.fastFIFO != nil && cfg.Overprovisioned && cfg.Lane != nil &&
+				cfg.LossProb == 0 &&
+				!cfg.Metrics.Departures.Enabled() && !cfg.Metrics.QueueDepth.Enabled() {
+				// Serialization pipelining needs every serialize-done
+				// side effect to be provably absorbable: no drops
+				// (Overprovisioned FIFO), no wire-loss RNG draw, no
+				// cross-shard handoff, no time-sampled departure
+				// telemetry whose snapshots could observe the elision,
+				// and a private Lane — admission-time ordinals reorder
+				// same-instant deliveries against other default-lane
+				// events, but within a lane the link owns they are the
+				// exact ordinals the per-event path would draw.
+				l.virtual = true
+				fn = l.deliverCredit
+			}
+			l.train = sim.NewTrain(sched, cfg.Lane, fn)
+		}
+	}
 	return l, nil
+}
+
+// vEntry is one pipelined packet's elided serialization: transmission
+// start, completion, and the wire bytes to settle at delivery.
+type vEntry struct {
+	start, done sim.Time
+	size        int
 }
 
 // Name returns the link label.
@@ -149,7 +223,13 @@ func (l *Link) Name() string { return l.cfg.Name }
 func (l *Link) Stats() Stats { return l.stats }
 
 // QueueLen returns the instantaneous egress queue length in packets.
-func (l *Link) QueueLen() int { return l.cfg.Queue.Len() }
+func (l *Link) QueueLen() int {
+	if l.virtual {
+		l.vDrain(l.sched.Now())
+		return int(l.vAppended - l.vStarted)
+	}
+	return l.cfg.Queue.Len()
+}
 
 // Queue exposes the link's queueing discipline (for RED introspection).
 func (l *Link) Queue() queue.Discipline { return l.cfg.Queue }
@@ -170,6 +250,25 @@ func (l *Link) Send(p *packet.Packet) {
 	l.cfg.Metrics.Arrivals.Inc()
 	if l.onArrival != nil {
 		l.onArrival(now, p)
+	}
+	if l.virtual {
+		l.vSend(now, p)
+		return
+	}
+	if l.fastFIFO != nil && !l.busy {
+		// Idle-transmitter FIFO bypass: when the transmitter is idle the
+		// FIFO is empty (transmitNext drains it before clearing busy) and
+		// capacity ≥ 1 always admits into an empty FIFO, so the
+		// enqueue/dequeue round trip through the ring is pure overhead.
+		// The depth histogram observes the same length (1) the per-packet
+		// path records after its enqueue. Not taken for RED (every
+		// enqueue is an EWMA update plus a possible RNG coin) or DRR
+		// (every enqueue moves the deficit state machine).
+		if l.cfg.Metrics.QueueDepth.Enabled() {
+			l.cfg.Metrics.QueueDepth.Observe(1)
+		}
+		l.startTransmit(p)
+		return
 	}
 	if !l.cfg.Queue.Enqueue(now, p) {
 		l.stats.Drops++
@@ -195,6 +294,11 @@ func (l *Link) transmitNext() {
 		l.busy = false
 		return
 	}
+	l.startTransmit(p)
+}
+
+// startTransmit clocks p onto the wire.
+func (l *Link) startTransmit(p *packet.Packet) {
 	l.busy = true
 	l.inflight = p
 	if p.Size != l.lastSize {
@@ -222,6 +326,14 @@ func (l *Link) serializeDone() {
 		// The destination lives on another shard: stamp the delivery
 		// with this link's lane ordinal and hand it to the barrier.
 		l.cfg.XDeliver(l.sched.Now().Add(l.cfg.Delay), l.cfg.Lane.Take(), p)
+	} else if l.train != nil {
+		// Burst-train coalescing: append the delivery to the link's
+		// train instead of scheduling it. The train draws the same lane
+		// ordinal the per-event path would, and only its head occupies
+		// the scheduler — back-to-back departures of a burst collapse
+		// into one wheel/heap op. A wire-lost packet above simply never
+		// joins the train, which is how loss splits trains.
+		l.train.Add(l.sched.Now().Add(l.cfg.Delay), p)
 	} else {
 		// The wire is pipelined: propagation of this packet
 		// overlaps serialization of the next.
@@ -232,6 +344,123 @@ func (l *Link) serializeDone() {
 
 func (l *Link) deliver(arg any) {
 	l.cfg.Dst.Receive(arg.(*packet.Packet))
+}
+
+// vSend admits p through the virtual pipeline: the FIFO recurrence
+// start = max(now, busyUntil), done = start + serialization fixes every
+// instant the per-event path would produce, so only the delivery is
+// scheduled (via the train) and the serialize-done event is elided.
+func (l *Link) vSend(now sim.Time, p *packet.Packet) {
+	if !now.Before(l.vBusyUntil) {
+		// Transmitter idle: the whole backlog has started (and finished)
+		// serializing, so snap the depth cursor forward with one compare
+		// instead of walking the ring. Bursty sources hit this on every
+		// inter-burst gap, which also keeps the ring from growing.
+		l.vStarted = l.vAppended
+	} else if int(l.vAppended-l.vStarted) >= l.fastFIFO.Cap() {
+		// The un-drained span hit capacity. Usually the cursor is just
+		// stale from a long busy streak — drain and retry.
+		l.vDrain(now)
+		if int(l.vAppended-l.vStarted) >= l.fastFIFO.Cap() {
+			// The builder's Overprovisioned guarantee just failed: the
+			// per-event schedule would have consulted drop-tail admission
+			// here, which the pipeline cannot replay. Fail loudly rather
+			// than diverge silently.
+			panic(fmt.Sprintf("link %q: overprovisioned queue reached capacity %d",
+				l.cfg.Name, l.fastFIFO.Cap()))
+		}
+	}
+	start := now
+	if l.vBusyUntil > now {
+		start = l.vBusyUntil
+	}
+	if p.Size != l.lastSize {
+		l.lastSize = p.Size
+		l.lastDelay = sim.SerializationDelay(p.Size, l.cfg.RateBps)
+	}
+	done := start.Add(l.lastDelay)
+	l.vBusyUntil = done
+	// Departure accounting settles optimistically at admission, while the
+	// stats cache line is hot from the arrival counters; FinishVirtual
+	// subtracts the entries the horizon catches mid-serialization. The
+	// delivery trampoline therefore never has to touch the (by then cold)
+	// ring.
+	l.stats.Departures++
+	l.stats.DeliveredBytes += uint64(p.Size)
+	l.vPush(vEntry{start: start, done: done, size: p.Size})
+	l.train.Add(done.Add(l.cfg.Delay), p)
+}
+
+// vDrain advances the depth cursor past entries whose transmission has
+// begun. Entries starting exactly at now count as started — the per-event
+// schedule may order that serialize-done after the current event, but
+// with drops impossible the one-packet slack is visible only to this
+// drain's capacity assertion, not to any simulation outcome.
+func (l *Link) vDrain(now sim.Time) {
+	for l.vStarted < l.vAppended && !now.Before(l.vBuf[l.vStarted&l.vMask].start) {
+		l.vStarted++
+	}
+}
+
+// vPush appends an entry, growing the ring when the span between the
+// slowest cursor and the tail fills it.
+func (l *Link) vPush(e vEntry) {
+	head := l.vStarted
+	if l.vCredited < head {
+		head = l.vCredited
+	}
+	if l.vAppended-head == uint64(len(l.vBuf)) {
+		// Slots are lazy like the queue rings: the first push allocates a
+		// small ring, and growth doubles it, so idle links cost nothing.
+		size := len(l.vBuf) * 2
+		if size == 0 {
+			size = 8
+		}
+		grown := make([]vEntry, size)
+		mask := uint64(len(grown) - 1)
+		for i := head; i < l.vAppended; i++ {
+			grown[i&mask] = l.vBuf[i&l.vMask]
+		}
+		l.vBuf, l.vMask = grown, mask
+	}
+	l.vBuf[l.vAppended&l.vMask] = e
+	l.vAppended++
+}
+
+// deliverCredit is the virtual pipeline's delivery trampoline: it settles
+// the elided serialize-done's fired-event credit (the departure stats
+// settled at admission), advances the credit cursor, and delivers.
+// Deliveries fire in admission order, so the cursor walks the ring front
+// to back without ever reading it.
+func (l *Link) deliverCredit(arg any) {
+	l.vCredited++
+	l.sched.CreditFired()
+	l.deliver(arg)
+}
+
+// FinishVirtual settles elided serializations still pending at the end of
+// a run. Completions at or before horizon whose delivery events never
+// fired (the packet was mid-propagation at cutoff) are returned as a
+// count for the harness to add to SimEvents — the per-event schedule
+// fired exactly those serialize-done events before the horizon. Entries
+// the horizon catches mid-serialization are backed out of the departure
+// stats, undoing vSend's optimistic settlement exactly where the
+// per-event path would never have counted them. Call once, after the
+// final Run; on links without the virtual pipeline it is a no-op
+// returning zero.
+func (l *Link) FinishVirtual(horizon sim.Time) uint64 {
+	var n uint64
+	for l.vCredited < l.vAppended {
+		e := l.vBuf[l.vCredited&l.vMask]
+		l.vCredited++
+		if horizon.Before(e.done) {
+			l.stats.Departures--
+			l.stats.DeliveredBytes -= uint64(e.size)
+		} else {
+			n++
+		}
+	}
+	return n
 }
 
 // DeliverFn exposes the link's prebound delivery trampoline (it calls

@@ -1,6 +1,7 @@
 package link
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -328,5 +329,161 @@ func TestLinkWireLossPreservesOrder(t *testing.T) {
 			t.Fatalf("reordering through lossy link: %d after %d", p.Seq, last)
 		}
 		last = p.Seq
+	}
+}
+
+// ---- serialization pipelining (virtual drain) ------------------------
+
+func newVirtualPair(t *testing.T, rate float64, delay sim.Duration, cap int) (vl, pl *Link, vd, pd *collector, vs, ps *sim.Scheduler) {
+	t.Helper()
+	mk := func(disable bool) (*Link, *collector, *sim.Scheduler) {
+		sched := sim.NewScheduler()
+		dst := &collector{sched: sched}
+		l, err := New(sched, Config{
+			Name:            "virt",
+			RateBps:         rate,
+			Delay:           delay,
+			Queue:           queue.NewFIFO(cap),
+			Dst:             dst,
+			Lane:            sim.NewLanes().Next(),
+			Overprovisioned: true,
+			DisableBatching: disable,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return l, dst, sched
+	}
+	vl, vd, vs = mk(false)
+	pl, pd, ps = mk(true)
+	return
+}
+
+// TestLinkVirtualMatchesPerEvent replays a bursty admission pattern —
+// back-to-back burst, idle gap, second burst — through the pipelined
+// and per-event paths and requires identical delivery instants and
+// departure stats.
+func TestLinkVirtualMatchesPerEvent(t *testing.T) {
+	vl, pl, vd, pd, vs, ps := newVirtualPair(t, 8e6, 5*time.Millisecond, 64)
+	drive := func(sched *sim.Scheduler, l *Link) {
+		for i := int64(0); i < 6; i++ {
+			i := i
+			sched.At(sim.TimeZero, func() { l.Send(data(i, 1000)) })
+		}
+		sched.At(sim.TimeZero.Add(20*time.Millisecond), func() { l.Send(data(6, 400)) })
+		if err := sched.RunAll(); err != nil {
+			t.Fatalf("RunAll: %v", err)
+		}
+	}
+	drive(vs, vl)
+	drive(ps, pl)
+	if len(vd.times) != len(pd.times) {
+		t.Fatalf("virtual delivered %d, per-event %d", len(vd.times), len(pd.times))
+	}
+	for i := range vd.times {
+		if vd.times[i] != pd.times[i] || vd.pkts[i].Seq != pd.pkts[i].Seq {
+			t.Errorf("delivery %d: virtual (seq %d at %v), per-event (seq %d at %v)",
+				i, vd.pkts[i].Seq, vd.times[i], pd.pkts[i].Seq, pd.times[i])
+		}
+	}
+	vl.FinishVirtual(vs.Now())
+	if vl.Stats() != pl.Stats() {
+		t.Errorf("stats diverge: virtual %+v, per-event %+v", vl.Stats(), pl.Stats())
+	}
+}
+
+// TestLinkVirtualQueueLen checks the depth probe mid-burst: the ring
+// cursor drain must report the same occupancy the real queue would.
+func TestLinkVirtualQueueLen(t *testing.T) {
+	vl, pl, _, _, vs, ps := newVirtualPair(t, 8e6, 5*time.Millisecond, 64)
+	depths := func(sched *sim.Scheduler, l *Link) []int {
+		var got []int
+		sched.At(sim.TimeZero, func() {
+			for i := int64(0); i < 5; i++ {
+				l.Send(data(i, 1000))
+			}
+		})
+		// Probe between serializations: at 2.5ms two packets have started
+		// (one departed, one on the wire), three still queue.
+		for _, at := range []sim.Duration{2500 * time.Microsecond, 4500 * time.Microsecond, 10 * time.Millisecond} {
+			sched.At(sim.TimeZero.Add(at), func() { got = append(got, l.QueueLen()) })
+		}
+		if err := sched.RunAll(); err != nil {
+			t.Fatalf("RunAll: %v", err)
+		}
+		return got
+	}
+	vq := depths(vs, vl)
+	pq := depths(ps, pl)
+	if fmt.Sprint(vq) != fmt.Sprint(pq) {
+		t.Errorf("QueueLen probes: virtual %v, per-event %v", vq, pq)
+	}
+}
+
+// TestLinkFinishVirtualSettlesHorizon stops a run mid-pipeline and pins
+// FinishVirtual's two settlement duties: completions the horizon passed
+// are returned as elided-event credit, and admissions it caught
+// mid-serialization are backed out of the optimistic departure stats —
+// landing on exactly the per-event path's counters.
+func TestLinkFinishVirtualSettlesHorizon(t *testing.T) {
+	vl, pl, vd, pd, vs, ps := newVirtualPair(t, 8e6, 5*time.Millisecond, 64)
+	horizon := sim.TimeZero.Add(2500 * time.Microsecond)
+	drive := func(sched *sim.Scheduler, l *Link) {
+		sched.At(sim.TimeZero, func() {
+			for i := int64(0); i < 5; i++ {
+				l.Send(data(i, 1000))
+			}
+		})
+		if err := sched.Run(horizon); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	drive(vs, vl)
+	drive(ps, pl)
+	credit := vl.FinishVirtual(horizon)
+	// Serializations complete at 1ms and 2ms; the third is on the wire at
+	// the 2.5ms horizon and must be backed out.
+	if vl.Stats() != pl.Stats() {
+		t.Errorf("stats after settlement: virtual %+v, per-event %+v", vl.Stats(), pl.Stats())
+	}
+	if got, want := vl.Stats().Departures, uint64(2); got != want {
+		t.Errorf("Departures = %d, want %d", got, want)
+	}
+	// The per-event path executed one send event plus two serialize-done
+	// events; the virtual path's fired count plus the settlement credit
+	// must match it exactly (this is the SimEvents digest invariant).
+	if got, want := vs.Fired()+credit, ps.Fired(); got != want {
+		t.Errorf("virtual Fired+credit = %d, want per-event %d", got, want)
+	}
+	if len(vd.times) != 0 || len(pd.times) != 0 {
+		t.Errorf("deliveries before horizon: virtual %d, per-event %d (want none)", len(vd.times), len(pd.times))
+	}
+}
+
+// TestLinkVirtualPanicsWhenOverprovisionedLied floods a small queue:
+// the pipeline cannot replay a drop decision, so a violated capacity
+// guarantee must fail loudly.
+func TestLinkVirtualPanicsWhenOverprovisionedLied(t *testing.T) {
+	sched := sim.NewScheduler()
+	dst := &collector{sched: sched}
+	l, err := New(sched, Config{
+		Name: "tiny", RateBps: 8e6, Delay: 0,
+		Queue: queue.NewFIFO(2), Dst: dst,
+		Lane: sim.NewLanes().Next(), Overprovisioned: true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic despite exceeding declared capacity")
+		}
+		if !strings.Contains(fmt.Sprint(r), "overprovisioned") {
+			t.Errorf("panic = %v, want mention of overprovisioned", r)
+		}
+	}()
+	for i := int64(0); i < 4; i++ {
+		l.Send(data(i, 1000))
 	}
 }

@@ -28,8 +28,13 @@ type Discipline interface {
 }
 
 // fifoRing is a slice-backed ring buffer shared by the disciplines. The
-// backing slice is rounded up to a power of two so slot addressing is a
-// mask instead of a division; cap bounds the logical occupancy.
+// backing slice is a power of two so slot addressing is a mask instead of
+// a division; cap bounds the logical occupancy. Slots are allocated
+// lazily and grown geometrically: buffers are routinely provisioned for
+// worst-case occupancy (thousands of packets) that uncongested links
+// never approach, and a simulation wires in thousands of such queues, so
+// paying only for reached occupancy keeps setup allocation — and the GC
+// scan load of all those pointer arrays — proportional to actual traffic.
 type fifoRing struct {
 	buf  []*packet.Packet
 	mask int
@@ -42,20 +47,36 @@ func newFIFORing(capacity int) fifoRing {
 	if capacity < 1 {
 		capacity = 1
 	}
-	size := 1
-	for size < capacity {
-		size <<= 1
-	}
-	return fifoRing{buf: make([]*packet.Packet, size), mask: size - 1, cap: capacity}
+	return fifoRing{cap: capacity}
 }
 
 func (r *fifoRing) push(p *packet.Packet) bool {
 	if r.n == r.cap {
 		return false
 	}
+	if r.n == len(r.buf) {
+		r.grow()
+	}
 	r.buf[(r.head+r.n)&r.mask] = p
 	r.n++
 	return true
+}
+
+// grow doubles the slot array (first allocation: 16 slots or the rounded
+// capacity, whichever is smaller), compacting the occupants to the front.
+func (r *fifoRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 1
+		for size < r.cap && size < 16 {
+			size <<= 1
+		}
+	}
+	grown := make([]*packet.Packet, size)
+	for i := 0; i < r.n; i++ {
+		grown[i] = r.buf[(r.head+i)&r.mask]
+	}
+	r.buf, r.mask, r.head = grown, size-1, 0
 }
 
 func (r *fifoRing) pop() *packet.Packet {

@@ -119,15 +119,26 @@ type Scheduler struct {
 	// Timing wheel for events inside [wheelBase, wheelBase+span).
 	wheel      []int32 // head slot index per bucket, -1 empty
 	wheelBase  Time
-	shift      uint // bucket width = 1<<shift nanoseconds
-	wheelCount int  // events currently in the wheel
-	windowPops int  // wheel pops since the last window advance
+	shift      uint  // bucket width = 1<<shift nanoseconds
+	wheelCount int   // events currently in the wheel
+	windowPops int   // wheel pops since the last window advance
+	minBucket  int32 // lower bound on the first nonempty bucket
 
 	// Far-future overflow heap.
 	heap []heapNode
 
 	// Fired counts events that have executed; useful for progress metrics.
 	fired uint64
+	// scheduled counts slot filings (wheel inserts + heap pushes at
+	// schedule time). It is pure run telemetry — the burst-batching
+	// benchmarks report scheduled/packet to show the amortization — and
+	// never feeds back into simulation behavior.
+	scheduled uint64
+	// horizon is the bound of the Run in progress (TimeMax under RunAll,
+	// zero before the first Run). Trains consult it so inline burst
+	// chaining never executes an event a per-event Run would have left
+	// beyond the horizon.
+	horizon Time
 }
 
 // NewScheduler returns a kernel with the clock at TimeZero.
@@ -155,6 +166,19 @@ func (s *Scheduler) Pending() int { return s.wheelCount + len(s.heap) }
 
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// ScheduledOps returns the number of event filings performed so far —
+// the kernel-op measure the batching benchmarks amortize.
+func (s *Scheduler) ScheduledOps() uint64 { return s.scheduled }
+
+// CreditFired accounts one elided event. An optimization that can prove a
+// would-be event's entire effect and absorb it into another event — the
+// link layer's serialization pipelining absorbs each serialize-done event
+// into the packet's delivery — calls this once per elision so Fired(), and
+// the digest-visible SimEvents built from it, counts exactly the events
+// the per-event execution would have fired. See DESIGN.md §12 for the
+// equivalence argument.
+func (s *Scheduler) CreditFired() { s.fired++ }
 
 // At schedules fn to run at instant t on the scheduler's default lane.
 // Scheduling in the past is a programming error and returns the zero
@@ -256,12 +280,26 @@ func (s *Scheduler) scheduleOrd(t Time, ord uint64, fn func(), afn func(any), ar
 	sl.arg = arg
 	sl.time = t
 	sl.ord = ord
+	s.scheduled++
 	if d := t - s.wheelBase; 0 <= d && d < s.span() {
 		s.wheelInsert(idx)
 	} else {
 		s.push(heapNode{time: t, ord: ord, slot: idx})
 	}
 	return Handle{slot: uint32(idx) + 1, gen: sl.gen}
+}
+
+// refile puts a still-allocated slot back into the wheel or heap — the
+// undo of popEvent for an event the caller decided not to execute (Run
+// popping past its horizon). The (time, ord) key is unchanged, so the
+// event pops in exactly the position it always had.
+func (s *Scheduler) refile(idx int32) {
+	sl := &s.slots[idx]
+	if d := sl.time - s.wheelBase; 0 <= d && d < s.span() {
+		s.wheelInsert(idx)
+	} else {
+		s.push(heapNode{time: sl.time, ord: sl.ord, slot: idx})
+	}
 }
 
 // wheelInsert splices slot idx into its bucket's (time, ord)-sorted chain.
@@ -287,6 +325,9 @@ func (s *Scheduler) wheelInsert(idx int32) {
 	}
 	sl.pos = -2 - b
 	s.wheelCount++
+	if b < s.minBucket {
+		s.minBucket = b
+	}
 }
 
 // Cancel ensures the event behind h will not fire, deleting it in place
@@ -354,15 +395,23 @@ func (s *Scheduler) freeSlot(idx int32) {
 // scanFrom returns the first nonempty bucket at or after the bucket
 // holding instant t. The caller guarantees the wheel is nonempty; since
 // every pending wheel event is at or after the current time, the scan
-// never needs to look behind t.
+// never needs to look behind t. minBucket memoizes the scan: it always
+// lower-bounds the first nonempty bucket (inserts below it pull it down,
+// window advances reset it), so back-to-back scans — a pop followed by a
+// train's peek at the same instant — skip the empty prefix instead of
+// rewalking it.
 func (s *Scheduler) scanFrom(t Time) int32 {
 	b := int32(0)
 	if t > s.wheelBase {
 		b = int32((t - s.wheelBase) >> s.shift)
 	}
+	if b < s.minBucket {
+		b = s.minBucket
+	}
 	for s.wheel[b] < 0 {
 		b++
 	}
+	s.minBucket = b
 	return b
 }
 
@@ -382,6 +431,7 @@ func (s *Scheduler) advance() {
 	}
 	s.windowPops = 0
 	s.wheelBase = s.heap[0].time
+	s.minBucket = 0
 	span := s.span()
 	for len(s.heap) > 0 && s.heap[0].time-s.wheelBase < span {
 		n := s.pop()
@@ -438,6 +488,27 @@ func (s *Scheduler) nextTime() (Time, bool) {
 // coordinator uses it to pick the next synchronization window start.
 func (s *Scheduler) NextTime() (Time, bool) { return s.nextTime() }
 
+// peekKey returns the full (time, ord) key of the earliest pending event
+// without popping it. Trains compare it against their buffered head to
+// decide whether the next burst element can run inline — i.e. whether any
+// scheduled event would have popped first under per-event execution.
+func (s *Scheduler) peekKey() (Time, uint64, bool) {
+	if s.wheelCount == 0 {
+		if len(s.heap) == 0 {
+			return 0, 0, false
+		}
+		return s.heap[0].time, s.heap[0].ord, true
+	}
+	sl := &s.slots[s.wheel[s.scanFrom(s.now)]]
+	t, ord := sl.time, sl.ord
+	if len(s.heap) > 0 {
+		if top := s.heap[0]; nodeLess(top, heapNode{time: t, ord: ord}) {
+			t, ord = top.time, top.ord
+		}
+	}
+	return t, ord, true
+}
+
 // Step executes the single next event, advancing the clock to its timestamp.
 // It reports false when no events remain.
 func (s *Scheduler) Step() bool {
@@ -461,24 +532,40 @@ func (s *Scheduler) Step() bool {
 // Run executes events until the horizon is passed, the event queue drains,
 // or Stop is called. The clock finishes at min(horizon, last event time)
 // unless stopped. Events scheduled exactly at the horizon still fire.
+//
+// The loop pops directly instead of peeking first (nextTime + Step would
+// scan the wheel twice per event); the one event found beyond the horizon
+// is refiled, paying a single extra insert per Run call instead of a scan
+// per event.
 func (s *Scheduler) Run(horizon Time) error {
 	if horizon < s.now {
 		return fmt.Errorf("run horizon %v precedes now %v", horizon, s.now)
 	}
 	s.stopped = false
+	s.horizon = horizon
 	for {
 		if s.stopped {
 			return ErrStopped
 		}
-		t, ok := s.nextTime()
+		idx, t, ok := s.popEvent()
 		if !ok {
 			break
 		}
 		if t > horizon {
+			s.refile(idx)
 			s.now = horizon
 			return nil
 		}
-		s.Step()
+		sl := &s.slots[idx]
+		s.now = t
+		fn, afn, arg := sl.fn, sl.afn, sl.arg
+		s.freeSlot(idx)
+		s.fired++
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 	}
 	if s.now < horizon {
 		s.now = horizon
@@ -489,6 +576,7 @@ func (s *Scheduler) Run(horizon Time) error {
 // RunAll executes events until the queue drains or Stop is called.
 func (s *Scheduler) RunAll() error {
 	s.stopped = false
+	s.horizon = TimeMax
 	for s.Step() {
 		if s.stopped {
 			return ErrStopped
@@ -604,12 +692,37 @@ func (s *Scheduler) siftDown(i int) {
 // retransmission-timer usage pattern in transport protocols: Reset reschedules,
 // Stop cancels, and the callback runs at expiry. The expiry trampoline is
 // bound once at construction, so Reset/Stop cycles are allocation-free.
+//
+// A timer has two internal modes with bit-identical observable behavior.
+// The eager mode backs every Reset with a Cancel+schedule pair — one heap
+// removal and one insert per call, which for a retransmission timer means
+// two heap operations per ACK. The lazy mode (SetLazy, the burst-batching
+// default in the transport tier) leaves the standing scheduled event in
+// place when the deadline only moves later — the overwhelmingly common
+// direction, since RTO deadlines advance with the clock — and records the
+// wanted expiry instead. When the stale event pops, the trampoline re-aims
+// it at the recorded deadline; the pop is uncounted from Fired so the
+// executed-event count (digest-visible as SimEvents) matches per-event
+// execution exactly. Equivalence argument (DESIGN.md §12): every Reset in
+// either mode consumes exactly one default-lane ordinal, the logical
+// expiry fires at exactly the (time, ordinal) key that ordinal names, and
+// re-aim pops consume no ordinals — so every same-instant tie-break in the
+// rest of the simulation is untouched.
 type Timer struct {
 	sched    *Scheduler
 	h        Handle
-	deadline Time
+	deadline Time // instant of the standing scheduled event behind h
 	fn       func()
 	fireFn   func()
+
+	lazy  bool
+	armed bool // lazy: a logical expiry is pending
+	// exact marks the standing event as carrying the logical expiry's own
+	// (want, wantOrd) key; when false, the standing event is stale and its
+	// pop re-aims instead of firing.
+	exact   bool
+	want    Time
+	wantOrd uint64
 }
 
 // NewTimer returns an unarmed timer that runs fn at expiry.
@@ -619,25 +732,64 @@ func NewTimer(sched *Scheduler, fn func()) *Timer {
 	return t
 }
 
+// SetLazy switches the timer's rescheduling strategy (see the type
+// comment). Only call it on an unarmed timer, right after construction.
+func (t *Timer) SetLazy(lazy bool) { t.lazy = lazy }
+
 // Reset (re)arms the timer to fire d from now, replacing any pending expiry.
 func (t *Timer) Reset(d Duration) {
-	t.Stop()
-	t.h = t.sched.After(d, t.fireFn)
 	if d < 0 {
 		d = 0
 	}
-	t.deadline = t.sched.Now().Add(d)
+	t.ResetAt(t.sched.Now().Add(d))
 }
 
-// ResetAt (re)arms the timer to fire at instant at.
+// ResetAt (re)arms the timer to fire at instant at. An instant in the past
+// leaves the timer unarmed (scheduling into the past is refused), exactly
+// as the underlying At would.
 func (t *Timer) ResetAt(at Time) {
-	t.Stop()
-	t.h = t.sched.At(at, t.fireFn)
+	if !t.lazy {
+		t.Stop()
+		t.h = t.sched.At(at, t.fireFn)
+		t.deadline = at
+		return
+	}
+	if at < t.sched.now || t.fn == nil {
+		// The eager path's At would refuse this schedule after canceling
+		// the old expiry: end up logically unarmed. The standing event,
+		// if any, dies as a swallowed stale pop.
+		t.armed = false
+		return
+	}
+	// One default-lane ordinal per effective Reset — the same consumption
+	// the eager Cancel+At performs, preserving every later ordinal draw.
+	ord := t.sched.defLane.Take()
+	t.armed, t.want, t.wantOrd = true, at, ord
+	if t.sched.resolve(t.h) && t.deadline <= at {
+		// The standing event fires no later than the new deadline: keep
+		// it as the wake-up that will re-aim at (want, wantOrd). Its own
+		// key is now stale (fresh ordinals are strictly increasing, so it
+		// can never equal wantOrd).
+		t.exact = false
+		return
+	}
+	if t.sched.resolve(t.h) {
+		t.sched.Cancel(t.h)
+	}
+	t.h = t.sched.scheduleOrd(at, ord, t.fireFn, nil, nil)
 	t.deadline = at
+	t.exact = true
 }
 
 // Stop cancels any pending expiry. It is safe on an unarmed timer.
 func (t *Timer) Stop() {
+	if t.lazy {
+		// Leave the standing event as a zombie; its pop is swallowed and
+		// uncounted. At most one standing event exists per timer, so
+		// zombies never accumulate.
+		t.armed = false
+		return
+	}
 	if !t.h.IsZero() {
 		t.sched.Cancel(t.h)
 		t.h = Handle{}
@@ -646,11 +798,20 @@ func (t *Timer) Stop() {
 
 // Armed reports whether the timer has a pending expiry.
 func (t *Timer) Armed() bool {
+	if t.lazy {
+		return t.armed
+	}
 	return t.sched.Active(t.h)
 }
 
 // Deadline returns the pending expiry instant, or TimeMax if unarmed.
 func (t *Timer) Deadline() Time {
+	if t.lazy {
+		if !t.armed {
+			return TimeMax
+		}
+		return t.want
+	}
 	if !t.Armed() {
 		return TimeMax
 	}
@@ -659,5 +820,26 @@ func (t *Timer) Deadline() Time {
 
 func (t *Timer) fire() {
 	t.h = Handle{}
+	if !t.lazy {
+		t.fn()
+		return
+	}
+	if !t.armed {
+		// Stale pop of an expiry Stopped since it was filed: per-event
+		// execution would have canceled it, so uncount the pop.
+		t.sched.fired--
+		return
+	}
+	if !t.exact {
+		// Stale pop underneath a later deadline: re-aim at the recorded
+		// (want, wantOrd) — the exact key the eager path's event holds —
+		// and uncount the pop. Consumes no ordinal.
+		t.sched.fired--
+		t.h = t.sched.scheduleOrd(t.want, t.wantOrd, t.fireFn, nil, nil)
+		t.deadline = t.want
+		t.exact = true
+		return
+	}
+	t.armed = false
 	t.fn()
 }

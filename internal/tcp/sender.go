@@ -125,6 +125,10 @@ func NewSender(cfg Config) (*Sender, error) {
 		s.cc = &renoCC{flavor: cfg.Variant}
 	}
 	s.rtxTimer = sim.NewTimer(cfg.Sched, s.onTimeout)
+	// The RTO deadline is rewritten on essentially every ACK and almost
+	// always moves later; the lazy strategy turns those rewrites into
+	// field stores instead of heap/wheel reschedules.
+	s.rtxTimer.SetLazy(!cfg.DisableBatching)
 	return s, nil
 }
 
@@ -194,9 +198,7 @@ func (s *Sender) Receive(p *packet.Packet) {
 			if max := s.sndUna + s.segMask + 1; last > max {
 				last = max
 			}
-			for seq := first; seq < last; seq++ {
-				s.setSACKed(seq)
-			}
+			s.setSACKedRange(first, last)
 			if b.Last > s.sackHigh {
 				s.sackHigh = b.Last
 			}
@@ -263,10 +265,50 @@ func (s *Sender) setSACKed(seq int64) {
 	s.sacked[idx>>6] |= 1 << uint(idx&63)
 }
 
-// clearSACKedBit unmarks one sequence as the cumulative ACK passes it.
-func (s *Sender) clearSACKedBit(seq int64) {
+// bitRange returns the mask covering avail bits starting at bit. avail is
+// at most 64, and 64 only with bit 0 (ranges never cross a word).
+func bitRange(bit uint, avail int64) uint64 {
+	if avail == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1)<<uint(avail) - 1) << bit
+}
+
+// rangeChunk returns the word index, mask, and sequence count covering the
+// longest prefix of [seq, last) that stays inside one scoreboard word and
+// does not wrap the ring. Scoreboard ranges update one word per chunk
+// instead of one bit per sequence — the run-wise amortization of the
+// per-segment loops on the ACK path.
+func (s *Sender) rangeChunk(seq, last int64) (w int64, mask uint64, n int64) {
 	idx := seq & s.segMask
-	s.sacked[idx>>6] &^= 1 << uint(idx&63)
+	bit := uint(idx & 63)
+	n = s.segMask + 1 - idx // to the ring wrap
+	if c := int64(64 - bit); c < n {
+		n = c
+	}
+	if rem := last - seq; rem < n {
+		n = rem
+	}
+	return idx >> 6, bitRange(bit, n), n
+}
+
+// setSACKedRange marks [first, last) on the scoreboard word-wise.
+func (s *Sender) setSACKedRange(first, last int64) {
+	for seq := first; seq < last; {
+		w, mask, n := s.rangeChunk(seq, last)
+		s.sacked[w] |= mask
+		seq += n
+	}
+}
+
+// clearSACKedRange unmarks [first, last) on the scoreboard word-wise, as
+// the cumulative ACK passes a contiguous run of sequences.
+func (s *Sender) clearSACKedRange(first, last int64) {
+	for seq := first; seq < last; {
+		w, mask, n := s.rangeChunk(seq, last)
+		s.sacked[w] &^= mask
+		seq += n
+	}
 }
 
 // clearSACKed empties the scoreboard (timeout: the receiver may renege).
@@ -347,9 +389,11 @@ func (s *Sender) handleNewAck(p *packet.Packet) {
 
 	for seq := s.sndUna; seq < p.Ack; seq++ {
 		s.segs[seq&s.segMask] = segment{}
-		if s.sacked != nil {
-			s.clearSACKedBit(seq)
-		}
+	}
+	if s.sacked != nil {
+		// One word-wise scoreboard update for the whole acknowledged run
+		// instead of one bit clear per segment.
+		s.clearSACKedRange(s.sndUna, p.Ack)
 	}
 	s.sndUna = p.Ack
 	if s.sndNxt < s.sndUna {
