@@ -50,18 +50,21 @@ bench:
 	go test -bench='Kernel|ExperimentPackets|TransportRoundTrip' -benchtime=100x -benchmem -run '^$$' ./... | tee /tmp/bench_kernel.txt
 	go test -bench='ScalingClients' -benchtime=1x -run '^$$' . | tee /tmp/bench_scaling.txt
 	go test -bench='BurstBatching' -benchtime=1x -run '^$$' . | tee /tmp/bench_batch.txt
+	go test -bench='AQMDisciplines' -benchtime=1x -run '^$$' . | tee /tmp/bench_aqm.txt
 	mkdir -p $(BENCH_DIR)
 	python3 .github/bench_to_json.py /tmp/bench_kernel.txt $(BENCH_DIR)/BENCH_kernel.json $(shell git rev-parse HEAD)
 	python3 .github/bench_to_json.py /tmp/bench_scaling.txt $(BENCH_DIR)/BENCH_scaling.json $(shell git rev-parse HEAD)
 	python3 .github/bench_to_json.py /tmp/bench_batch.txt $(BENCH_DIR)/BENCH_batch.json $(shell git rev-parse HEAD)
+	python3 .github/bench_to_json.py /tmp/bench_aqm.txt $(BENCH_DIR)/BENCH_aqm.json $(shell git rev-parse HEAD)
 
 ## bench-gate: compare the most recent `make bench` output against the
 ## committed baseline; fails on >10% sim_pkts/s regression.
 bench-gate:
 	python3 .github/check_bench_regression.py results/bench/baseline/BENCH_scaling.json $(BENCH_DIR)/BENCH_scaling.json
 	python3 .github/check_bench_regression.py results/bench/baseline/BENCH_batch.json $(BENCH_DIR)/BENCH_batch.json
+	python3 .github/check_bench_regression.py results/bench/baseline/BENCH_aqm.json $(BENCH_DIR)/BENCH_aqm.json
 
 ## bench-baseline: promote the current commit's bench run to the gate
 ## baseline. Commit the diff alongside the change that justifies it.
 bench-baseline: bench
-	cp $(BENCH_DIR)/BENCH_scaling.json $(BENCH_DIR)/BENCH_batch.json results/bench/baseline/
+	cp $(BENCH_DIR)/BENCH_scaling.json $(BENCH_DIR)/BENCH_batch.json $(BENCH_DIR)/BENCH_aqm.json results/bench/baseline/

@@ -504,6 +504,42 @@ func BenchmarkShardedScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkAQMDisciplines prices the registry-built AQM control laws
+// against FIFO at scaling client counts. CoDel consults the sojourn clock
+// and PIE runs its probability update on a 15 ms virtual timer, all on the
+// gateway's per-packet path; this tier pins that overhead so a discipline
+// refactor cannot quietly tax every simulated packet. Reported as
+// sim_pkts/s per discipline, gated like the scaling tier.
+func BenchmarkAQMDisciplines(b *testing.B) {
+	for _, spec := range []string{"fifo", "codel", "pie"} {
+		for _, n := range []int{2_000, 5_000} {
+			b.Run(fmt.Sprintf("%s/N=%d", spec, n), func(b *testing.B) {
+				cfg := core.DefaultConfig(n, core.Reno, core.FIFO)
+				s, err := queue.ParseSpec(spec)
+				if err != nil {
+					b.Fatalf("ParseSpec: %v", err)
+				}
+				cfg.Gateway = 0
+				cfg.Queue = &s
+				cfg.Duration = 2 * time.Second
+				var total uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(cfg)
+					if err != nil {
+						b.Fatalf("run: %v", err)
+					}
+					total += res.DataSent
+				}
+				b.StopTimer()
+				if b.Elapsed() > 0 {
+					b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim_pkts/s")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBurstBatching measures what burst-train coalescing buys on the
 // post-crossover scaling cells, where the workload emits the back-to-back
 // packet trains the batching targets: heavy-tailed Pareto on/off sources

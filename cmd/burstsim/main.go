@@ -48,7 +48,7 @@ func run(w io.Writer, args []string) error {
 	var (
 		clients  = fs.Int("clients", 20, "number of Poisson client streams")
 		proto    = fs.String("proto", "reno", "transport protocol: udp, reno, reno-delayack, vegas, tahoe, newreno, sack")
-		qdisc    = fs.String("queue", "fifo", "gateway queueing discipline: fifo, red")
+		qdisc    = fs.String("queue", "fifo", "gateway discipline spec: fifo, red, drr, codel, pie, tokenbucket, leakybucket — with ?key=value params, e.g. codel?target=5ms&interval=100ms")
 		backend  = fs.String("backend", "packet", "execution engine: packet (event-level simulation) or fluid (mean-field model)")
 		shards   = fs.Int("shards", 1, "partition the packet simulation over this many cores (results are bit-identical to -shards 1)")
 		seed     = fs.Int64("seed", 1, "random seed (identical seeds replay identically)")
@@ -89,7 +89,7 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	q, err := core.ParseGatewayQueue(*qdisc)
+	qopt, err := core.ParseDiscipline(*qdisc)
 	if err != nil {
 		return err
 	}
@@ -107,7 +107,7 @@ func run(w io.Writer, args []string) error {
 	opts := []core.Option{
 		core.WithClients(*clients),
 		core.WithProtocol(p),
-		core.WithGateway(q),
+		qopt,
 		core.WithBackend(b),
 		core.WithSeed(*seed),
 		core.WithDuration(*duration),
@@ -197,7 +197,7 @@ func run(w io.Writer, args []string) error {
 func printResult(w io.Writer, res *core.Result, perFlow bool) {
 	cfg := res.Config
 	fmt.Fprintf(w, "experiment: %d clients, %s, %s gateway, %s (%s)\n",
-		cfg.Clients, cfg.Protocol, cfg.Gateway, cfg.Duration, cfg.CongestionLevel())
+		cfg.Clients, cfg.Protocol, cfg.QueueName(), cfg.Duration, cfg.CongestionLevel())
 	fmt.Fprintf(w, "  offered load        %.2f Mbps of %.2f Mbps bottleneck\n",
 		cfg.OfferedLoadBps()/1e6, cfg.BottleneckRateBps/1e6)
 	fmt.Fprintf(w, "  c.o.v. (measured)   %.4f\n", res.COV)
@@ -228,6 +228,10 @@ func printResult(w io.Writer, res *core.Result, perFlow bool) {
 	if res.RED != nil {
 		fmt.Fprintf(w, "  RED: %d early drops, %d forced drops, %d marks, final avg %.1f\n",
 			res.RED.EarlyDrops, res.RED.ForcedDrops, res.RED.Marks, res.RED.FinalAvg)
+	}
+	if res.AQM != nil {
+		fmt.Fprintf(w, "  AQM: %d early drops, %d forced drops, %d marks, %d shed, final %.3f\n",
+			res.AQM.EarlyDrops, res.AQM.ForcedDrops, res.AQM.Marks, res.AQM.Shed, res.AQM.FinalAvg)
 	}
 	if res.Fluid != nil {
 		fmt.Fprintf(w, "  fluid: %d iterations, residual %.2e, drop prob %.4f, mean window %.2f, rtt %.1f ms\n",

@@ -51,6 +51,33 @@ func TestRunREDOverrides(t *testing.T) {
 	}
 }
 
+func TestRunRegistryQueue(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-clients", "5", "-duration", "3s",
+		"-queue", "codel?target=2ms&interval=40ms",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	// The header uses the spec's canonical (key-sorted) rendering.
+	if !strings.Contains(out, "codel?interval=40ms&target=2ms gateway") {
+		t.Errorf("canonical discipline label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "AQM:") {
+		t.Errorf("AQM stats line missing:\n%s", out)
+	}
+}
+
+func TestRunRegistryQueueBadParam(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-queue", "codel?targit=1ms"})
+	if err == nil || !strings.Contains(err.Error(), "targit") {
+		t.Errorf("bad parameter not rejected clearly: %v", err)
+	}
+}
+
 func TestRunWireLossAndReverseFlags(t *testing.T) {
 	var sb strings.Builder
 	err := run(&sb, []string{

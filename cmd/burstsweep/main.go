@@ -31,6 +31,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"tcpburst/internal/core"
@@ -51,6 +52,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("burstsweep", flag.ContinueOnError)
 	var (
 		fig      = fs.Int("fig", 0, "figure to regenerate: 2 (cov), 3 (throughput), 4 (loss), 13 (timeout ratio)")
+		queues   = fs.String("queue", "", "comma-separated discipline specs to sweep instead of the paper's six cells, e.g. fifo,red,codel,pie?ecn=true,tokenbucket?rate=4000&burst=50")
+		qproto   = fs.String("proto", "reno", "transport protocol for -queue cells")
 		all      = fs.Bool("all", false, "regenerate every sweep figure")
 		table1   = fs.Bool("table1", false, "print Table 1 (simulation parameters)")
 		outDir   = fs.String("out", "", "directory for CSV output (default stdout; required with -all)")
@@ -97,6 +100,10 @@ func run(args []string) error {
 	}
 
 	b, err := core.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	cells, err := sweepCells(*queues, *qproto)
 	if err != nil {
 		return err
 	}
@@ -173,9 +180,13 @@ func run(args []string) error {
 	defer cancel()
 
 	clients := sweepClients(*step, *maxN)
+	nCells := len(cells)
+	if nCells == 0 {
+		nCells = len(core.PaperCells())
+	}
 	fmt.Fprintf(os.Stderr, "sweeping %d client counts x %d cells (%s each)...\n",
-		len(clients), len(core.PaperCells()), *duration)
-	sweep, err := core.RunSweepContext(ctx, core.SweepOptions{Base: base, Clients: clients, Exec: exec})
+		len(clients), nCells, *duration)
+	sweep, err := core.RunSweepContext(ctx, core.SweepOptions{Base: base, Clients: clients, Cells: cells, Exec: exec})
 	if prog != nil {
 		prog.Finish()
 	}
@@ -224,6 +235,34 @@ func run(args []string) error {
 		return nil
 	}
 	return emit(*fig)
+}
+
+// sweepCells turns a comma-separated -queue list into spec cells for one
+// protocol; an empty list means nil (the paper's six cells). Each spec is
+// parsed up front so a typo fails before the sweep spends minutes running.
+func sweepCells(queues, proto string) ([]core.Cell, error) {
+	if queues == "" {
+		return nil, nil
+	}
+	p, err := core.ParseProtocol(proto)
+	if err != nil {
+		return nil, err
+	}
+	var cells []core.Cell
+	for _, spec := range strings.Split(queues, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		if _, err := core.ParseDiscipline(spec); err != nil {
+			return nil, fmt.Errorf("-queue %q: %w", spec, err)
+		}
+		cells = append(cells, core.Cell{Protocol: p, Queue: spec})
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("-queue: no discipline specs in %q", queues)
+	}
+	return cells, nil
 }
 
 func sweepClients(step, max int) []int {

@@ -27,6 +27,41 @@ func TestSweepClientsSmallMax(t *testing.T) {
 	}
 }
 
+func TestSweepCells(t *testing.T) {
+	cells, err := sweepCells("fifo, codel?target=2ms,pie", "reno")
+	if err != nil {
+		t.Fatalf("sweepCells: %v", err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3: %v", len(cells), cells)
+	}
+	if cells[1].Queue != "codel?target=2ms" || cells[1].Protocol.String() != "reno" {
+		t.Errorf("cell 1 = %+v", cells[1])
+	}
+	if cells[0].Gateway != 0 {
+		t.Errorf("spec cells must leave the enum zero: %+v", cells[0])
+	}
+}
+
+func TestSweepCellsEmptyMeansPaper(t *testing.T) {
+	cells, err := sweepCells("", "reno")
+	if err != nil || cells != nil {
+		t.Errorf("empty -queue: cells=%v err=%v", cells, err)
+	}
+}
+
+func TestSweepCellsRejectsBadInput(t *testing.T) {
+	if _, err := sweepCells("codel?", "reno"); err == nil {
+		t.Error("dangling '?' accepted")
+	}
+	if _, err := sweepCells("fifo", "quic"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := sweepCells(" , ,", "reno"); err == nil {
+		t.Error("blank spec list accepted")
+	}
+}
+
 func TestRunRequiresMode(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("no mode accepted")

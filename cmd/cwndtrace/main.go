@@ -42,7 +42,7 @@ func run(args []string) error {
 	var (
 		clients  = fs.Int("clients", 20, "number of Poisson client streams")
 		proto    = fs.String("proto", "reno", "transport protocol (TCP variants only)")
-		qdisc    = fs.String("queue", "fifo", "gateway queueing discipline: fifo, red")
+		qdisc    = fs.String("queue", "fifo", "gateway discipline spec: fifo, red, drr, codel, pie, tokenbucket, leakybucket — with ?key=value params")
 		backend  = fs.String("backend", "packet", "execution engine (window tracing requires packet)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		duration = fs.Duration("duration", 200*time.Second, "simulated test time")
@@ -75,7 +75,7 @@ func run(args []string) error {
 	if !p.IsTCP() {
 		return fmt.Errorf("protocol %s has no congestion window to trace", p)
 	}
-	q, err := core.ParseGatewayQueue(*qdisc)
+	qopt, err := core.ParseDiscipline(*qdisc)
 	if err != nil {
 		return err
 	}
@@ -87,7 +87,7 @@ func run(args []string) error {
 	opts := []core.Option{
 		core.WithClients(*clients),
 		core.WithProtocol(p),
-		core.WithGateway(q),
+		qopt,
 		core.WithSeed(*seed),
 		core.WithDuration(*duration),
 		core.WithCwndTracing(*interval, traceClients...),
@@ -180,7 +180,7 @@ func parseClientList(s string) ([]int, error) {
 func printSummary(res *core.Result) {
 	const bucket = 20.0 // seconds
 	fmt.Printf("%d clients, %s/%s: cwnd stability per %gs interval\n",
-		res.Config.Clients, res.Config.Protocol, res.Config.Gateway, bucket)
+		res.Config.Clients, res.Config.Protocol, res.Config.QueueName(), bucket)
 	for _, s := range res.CwndTraces {
 		fmt.Printf("  %s:\n", s.Name)
 		i := 0

@@ -9,6 +9,7 @@ import (
 	"tcpburst/internal/analysis/load"
 	"tcpburst/internal/analysis/nondeterminism"
 	"tcpburst/internal/analysis/packetrelease"
+	"tcpburst/internal/analysis/queuespec"
 	"tcpburst/internal/analysis/shardownership"
 	"tcpburst/internal/analysis/telemetryhandle"
 )
@@ -20,6 +21,7 @@ func Analyzers() []*analysis.Analyzer {
 		packetrelease.Analyzer,
 		shardownership.Analyzer,
 		telemetryhandle.Analyzer,
+		queuespec.Analyzer,
 		floateq.Analyzer,
 	}
 }

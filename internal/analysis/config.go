@@ -55,6 +55,13 @@ type Config struct {
 	// TelemetryPackage is the import path of the metrics registry whose
 	// registration calls are construction-time-only.
 	TelemetryPackage string
+	// QueuePackage is the import path of the gateway-discipline registry.
+	// Factories register there, in init functions, and discipline-name
+	// dispatch (comparing or switching on Spec.Name) happens only there:
+	// everywhere else goes through queue.Build, queue.Registered, or
+	// Spec.Lower, so adding a discipline never means hunting down name
+	// switches scattered through the harness.
+	QueuePackage string
 }
 
 // Default is the repository's live configuration.
@@ -106,7 +113,11 @@ var Default = Config{
 		"tcpburst/internal/shard",
 	},
 	TelemetryPackage: "tcpburst/internal/telemetry",
+	QueuePackage:     "tcpburst/internal/queue",
 }
+
+// QueuePackageIs reports whether path is the discipline registry itself.
+func (c Config) QueuePackageIs(path string) bool { return path == c.QueuePackage }
 
 // DeterministicPackage reports whether pkg path is under the
 // nondeterminism analyzer's jurisdiction at all.

@@ -1,0 +1,15 @@
+package queuespec_test
+
+import (
+	"testing"
+
+	"tcpburst/internal/analysis/analysistest"
+	"tcpburst/internal/analysis/queuespec"
+)
+
+func TestQueueSpec(t *testing.T) {
+	analysistest.Run(t, queuespec.Analyzer, "testdata/src",
+		"example.com/rogue",
+		"tcpburst/internal/queue",
+	)
+}

@@ -1,0 +1,44 @@
+// Package rogue exercises every way code outside the registry can reopen
+// the discipline set: registering factories from afar and dispatching on
+// discipline names by hand.
+package rogue
+
+import "tcpburst/internal/queue"
+
+func init() {
+	// Even inside an init function, registration belongs to the registry
+	// package.
+	queue.Register("outsider", nil) // want `queue\.Register called from example\.com/rogue`
+}
+
+// Classify hand-rolls discipline dispatch instead of using the registry.
+func Classify(spec queue.Spec) string {
+	if spec.Name == "red" { // want `comparing queue\.Spec\.Name outside`
+		return "aqm"
+	}
+	if "fifo" != spec.Name { // want `comparing queue\.Spec\.Name outside`
+		return "other"
+	}
+	switch spec.Name { // want `switching on queue\.Spec\.Name outside`
+	case "drr":
+		return "fair"
+	}
+	return "fifo"
+}
+
+// Sanctioned keeps discipline questions inside the registry's API: probing
+// the registry, building through it, and reading non-Name fields are all
+// fine, as is comparing names of unrelated types.
+func Sanctioned(spec queue.Spec) (queue.Discipline, error) {
+	if !queue.Registered(spec.Name) {
+		return nil, nil
+	}
+	if len(spec.Params) == 0 {
+		type named struct{ Name string }
+		n := named{Name: "red"}
+		if n.Name == "red" { // a Name field on some other type: not ours
+			_ = n
+		}
+	}
+	return queue.Build(spec)
+}

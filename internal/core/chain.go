@@ -237,7 +237,7 @@ func RunParkingLotContext(ctx context.Context, cfg ChainConfig) (*ChainResult, e
 
 	mkBottleneckQ := func(stream int64, evictTo *packet.Pool) (queue.Discipline, error) {
 		chainCfg := base
-		q, _, err := buildGatewayQueue(chainCfg, rng.Fork(stream), &telem{})
+		q, err := buildGatewayQueue(chainCfg, rng.Fork(stream), &telem{})
 		if drr, ok := q.(*queue.DRR); ok {
 			drr.OnEvict(evictTo.Put)
 		}

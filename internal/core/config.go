@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"tcpburst/internal/queue"
 	"tcpburst/internal/sim"
 	"tcpburst/internal/tcp"
 	"tcpburst/internal/telemetry"
@@ -97,6 +98,12 @@ func ParseProtocol(s string) (Protocol, error) {
 }
 
 // GatewayQueue selects the bottleneck queueing discipline.
+//
+// Deprecated: the enum covers only the original three disciplines. New code
+// should carry a queue.Spec (Config.Queue, WithGatewayDiscipline); the enum
+// remains as the lowered form of the three legacy disciplines, which is what
+// keeps their JSON encodings — and therefore golden digests and cache keys —
+// byte-identical to the pre-registry era.
 type GatewayQueue int
 
 // Queueing disciplines at the gateway. FIFO and RED are the paper's; DRR
@@ -190,8 +197,18 @@ type Config struct {
 	// block sizes (WithDefaults fills it in when left zero), and
 	// Protocol is ignored except as the label of the run.
 	Mix []MixEntry
-	// Gateway is the bottleneck queueing discipline.
+	// Gateway is the bottleneck queueing discipline in its deprecated enum
+	// form. WithDefaults lowers any Queue spec naming a legacy discipline
+	// (fifo/red/drr) into this field, so a legacy config and its spec
+	// spelling encode — and cache — identically.
 	Gateway GatewayQueue
+	// Queue selects the bottleneck discipline by registry spec — the
+	// extensible replacement for Gateway. When it survives WithDefaults
+	// (i.e. it names a discipline outside the legacy enum, such as
+	// "codel?target=5ms"), the gateway queue is built through
+	// queue.Build and Gateway stays zero. Omitted from JSON when nil so
+	// legacy encodings, golden digests, and cache keys are unchanged.
+	Queue *queue.Spec `json:",omitempty"`
 	// Seed drives every random stream in the experiment; identical
 	// configurations replay identically.
 	Seed int64
@@ -371,7 +388,43 @@ func (c Config) WithDefaults() Config {
 	if len(c.Mix) > 0 && c.Protocol == 0 {
 		c.Protocol = c.Mix[0].Protocol
 	}
-	if c.Gateway == 0 {
+	if c.Queue != nil && c.Gateway == 0 {
+		// Canonicalize: a spec naming a legacy discipline lowers onto the
+		// deprecated enum + flat RED fields, so "red?ecn=true" and the old
+		// WithGateway(RED)+WithREDECN() spelling produce byte-identical
+		// configs (and cache keys). Specs outside the legacy vocabulary
+		// keep the Queue field and run through the registry.
+		if l, ok := c.Queue.Lower(); ok {
+			switch l.Kind {
+			case "fifo":
+				c.Gateway = FIFO
+			case "drr":
+				c.Gateway = DRR
+			case "red":
+				c.Gateway = RED
+				if l.Min > 0 {
+					c.REDMinThreshold = l.Min
+				}
+				if l.Max > 0 {
+					c.REDMaxThreshold = l.Max
+				}
+				if l.Weight > 0 {
+					c.REDWeight = l.Weight
+				}
+				if l.MaxProb > 0 {
+					c.REDMaxProb = l.MaxProb
+				}
+				if l.ECN {
+					c.REDECN = true
+				}
+				if l.Gentle {
+					c.REDGentle = true
+				}
+			}
+			c.Queue = nil
+		}
+	}
+	if c.Gateway == 0 && c.Queue == nil {
 		c.Gateway = FIFO
 	}
 	d := DefaultConfig(c.Clients, c.Protocol, c.Gateway)
@@ -456,7 +509,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: clients %d < 1", c.Clients)
 	case c.Protocol < UDP || c.Protocol > Sack:
 		return fmt.Errorf("config: unknown protocol %d", int(c.Protocol))
-	case c.Gateway < FIFO || c.Gateway > DRR:
+	case c.Queue != nil && c.Gateway != 0:
+		return fmt.Errorf("config: both Gateway (%v) and Queue (%v) set; pick one discipline", c.Gateway, c.Queue)
+	case c.Queue == nil && (c.Gateway < FIFO || c.Gateway > DRR):
 		return fmt.Errorf("config: unknown gateway queue %d", int(c.Gateway))
 	case c.Duration <= 0:
 		return fmt.Errorf("config: duration %v <= 0", c.Duration)
@@ -522,12 +577,41 @@ func (c Config) Validate() error {
 			return fmt.Errorf("config: cwnd/queue tracing samples cross-shard state; run tracing with shards=1")
 		}
 	}
+	if c.Queue != nil {
+		if err := c.validateQueueSpec(); err != nil {
+			return err
+		}
+	}
 	if c.Backend == FluidBackend {
 		if err := c.validateFluid(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// validateQueueSpec scratch-builds the configured discipline so an unknown
+// name or bad parameter fails at configuration time with the registry's
+// self-explaining error instead of deep inside Run. The scratch build uses
+// a throwaway RNG; the real run forks the experiment's seeded stream.
+func (c Config) validateQueueSpec() error {
+	_, err := queue.Build(*c.Queue, queue.BuildContext{
+		Capacity:       c.BufferPackets,
+		PacketSize:     c.PacketSize,
+		MeanPacketTime: sim.SerializationDelay(c.PacketSize, c.BottleneckRateBps),
+		RNG:            func() *sim.RNG { return sim.NewRNG(0) },
+	})
+	return err
+}
+
+// QueueName returns the canonical discipline label of the run: the spec's
+// canonical string for registry-built disciplines ("codel?target=5ms"),
+// the enum name ("fifo", "red", "drr") otherwise.
+func (c Config) QueueName() string {
+	if c.Queue != nil {
+		return c.Queue.String()
+	}
+	return c.Gateway.String()
 }
 
 // clientProtocol returns the protocol run by the 0-based client index.
@@ -548,7 +632,11 @@ func (c Config) clientProtocol(i int) Protocol {
 // "protocol/gateway n=N seed=S". Sweeps use it to tag per-run telemetry
 // streams sharing one writer.
 func (c Config) Label() string {
-	return fmt.Sprintf("%s n=%d seed=%d", Cell{Protocol: c.Protocol, Gateway: c.Gateway}, c.Clients, c.Seed)
+	cell := Cell{Protocol: c.Protocol, Gateway: c.Gateway}
+	if c.Queue != nil {
+		cell.Queue = c.Queue.String()
+	}
+	return fmt.Sprintf("%s n=%d seed=%d", cell, c.Clients, c.Seed)
 }
 
 // RTT returns the round-trip propagation delay 2(τc+τs) — the paper's

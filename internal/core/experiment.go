@@ -62,6 +62,18 @@ type REDStats struct {
 	FinalAvg    float64
 }
 
+// AQMStats is the generic discipline counter snapshot for registry-built
+// gateways (Config.Queue runs): control-law drops, buffer-overflow drops,
+// ECN marks, admission-control sheds, and the discipline's terminal
+// control variable (PIE's drop probability, a bucket's remaining tokens).
+type AQMStats struct {
+	EarlyDrops  uint64
+	ForcedDrops uint64
+	Marks       uint64
+	Shed        uint64
+	FinalAvg    float64
+}
+
 // Result aggregates everything one experiment measures.
 type Result struct {
 	// Config echoes the (defaulted) configuration that produced the run.
@@ -128,6 +140,9 @@ type Result struct {
 	PacketLog *trace.PacketLog
 	// RED carries gateway drop/mark detail when the RED discipline ran.
 	RED *REDStats
+	// AQM carries the generic discipline counters when a registry-built
+	// (Config.Queue) gateway ran and the discipline reports stats.
+	AQM *AQMStats
 
 	// CwndTraces holds per-client congestion-window series when tracing
 	// was enabled (Figures 5–12); QueueTrace the bottleneck queue length.
@@ -225,7 +240,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	env.wireGatewayCrossings(gwDeliver)
 
 	// Bottleneck gateway→server link with the discipline under study.
-	bottleneckQ, redQ, err := buildGatewayQueue(cfg, rng, tel)
+	bottleneckQ, err := buildGatewayQueue(cfg, rng, tel)
 	if err != nil {
 		return nil, err
 	}
@@ -381,7 +396,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		sampler.Stop()
 	}
 
-	res := collect(cfg, flows, counter, horizon, bottleneck, serverOut, accessLinks, reverseLinks, redQ, cwndSeries, queueSeries)
+	res := collect(cfg, flows, counter, horizon, bottleneck, serverOut, accessLinks, reverseLinks, bottleneckQ, cwndSeries, queueSeries)
 	res.Queue = summarizeQueue(queueSamples, cfg.BufferPackets)
 	res.PacketLog = pktLog
 	res.SimEvents = 0
@@ -497,21 +512,35 @@ func (f *flow) counters() tcp.Counters {
 	return tcp.Counters{DataSent: sent, Submitted: sent}
 }
 
-// buildGatewayQueue constructs the bottleneck discipline; the second return
-// is non-nil when it is RED (for stats extraction).
-func buildGatewayQueue(cfg Config, rng *sim.RNG, tel *telem) (queue.Discipline, *queue.RED, error) {
+// buildGatewayQueue constructs the bottleneck discipline. Legacy enum
+// configurations keep their original construction paths — including where
+// in the build sequence the RED path forks the seed stream (1<<20), which
+// is what keeps their replays bit-identical to the pre-registry era.
+// Registry (Config.Queue) runs build through queue.Build with a lazy RNG
+// closure forking the same stream at the same point, so a discipline that
+// draws no randomness leaves every downstream stream untouched.
+func buildGatewayQueue(cfg Config, rng *sim.RNG, tel *telem) (queue.Discipline, error) {
+	if cfg.Queue != nil {
+		return queue.Build(*cfg.Queue, queue.BuildContext{
+			Capacity:       cfg.BufferPackets,
+			PacketSize:     cfg.PacketSize,
+			MeanPacketTime: sim.SerializationDelay(cfg.PacketSize, cfg.BottleneckRateBps),
+			RNG:            func() *sim.RNG { return rng.Fork(1 << 20) },
+			Metrics:        tel.aqm,
+		})
+	}
 	switch cfg.Gateway {
 	case FIFO:
-		return queue.NewFIFO(cfg.BufferPackets), nil, nil
+		return queue.NewFIFO(cfg.BufferPackets), nil
 	case DRR:
 		drr, err := queue.NewDRR(cfg.BufferPackets, cfg.PacketSize)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		drr.SetEvictionMetric(tel.drrEvictions)
-		return drr, nil, nil
+		return drr, nil
 	}
-	red, err := queue.NewRED(queue.REDConfig{
+	return queue.NewRED(queue.REDConfig{
 		Capacity:       cfg.BufferPackets,
 		MinThreshold:   cfg.REDMinThreshold,
 		MaxThreshold:   cfg.REDMaxThreshold,
@@ -523,10 +552,6 @@ func buildGatewayQueue(cfg Config, rng *sim.RNG, tel *telem) (queue.Discipline, 
 		RNG:            rng.Fork(1 << 20),
 		Metrics:        tel.red,
 	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return red, red, nil
 }
 
 // buildClients wires every client host, its access links, transport agents,
@@ -782,7 +807,7 @@ func collect(
 	horizon sim.Time,
 	bottleneck, serverOut *link.Link,
 	accessLinks, reverseLinks []*link.Link,
-	redQ *queue.RED,
+	bottleneckQ queue.Discipline,
 	cwndSeries []*trace.Series,
 	queueSeries *trace.Series,
 ) *Result {
@@ -879,7 +904,18 @@ func collect(
 	}
 	res.JainFairness = stats.JainIndex(perFlowDelivered)
 
-	if redQ != nil {
+	if cfg.Queue != nil {
+		if sr, ok := bottleneckQ.(queue.StatsReporter); ok {
+			st := sr.DisciplineStats()
+			res.AQM = &AQMStats{
+				EarlyDrops:  st.EarlyDrops,
+				ForcedDrops: st.ForcedDrops,
+				Marks:       st.Marks,
+				Shed:        st.Shed,
+				FinalAvg:    st.FinalAvg,
+			}
+		}
+	} else if redQ, ok := bottleneckQ.(*queue.RED); ok {
 		res.RED = &REDStats{
 			EarlyDrops:  redQ.EarlyDrops(),
 			ForcedDrops: redQ.ForcedDrops(),

@@ -82,6 +82,8 @@ func (c Config) validateFluid() error {
 		return fmt.Errorf("config: fluid backend assumes exchangeable flows; per-client RTT jitter is unsupported")
 	case c.Traffic != TrafficPoisson:
 		return fmt.Errorf("config: fluid backend supports only Poisson sources (mean-field closure); traffic %v is unsupported", c.Traffic)
+	case c.Queue != nil:
+		return fmt.Errorf("config: fluid backend has a mean-field law only for fifo and classic red; discipline %q needs -backend packet", c.Queue)
 	case c.Gateway == DRR:
 		return fmt.Errorf("config: fluid backend has no mean-field law for DRR; use fifo or red")
 	case c.BufferPackets > maxFluidBuffer:

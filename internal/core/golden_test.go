@@ -51,6 +51,15 @@ func goldenCases(shards int) []goldenCase {
 	cells := append(PaperCells(),
 		Cell{Protocol: Sack, Gateway: FIFO},
 		Cell{Protocol: Reno, Gateway: DRR},
+		// Registry-built disciplines join the matrix as spec cells: the AQM
+		// control laws (drop timing, ECN marks, admission sheds) are exactly
+		// the kind of behavior a hot-path refactor can bend without failing
+		// any unit test. red?ecn=true lowers onto the legacy enum, pinning
+		// the shim's round trip; the rest run through queue.Build.
+		Cell{Protocol: Reno, Queue: "codel"},
+		Cell{Protocol: Reno, Queue: "pie"},
+		Cell{Protocol: Reno, Queue: "red?ecn=true"},
+		Cell{Protocol: Reno, Queue: "tokenbucket?burst=25&rate=2000"},
 	)
 	var cases []goldenCase
 	for _, cell := range cells {
@@ -60,6 +69,9 @@ func goldenCases(shards int) []goldenCase {
 				name: fmt.Sprintf("%s/n%d", cell, n),
 				run: func() ([]byte, error) {
 					cfg := DefaultConfig(n, cell.Protocol, cell.Gateway)
+					if err := cell.applyTo(&cfg); err != nil {
+						return nil, err
+					}
 					cfg.Duration = goldenDuration
 					cfg.Shards = shards
 					res, err := Run(cfg)

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"tcpburst/internal/queue"
 	"tcpburst/internal/sim"
 	"tcpburst/internal/telemetry"
 )
@@ -63,16 +66,45 @@ func WithProtocol(p Protocol) Option {
 	return func(c *Config) { c.Protocol = p }
 }
 
-// WithGateway sets the bottleneck queueing discipline.
+// WithGateway sets the bottleneck queueing discipline by legacy enum.
+//
+// Deprecated: use WithGatewayDiscipline; the enum covers only fifo/red/drr.
 func WithGateway(q GatewayQueue) Option {
 	return func(c *Config) { c.Gateway = q }
 }
 
-// WithCell sets protocol and gateway together from a sweep cell.
+// WithGatewayDiscipline selects the bottleneck discipline by registry spec.
+// Specs naming a legacy discipline (fifo, red, drr and RED's classic
+// parameters) lower onto the deprecated enum fields during defaulting, so
+// they configure — and cache — exactly as the old enum spelling did;
+// anything else runs through the queue.Build registry.
+func WithGatewayDiscipline(spec queue.Spec) Option {
+	s := spec.Clone()
+	return func(c *Config) {
+		c.Gateway = 0
+		c.Queue = &s
+	}
+}
+
+// ParseDiscipline parses a CLI "-queue" value in the registry's
+// "name?key=value&..." grammar (e.g. "codel?target=5ms&interval=100ms")
+// into a configuration option — the one shared parser every CLI uses.
+func ParseDiscipline(s string) (Option, error) {
+	spec, err := queue.ParseSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	return WithGatewayDiscipline(spec), nil
+}
+
+// WithCell sets protocol and gateway together from a sweep cell. A
+// malformed spec string in the cell panics; use Cell values built from
+// validated specs (or ParseDiscipline for raw CLI input).
 func WithCell(cell Cell) Option {
 	return func(c *Config) {
-		c.Protocol = cell.Protocol
-		c.Gateway = cell.Gateway
+		if err := cell.applyTo(c); err != nil {
+			panic(fmt.Sprintf("core: invalid cell %q: %v", cell.Queue, err))
+		}
 	}
 }
 

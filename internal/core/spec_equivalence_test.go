@@ -1,0 +1,220 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tcpburst/internal/queue"
+	"tcpburst/internal/runcache"
+)
+
+// TestSpecLowersToLegacyConfig proves the deprecation shim: a config built
+// through the new spec API for a legacy discipline is byte-identical, after
+// defaulting, to the same config built through the deprecated enum — which
+// is what keeps golden digests and run-cache keys unchanged.
+func TestSpecLowersToLegacyConfig(t *testing.T) {
+	cases := []struct {
+		spec   string
+		legacy func() Config
+	}{
+		{"fifo", func() Config { return DefaultConfig(20, Reno, FIFO) }},
+		{"red", func() Config { return DefaultConfig(20, Reno, RED) }},
+		{"drr", func() Config { return DefaultConfig(20, Reno, DRR) }},
+		{"red?ecn=true", func() Config {
+			c := DefaultConfig(39, Vegas, RED)
+			c.REDECN = true
+			return c
+		}},
+		{"red?min=5&max=15&gentle=true", func() Config {
+			c := DefaultConfig(20, Reno, RED)
+			c.REDMinThreshold = 5
+			c.REDMaxThreshold = 15
+			c.REDGentle = true
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		legacy := tc.legacy().WithDefaults()
+
+		viaSpec := tc.legacy()
+		viaSpec.Gateway = 0
+		viaSpec.REDECN = false
+		viaSpec.REDGentle = false
+		viaSpec.REDMinThreshold = 0
+		viaSpec.REDMaxThreshold = 0
+		spec, err := queue.ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+		}
+		viaSpec.Queue = &spec
+		defaulted := viaSpec.WithDefaults()
+
+		a, err := json.Marshal(legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(defaulted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("spec %q does not lower to the legacy encoding:\nlegacy: %s\nspec:   %s", tc.spec, a, b)
+		}
+		if strings.Contains(string(a), `"Queue"`) {
+			t.Errorf("legacy encoding leaks a Queue key: %s", a)
+		}
+		ka, err := runcache.Key(resultCacheKind(legacy), legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := runcache.Key(resultCacheKind(defaulted), defaulted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ka != kb {
+			t.Errorf("spec %q cache key %s != legacy key %s", tc.spec, kb, ka)
+		}
+	}
+}
+
+// TestLegacyCacheKeysPinned pins the run-cache keys of the legacy golden
+// cells to their pre-registry values. If one of these moves, previously
+// cached results (and the golden digest table) are silently orphaned —
+// which is exactly the regression the registry redesign promised not to
+// cause.
+func TestLegacyCacheKeysPinned(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{DefaultConfig(20, Reno, FIFO),
+			"438f9e2ed7f3ed6c019e9cc5282f28df7d9841c7bd8f04248e321601f6b47784"},
+		{DefaultConfig(20, Reno, RED),
+			"7e3b4250b2dfdbee7fcba8d046335f97da57abac25edca75d934551a108c13c4"},
+		{DefaultConfig(20, Reno, DRR),
+			"2f36227c22b04260828652de3c19df045edfdea3409411b3d22282ea0b35f210"},
+		{func() Config {
+			c := DefaultConfig(39, Vegas, RED)
+			c.REDECN = true
+			return c
+		}(), "3926f48995324497751f9719e612d911a882443130cfdbb647cbe9a894ee54f2"},
+	}
+	for _, tc := range cases {
+		cfg := tc.cfg.WithDefaults()
+		got, err := runcache.Key(resultCacheKind(cfg), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: cache key %s, want pinned %s", cfg.Label(), got, tc.want)
+		}
+	}
+}
+
+// TestConfigRejectsBothDisciplineForms checks that setting the deprecated
+// enum and a non-lowerable spec together is a validation error rather than
+// one silently winning.
+func TestConfigRejectsBothDisciplineForms(t *testing.T) {
+	cfg := DefaultConfig(10, Reno, RED)
+	spec := queue.Spec{Name: "codel"}
+	cfg.Queue = &spec
+	err := cfg.WithDefaults().Validate()
+	if err == nil || !strings.Contains(err.Error(), "pick one discipline") {
+		t.Errorf("Validate() = %v, want both-set rejection", err)
+	}
+}
+
+// TestConfigValidatesSpecAtConfigTime checks that a bad spec surfaces from
+// Validate with the registry's self-explaining error, not from deep inside
+// a run.
+func TestConfigValidatesSpecAtConfigTime(t *testing.T) {
+	cases := []struct {
+		spec   string
+		substr string
+	}{
+		{"wred", "unknown discipline"},
+		{"codel?targit=1ms", `unknown parameter "targit"`},
+		{"tokenbucket", "rate"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(10, Reno, 0)
+		spec, err := queue.ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Gateway = 0
+		cfg.Queue = &spec
+		err = cfg.WithDefaults().Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("Validate(%q) = %v, want mention of %q", tc.spec, err, tc.substr)
+		}
+	}
+}
+
+// TestWithGatewayDisciplineOption checks the functional-option entry point:
+// the spec is cloned (no aliasing) and clears the deprecated enum.
+func TestWithGatewayDisciplineOption(t *testing.T) {
+	spec, err := queue.ParseSpec("codel?target=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := NewConfig(WithClients(10), WithProtocol(Reno), WithGatewayDiscipline(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Gateway != 0 || cfg.Queue == nil || cfg.Queue.String() != "codel?target=2ms" {
+		t.Fatalf("WithGatewayDiscipline: Gateway=%v Queue=%v", cfg.Gateway, cfg.Queue)
+	}
+	spec.Params["target"] = "9ms"
+	if cfg.Queue.Params["target"] != "2ms" {
+		t.Error("option aliased the caller's spec map")
+	}
+
+	opt, err := ParseDiscipline("pie?ecn=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = NewConfig(WithClients(10), WithProtocol(Reno), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.QueueName() != "pie?ecn=true" {
+		t.Errorf("ParseDiscipline QueueName = %q", cfg.QueueName())
+	}
+	// ParseDiscipline rejects malformed syntax immediately; unknown names
+	// parse (any bare word is grammatical) and fail later in Validate.
+	if _, err := ParseDiscipline("codel?"); err == nil {
+		t.Error("ParseDiscipline accepted a dangling '?'")
+	}
+	if opt, err := ParseDiscipline("no-such-queue"); err != nil {
+		t.Errorf("ParseDiscipline rejected a grammatical name: %v", err)
+	} else if _, err := NewConfig(WithClients(10), WithProtocol(Reno), opt); err == nil {
+		t.Error("NewConfig accepted an unknown discipline")
+	}
+}
+
+// TestSpecConfigRoundTripsThroughJSON checks that a registry config
+// serializes and reloads with its spec intact — sweep manifests and cached
+// summaries depend on it.
+func TestSpecConfigRoundTripsThroughJSON(t *testing.T) {
+	opt, err := ParseDiscipline("tokenbucket?burst=30&rate=3500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := NewConfig(WithClients(10), WithProtocol(Reno), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.QueueName() != "tokenbucket?burst=30&rate=3500" {
+		t.Errorf("round-tripped QueueName = %q", back.QueueName())
+	}
+}

@@ -55,6 +55,15 @@ type Summary struct {
 	REDMarks       uint64  `json:"redMarks,omitempty"`
 	REDFinalAvg    float64 `json:"redFinalAvg,omitempty"`
 
+	// AQM* mirror Result.AQM for registry-built (Config.Queue) gateways;
+	// omitted for legacy runs so their digests are byte-identical to the
+	// pre-registry era.
+	AQMEarlyDrops  uint64  `json:"aqmEarlyDrops,omitempty"`
+	AQMForcedDrops uint64  `json:"aqmForcedDrops,omitempty"`
+	AQMMarks       uint64  `json:"aqmMarks,omitempty"`
+	AQMShed        uint64  `json:"aqmShed,omitempty"`
+	AQMFinalAvg    float64 `json:"aqmFinalAvg,omitempty"`
+
 	// SimEvents is the kernel's executed-event count — run telemetry, kept
 	// in the digest so cached results still report throughput.
 	SimEvents uint64 `json:"simEvents,omitempty"`
@@ -82,7 +91,7 @@ func (r *Result) Summary() Summary {
 		SchemaVersion:      SummarySchemaVersion,
 		Clients:            r.Config.Clients,
 		Protocol:           r.Config.Protocol.String(),
-		Gateway:            r.Config.Gateway.String(),
+		Gateway:            r.Config.QueueName(),
 		Seed:               r.Config.Seed,
 		Duration:           r.Config.Duration.String(),
 		COV:                r.COV,
@@ -118,6 +127,13 @@ func (r *Result) Summary() Summary {
 		s.REDForcedDrops = r.RED.ForcedDrops
 		s.REDMarks = r.RED.Marks
 		s.REDFinalAvg = r.RED.FinalAvg
+	}
+	if r.AQM != nil {
+		s.AQMEarlyDrops = r.AQM.EarlyDrops
+		s.AQMForcedDrops = r.AQM.ForcedDrops
+		s.AQMMarks = r.AQM.Marks
+		s.AQMShed = r.AQM.Shed
+		s.AQMFinalAvg = r.AQM.FinalAvg
 	}
 	if r.Fluid != nil {
 		s.Backend = r.Config.Backend.String()
@@ -183,6 +199,15 @@ func ResultFromSummary(cfg Config, s Summary) *Result {
 			ForcedDrops: s.REDForcedDrops,
 			Marks:       s.REDMarks,
 			FinalAvg:    s.REDFinalAvg,
+		}
+	}
+	if cfg.Queue != nil {
+		r.AQM = &AQMStats{
+			EarlyDrops:  s.AQMEarlyDrops,
+			ForcedDrops: s.AQMForcedDrops,
+			Marks:       s.AQMMarks,
+			Shed:        s.AQMShed,
+			FinalAvg:    s.AQMFinalAvg,
 		}
 	}
 	if cfg.Backend == FluidBackend {

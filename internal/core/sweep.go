@@ -6,23 +6,51 @@ import (
 	"sort"
 	"strings"
 
+	"tcpburst/internal/queue"
 	"tcpburst/internal/runner"
 )
 
 // Cell names one protocol/discipline combination in a sweep, e.g.
-// "reno/red". The paper's figure legends use exactly these pairs.
+// "reno/red". The paper's figure legends use exactly these pairs. Queue,
+// when non-empty, selects the discipline by registry spec string instead
+// of the Gateway enum — how sweeps cover CoDel, PIE, ECN-RED, and
+// admission-control cells.
 type Cell struct {
 	Protocol Protocol
 	Gateway  GatewayQueue
+	Queue    string
 }
 
 // String returns the legend label, omitting "/fifo" for the plain cases to
-// match the paper ("Reno", "Reno/RED", ...).
+// match the paper ("Reno", "Reno/RED", ...); spec cells render as
+// "reno/codel?target=5ms".
 func (c Cell) String() string {
+	if c.Queue != "" {
+		return c.Protocol.String() + "/" + c.Queue
+	}
 	if c.Gateway == RED {
 		return c.Protocol.String() + "/red"
 	}
 	return c.Protocol.String()
+}
+
+// applyTo writes the cell's protocol and discipline into cfg. Spec cells
+// parse their queue string; a malformed spec surfaces here rather than as
+// a misbuilt run.
+func (c Cell) applyTo(cfg *Config) error {
+	cfg.Protocol = c.Protocol
+	cfg.Gateway = c.Gateway
+	cfg.Queue = nil
+	if c.Queue == "" {
+		return nil
+	}
+	spec, err := queue.ParseSpec(c.Queue)
+	if err != nil {
+		return err
+	}
+	cfg.Gateway = 0
+	cfg.Queue = &spec
+	return nil
 }
 
 // PaperCells returns the six protocol/queue combinations of Figures 2–4
@@ -110,8 +138,9 @@ func RunSweepContext(ctx context.Context, opts SweepOptions) (*Sweep, error) {
 		for _, cell := range cells {
 			cfg := opts.Base
 			cfg.Clients = n
-			cfg.Protocol = cell.Protocol
-			cfg.Gateway = cell.Gateway
+			if err := cell.applyTo(&cfg); err != nil {
+				return nil, fmt.Errorf("sweep: cell %s: %w", cell, err)
+			}
 			cfgs = append(cfgs, cfg)
 		}
 	}

@@ -22,6 +22,7 @@ type telem struct {
 	link         link.Metrics
 	tcp          tcp.Metrics
 	red          queue.REDMetrics
+	aqm          queue.Metrics
 	drrEvictions telemetry.Counter
 	appGenerated telemetry.Counter
 
@@ -73,6 +74,18 @@ func newTelem(cfg Config) *telem {
 	}
 	if cfg.Gateway == DRR {
 		t.drrEvictions = reg.Counter("drr.evictions")
+	}
+	if cfg.Queue != nil {
+		// Registry-built disciplines publish through the generic handle
+		// set; which handles move depends on the discipline (CoDel never
+		// sheds, a token bucket never marks).
+		t.aqm = queue.Metrics{
+			EarlyDrops:  reg.Counter("aqm.early_drops"),
+			ForcedDrops: reg.Counter("aqm.forced_drops"),
+			Marks:       reg.Counter("aqm.marks"),
+			Shed:        reg.Counter("aqm.shed"),
+			Evictions:   reg.Counter("aqm.evictions"),
+		}
 	}
 	t.appGenerated = reg.Counter("app.generated")
 	t.cov = newRTTCOV(cfg.RTT())

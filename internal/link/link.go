@@ -184,6 +184,19 @@ func New(sched *sim.Scheduler, cfg Config) (*Link, error) {
 	l := &Link{sched: sched, cfg: cfg}
 	l.serializeDoneFn = l.serializeDone
 	l.deliverFn = l.deliver
+	if dd, ok := cfg.Queue.(queue.DequeueDropper); ok {
+		// Disciplines that head-drop inside Dequeue (CoDel) consume packets
+		// the Send path never sees rejected; route them through the same
+		// drop accounting and pool reclamation an Enqueue rejection gets.
+		dd.OnDequeueDrop(func(p *packet.Packet) {
+			l.stats.Drops++
+			l.cfg.Metrics.Drops.Inc()
+			if l.onDrop != nil {
+				l.onDrop(l.sched.Now(), p)
+			}
+			l.cfg.Pool.Put(p)
+		})
+	}
 	if !cfg.DisableBatching {
 		l.fastFIFO, _ = cfg.Queue.(*queue.FIFO)
 		if cfg.XDeliver == nil {

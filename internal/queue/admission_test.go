@@ -1,0 +1,202 @@
+package queue
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+)
+
+func admissionConfig(mutate func(*AdmissionConfig)) AdmissionConfig {
+	cfg := AdmissionConfig{Capacity: 50, Rate: 1000, Burst: 10}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+func TestAdmissionConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*AdmissionConfig)
+		substr string
+	}{
+		{"zero capacity", func(c *AdmissionConfig) { c.Capacity = 0 }, "capacity"},
+		{"zero rate", func(c *AdmissionConfig) { c.Rate = 0 }, "rate"},
+		{"negative rate", func(c *AdmissionConfig) { c.Rate = -5 }, "rate"},
+		{"zero burst", func(c *AdmissionConfig) { c.Burst = 0 }, "burst"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewTokenBucket(admissionConfig(tc.mutate))
+			if err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("NewTokenBucket error = %v, want mention of %q", err, tc.substr)
+			}
+			if _, err := NewLeakyBucket(admissionConfig(tc.mutate)); err == nil {
+				t.Errorf("NewLeakyBucket accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+// offerLoad pushes n packets through q with randomized inter-arrival times
+// around mean (±50%), draining after every arrival so buffer overflow never
+// confounds the policer. It returns how many were admitted and the total
+// span of the arrival process.
+func offerLoad(q *Admission, rng *sim.RNG, n int, mean sim.Duration, flow packet.FlowID) (admitted int, span sim.Duration) {
+	ts := sim.Time(0)
+	for i := 0; i < n; i++ {
+		gap := sim.Duration((0.5 + rng.Float64()) * float64(mean))
+		ts = ts.Add(gap)
+		p := pkt(int64(i))
+		p.Flow = flow
+		if q.Enqueue(ts, p) {
+			admitted++
+		}
+		q.Dequeue(ts)
+	}
+	return admitted, ts.Sub(sim.Time(0))
+}
+
+// TestTokenBucketConformantTraffic checks that a bucket calibrated above
+// the offered rate sheds nothing, across several arrival-process seeds.
+func TestTokenBucketConformantTraffic(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7} {
+		// Offered ~1000 pkts/s against a 2000 pkts/s bucket.
+		q, err := NewTokenBucket(AdmissionConfig{Capacity: 50, Rate: 2000, Burst: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		admitted, _ := offerLoad(q, sim.NewRNG(seed), 2000, time.Millisecond, 0)
+		if admitted != 2000 || q.Shed() != 0 {
+			t.Errorf("seed %d: admitted %d shed %d, want 2000/0", seed, admitted, q.Shed())
+		}
+	}
+}
+
+// TestTokenBucketMiscalibratedShedsLoad checks the degradation mode the
+// burst-sweep experiment probes: a bucket calibrated at a quarter of the
+// offered rate turns the gateway into a load shedder passing roughly
+// burst + rate·T packets, independent of the arrival seed.
+func TestTokenBucketMiscalibratedShedsLoad(t *testing.T) {
+	const (
+		n    = 2000
+		rate = 250 // pkts/s against ~1000 offered
+	)
+	for _, seed := range []int64{1, 2, 3, 7} {
+		q, err := NewTokenBucket(AdmissionConfig{Capacity: 50, Rate: rate, Burst: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		admitted, span := offerLoad(q, sim.NewRNG(seed), n, time.Millisecond, 0)
+		if int(q.Shed())+admitted != n {
+			t.Fatalf("seed %d: shed %d + admitted %d != offered %d", seed, q.Shed(), admitted, n)
+		}
+		// Long-run admission ≈ initial burst + rate × elapsed time.
+		expect := 10 + rate*span.Seconds()
+		lo, hi := int(0.9*expect), int(1.1*expect)+1
+		if admitted < lo || admitted > hi {
+			t.Errorf("seed %d: admitted %d of %d, want ≈ %.0f (within [%d,%d])",
+				seed, admitted, n, expect, lo, hi)
+		}
+		// Shed rate ~75%: the policer, not the buffer, dominates losses.
+		if frac := float64(q.Shed()) / n; frac < 0.6 || frac > 0.85 {
+			t.Errorf("seed %d: shed fraction %.2f, want ~0.75", seed, frac)
+		}
+	}
+}
+
+// TestLeakyBucketDrainLaw checks the leaky-bucket counterpart: the bucket
+// starts empty (a burst of Depth passes), then admits at the drain rate.
+func TestLeakyBucketDrainLaw(t *testing.T) {
+	q, err := NewLeakyBucket(AdmissionConfig{Capacity: 50, Rate: 250, Burst: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A burst of 15 back-to-back packets at t=0: exactly Depth=10 fit.
+	admitted := 0
+	for i := int64(0); i < 15; i++ {
+		if q.Enqueue(0, pkt(i)) {
+			admitted++
+		}
+		q.Dequeue(0)
+	}
+	if admitted != 10 {
+		t.Errorf("burst admitted %d, want the bucket depth 10", admitted)
+	}
+	// After 20ms the bucket drained 250·0.02 = 5 packets' volume.
+	admitted = 0
+	for i := int64(0); i < 15; i++ {
+		if q.Enqueue(sim.Time(20*time.Millisecond), pkt(100+i)) {
+			admitted++
+		}
+		q.Dequeue(sim.Time(20 * time.Millisecond))
+	}
+	if admitted != 5 {
+		t.Errorf("post-drain burst admitted %d, want 5", admitted)
+	}
+	if q.Shed() != 15 {
+		t.Errorf("shed = %d, want 15", q.Shed())
+	}
+}
+
+// TestPerFlowPolicing checks that per-flow mode polices each flow against
+// its own bucket: a compliant flow sails through while an aggressive one
+// interleaved with it is shed, rather than both sharing one budget.
+func TestPerFlowPolicing(t *testing.T) {
+	q, err := NewTokenBucket(AdmissionConfig{Capacity: 50, Rate: 500, Burst: 5, PerFlow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := map[packet.FlowID]int{}
+	offered := map[packet.FlowID]int{}
+	// Slots arrive every 250µs → 4000 pkts/s offered in total. Flow 1
+	// takes every 16th slot (250 pkts/s, within its 500 pkts/s budget);
+	// flow 0 fills the rest (3750 pkts/s, 7.5x its budget).
+	ts := sim.Time(0)
+	for i := int64(0); i < 4000; i++ {
+		ts = ts.Add(sim.Duration(250 * time.Microsecond))
+		var flow packet.FlowID
+		if i%16 == 15 {
+			flow = 1
+		}
+		offered[flow]++
+		p := pkt(i)
+		p.Flow = flow
+		if q.Enqueue(ts, p) {
+			admitted[flow]++
+		}
+		q.Dequeue(ts)
+	}
+	if admitted[1] != offered[1] {
+		t.Errorf("compliant flow: admitted %d of %d, want all", admitted[1], offered[1])
+	}
+	if frac := float64(admitted[0]) / float64(offered[0]); frac > 0.2 {
+		t.Errorf("aggressive flow: admitted fraction %.2f, want ≈ 0.13 (500 of 3750 pkts/s)", frac)
+	}
+	if int(q.Shed()) != offered[0]-admitted[0] {
+		t.Errorf("shed = %d, want %d", q.Shed(), offered[0]-admitted[0])
+	}
+}
+
+// TestAdmissionOverflowIsForcedDrop separates the two loss kinds: arrivals
+// the policer refuses count as shed, conformant arrivals that find the
+// buffer full count as forced drops.
+func TestAdmissionOverflowIsForcedDrop(t *testing.T) {
+	q, err := NewTokenBucket(AdmissionConfig{Capacity: 3, Rate: 1000, Burst: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		q.Enqueue(0, pkt(i)) // all conformant (burst 100); only 3 fit
+	}
+	s := q.DisciplineStats()
+	if s.Shed != 0 || s.ForcedDrops != 2 {
+		t.Errorf("shed=%d forced=%d, want 0/2", s.Shed, s.ForcedDrops)
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", q.Len())
+	}
+}

@@ -1,0 +1,219 @@
+package queue
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tcpburst/internal/packet"
+)
+
+func codelConfig(mutate func(*CoDelConfig)) CoDelConfig {
+	cfg := CoDelConfig{
+		Capacity: 100,
+		Target:   5 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+func newCoDelT(t *testing.T, mutate func(*CoDelConfig)) *CoDel {
+	t.Helper()
+	q, err := NewCoDel(codelConfig(mutate))
+	if err != nil {
+		t.Fatalf("NewCoDel: %v", err)
+	}
+	return q
+}
+
+func TestCoDelConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CoDelConfig)
+		substr string
+	}{
+		{"zero capacity", func(c *CoDelConfig) { c.Capacity = 0 }, "capacity"},
+		{"zero target", func(c *CoDelConfig) { c.Target = 0 }, "target"},
+		{"zero interval", func(c *CoDelConfig) { c.Interval = 0 }, "interval"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewCoDel(codelConfig(tc.mutate))
+			if err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("NewCoDel error = %v, want mention of %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+// codelDrive runs the canonical standing-queue scenario: one enqueue per
+// millisecond from t=0, one dequeue per millisecond from t=10ms, so the
+// backlog holds at 10 packets and every head has waited 10ms — twice the
+// 5ms target. It records the times (in ms) of head drops and of delivered
+// packets that came out ECN-marked.
+func codelDrive(q *CoDel, from, to int64) (dropsMS, marksMS []int64) {
+	q.OnDequeueDrop(func(*packet.Packet) {})
+	for t := from; t <= to; t++ {
+		if t >= from+10 {
+			before := q.earlyDrops
+			p := q.Dequeue(now(t))
+			if q.earlyDrops > before {
+				dropsMS = append(dropsMS, t)
+			}
+			if p != nil && p.ECE {
+				marksMS = append(marksMS, t)
+			}
+		}
+		q.Enqueue(now(t), pkt(t))
+	}
+	return dropsMS, marksMS
+}
+
+// TestCoDelPinnedDropSequence pins the full drop schedule of the standing-
+// queue scenario against the RFC 8289 control law, hand-computed:
+//
+//   - Sojourn first exceeds target at the first dequeue, t=10ms, arming the
+//     interval clock at 10+100 = 110ms.
+//   - Drop #1 fires at t=110ms (count=1), scheduling the next drop a full
+//     interval later: drop #2 at t=210ms.
+//   - Subsequent drops tighten as interval/sqrt(count) past the previous
+//     deadline: 210+100/√2 = 280.71ms → t=281; +100/√3 → t=339;
+//     +100/√4 → t=389; +100/√5 → t=434.
+//   - Each drop consumes one extra packet, so the backlog shrinks 10 → 4;
+//     at 4 packets the head sojourn (4ms) is finally below target, and the
+//     dequeue after drop #6 leaves the dropping state.
+func TestCoDelPinnedDropSequence(t *testing.T) {
+	q := newCoDelT(t, nil)
+	drops, marks := codelDrive(q, 0, 600)
+
+	want := []int64{110, 210, 281, 339, 389, 434}
+	if len(drops) != len(want) {
+		t.Fatalf("drop times = %v ms, want %v", drops, want)
+	}
+	for i := range want {
+		if drops[i] != want[i] {
+			t.Fatalf("drop times = %v ms, want %v", drops, want)
+		}
+	}
+	if len(marks) != 0 {
+		t.Errorf("non-ECN queue delivered marked packets at %v ms", marks)
+	}
+	if q.Dropping() {
+		t.Error("still in dropping state after backlog fell below target")
+	}
+	if q.earlyDrops != 6 || q.forcedDrops != 0 || q.marks != 0 {
+		t.Errorf("counters early=%d forced=%d marks=%d, want 6/0/0",
+			q.earlyDrops, q.forcedDrops, q.marks)
+	}
+}
+
+// TestCoDelPinnedECNSequence replays the same scenario with ECN: heads are
+// marked in place of dropped on the identical control-law schedule, but
+// because marking does not shorten the queue the sojourn never recovers and
+// marking continues past where the drop variant exited.
+func TestCoDelPinnedECNSequence(t *testing.T) {
+	q := newCoDelT(t, func(c *CoDelConfig) { c.ECN = true })
+	drops, marks := codelDrive(q, 0, 600)
+
+	want := []int64{110, 210, 281, 339, 389, 434, 474, 512, 548, 581}
+	if len(marks) != len(want) {
+		t.Fatalf("mark times = %v ms, want %v", marks, want)
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("mark times = %v ms, want %v", marks, want)
+		}
+	}
+	if len(drops) != 0 || q.earlyDrops != 0 {
+		t.Errorf("ECN queue head-dropped at %v ms (early=%d), want none", drops, q.earlyDrops)
+	}
+	if !q.Dropping() {
+		t.Error("left dropping state despite a standing 10ms sojourn")
+	}
+}
+
+// TestCoDelResumesDropRate checks the RFC 8289 §4.3 heuristic: re-entering
+// the dropping state shortly after leaving it resumes near the previous
+// drop rate (count = delta) instead of restarting from one drop/interval.
+func TestCoDelResumesDropRate(t *testing.T) {
+	q := newCoDelT(t, nil)
+	codelDrive(q, 0, 439) // phase 1: drops at 110..434, exits at backlog 4
+
+	var drops []int64
+	q.OnDequeueDrop(func(*packet.Packet) {})
+	for i := int64(0); i < 12; i++ { // burst re-grows the backlog to 16
+		q.Enqueue(now(440), pkt(1000+i))
+	}
+	for ts := int64(441); ts <= 630; ts++ {
+		before := q.earlyDrops
+		q.Dequeue(now(ts))
+		if q.earlyDrops > before {
+			drops = append(drops, ts)
+		}
+		q.Enqueue(now(ts), pkt(ts))
+	}
+
+	// Sojourn re-exceeds target at t=441, arming the clock for t=541. Phase
+	// 1 ended with count=6, lastCount=1 → delta=5, and the previous deadline
+	// (433.17ms) is well within 16 intervals, so the state resumes at
+	// count=5: the drop after re-entry comes 100/√5 = 44.7ms later (t=586),
+	// not a full interval later (t=641), and the next 100/√6 after (t=627).
+	want := []int64{541, 586, 627}
+	if len(drops) != len(want) {
+		t.Fatalf("re-entry drop times = %v ms, want %v", drops, want)
+	}
+	for i := range want {
+		if drops[i] != want[i] {
+			t.Fatalf("re-entry drop times = %v ms, want %v", drops, want)
+		}
+	}
+}
+
+func TestCoDelNoDropsBelowTarget(t *testing.T) {
+	q := newCoDelT(t, nil)
+	// Backlog of 3: heads wait 3ms, under the 5ms target.
+	for ts := int64(0); ts < 1000; ts++ {
+		if ts >= 3 {
+			if p := q.Dequeue(now(ts)); p == nil {
+				t.Fatalf("empty queue at t=%dms", ts)
+			}
+		}
+		q.Enqueue(now(ts), pkt(ts))
+	}
+	if q.earlyDrops != 0 || q.Dropping() {
+		t.Errorf("early drops = %d, dropping = %v below target", q.earlyDrops, q.Dropping())
+	}
+}
+
+func TestCoDelOverflowIsForcedDrop(t *testing.T) {
+	q, err := NewCoDel(CoDelConfig{Capacity: 3, Target: time.Millisecond, Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if !q.Enqueue(0, pkt(i)) {
+			t.Fatalf("enqueue %d rejected below capacity", i)
+		}
+	}
+	if q.Enqueue(0, pkt(3)) {
+		t.Error("enqueue beyond capacity accepted")
+	}
+	if q.forcedDrops != 1 {
+		t.Errorf("forced drops = %d, want 1", q.forcedDrops)
+	}
+}
+
+func TestCoDelStats(t *testing.T) {
+	q := newCoDelT(t, nil)
+	codelDrive(q, 0, 300)
+	s := q.DisciplineStats()
+	if s.EarlyDrops != q.earlyDrops || s.EarlyDrops == 0 {
+		t.Errorf("stats early drops = %d, want %d (nonzero)", s.EarlyDrops, q.earlyDrops)
+	}
+	if got := s.FinalAvg; (got == 1) != q.Dropping() {
+		t.Errorf("stats FinalAvg = %v with dropping = %v", got, q.Dropping())
+	}
+}

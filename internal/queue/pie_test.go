@@ -1,0 +1,269 @@
+package queue
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tcpburst/internal/sim"
+)
+
+func pieConfig(mutate func(*PIEConfig)) PIEConfig {
+	cfg := PIEConfig{
+		Capacity:       100,
+		Target:         15 * time.Millisecond,
+		TUpdate:        15 * time.Millisecond,
+		Alpha:          0.125,
+		Beta:           1.25,
+		MeanPacketTime: time.Millisecond,
+		MaxECNProb:     0.1,
+		RNG:            sim.NewRNG(1),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+func newPIE(t *testing.T, mutate func(*PIEConfig)) *PIE {
+	t.Helper()
+	q, err := NewPIE(pieConfig(mutate))
+	if err != nil {
+		t.Fatalf("NewPIE: %v", err)
+	}
+	return q
+}
+
+func TestPIEConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*PIEConfig)
+		substr string
+	}{
+		{"zero capacity", func(c *PIEConfig) { c.Capacity = 0 }, "capacity"},
+		{"zero target", func(c *PIEConfig) { c.Target = 0 }, "target"},
+		{"zero tupdate", func(c *PIEConfig) { c.TUpdate = 0 }, "tupdate"},
+		{"zero alpha", func(c *PIEConfig) { c.Alpha = 0 }, "alpha"},
+		{"zero beta", func(c *PIEConfig) { c.Beta = 0 }, "beta"},
+		{"zero packet time", func(c *PIEConfig) { c.MeanPacketTime = 0 }, "mean packet time"},
+		{"bad ecn prob", func(c *PIEConfig) { c.MaxECNProb = 1.5 }, "ECN probability"},
+		{"nil rng", func(c *PIEConfig) { c.RNG = nil }, "RNG"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewPIE(pieConfig(tc.mutate))
+			if err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("NewPIE error = %v, want mention of %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+// TestPIEPinnedProbabilitySequence drives the controller epoch-by-epoch
+// with a constant 40ms delay estimate and pins the first probabilities of
+// the RFC 8033 §4.2 PI law with its auto-tuning ladder, hand-computed:
+//
+//	epoch 1: delta = 0.125·(0.040−0.015) + 1.25·(0.040−0) = 0.053125,
+//	         prob < 1e-6 → /2048 → prob = 2.593994140625e-05
+//	epoch 2: delta = 0.125·0.025 = 0.003125 (no trend term),
+//	         prob < 1e-4 → /128 → prob += 2.44140625e-05
+//
+// and the same +2.44140625e-05 step for epochs 3–4 while prob stays under
+// the 1e-4 rung.
+func TestPIEPinnedProbabilitySequence(t *testing.T) {
+	q := newPIE(t, nil)
+	const qd = 40 * time.Millisecond
+
+	want := []float64{
+		0.053125 / 2048,
+		0.053125/2048 + 1*0.003125/128,
+		0.053125/2048 + 2*0.003125/128,
+		0.053125/2048 + 3*0.003125/128,
+	}
+	for i, w := range want {
+		q.update(qd)
+		got := q.Prob()
+		if diff := got - w; diff < -1e-15 || diff > 1e-15 {
+			t.Fatalf("epoch %d: prob = %.17g, want %.17g", i+1, got, w)
+		}
+	}
+
+	// Under sustained overload the ladder keeps climbing until it saturates
+	// at the clamp; it never decreases or overshoots 1.
+	prev := q.Prob()
+	for i := 0; i < 400; i++ {
+		q.update(qd)
+		if q.Prob() < prev || q.Prob() > 1 {
+			t.Fatalf("prob went from %.6g to %.6g at epoch %d of 40ms delay", prev, q.Prob(), i+5)
+		}
+		prev = q.Prob()
+	}
+	if prev < 0.01 {
+		t.Errorf("prob = %.6g after sustained overload, want > 0.01", prev)
+	}
+}
+
+// TestPIEDecayAtZero pins the 0.98 exponential decay: once the queue has
+// fully drained for two consecutive epochs, the probability halves in ~34
+// epochs instead of sticking at its overload value.
+func TestPIEDecayAtZero(t *testing.T) {
+	q := newPIE(t, nil)
+	for i := 0; i < 200; i++ {
+		q.update(40 * time.Millisecond)
+	}
+	peak := q.Prob()
+	if peak <= 0 {
+		t.Fatalf("no probability built up (%v)", peak)
+	}
+	q.update(0) // first zero epoch: trend term pulls down, no decay yet
+	for i := 0; i < 300; i++ {
+		q.update(0)
+	}
+	if q.Prob() > peak/100 {
+		t.Errorf("prob = %.6g after 300 drained epochs, want well below peak %.6g", q.Prob(), peak)
+	}
+	if q.Prob() < 0 {
+		t.Errorf("prob = %.6g went negative", q.Prob())
+	}
+}
+
+// TestPIEStepReplaysEpochs checks the lazy-evaluation equivalence: one step
+// across N update periods advances the controller exactly like N explicit
+// epoch updates at the same queue length.
+func TestPIEStepReplaysEpochs(t *testing.T) {
+	lazy := newPIE(t, nil)
+	eager := newPIE(t, nil)
+	for i := int64(0); i < 30; i++ { // backlog of 30 → 30ms delay estimate
+		lazy.ring.push(pkt(i))
+		eager.ring.push(pkt(i))
+	}
+
+	lazy.step(sim.Time(10 * 15 * time.Millisecond)) // one jump of 10 epochs
+	for i := 1; i <= 10; i++ {
+		eager.step(sim.Time(i) * sim.Time(15*time.Millisecond))
+	}
+
+	if lazy.Prob() != eager.Prob() {
+		t.Errorf("lazy prob = %.17g, eager = %.17g", lazy.Prob(), eager.Prob())
+	}
+	if lazy.lastUpdate != eager.lastUpdate {
+		t.Errorf("lazy lastUpdate = %v, eager = %v", lazy.lastUpdate, eager.lastUpdate)
+	}
+}
+
+// TestPIESettledFastForward checks that a controller settled at zero skips
+// idle epochs in O(1): the epoch clock lands on a TUpdate boundary at or
+// before now without replaying each period.
+func TestPIESettledFastForward(t *testing.T) {
+	q := newPIE(t, nil)
+	// A year of idle epochs would take minutes to replay one by one.
+	year := sim.Time(365 * 24 * time.Hour)
+	done := make(chan struct{})
+	go func() { q.step(year); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("step over an idle year did not fast-forward")
+	}
+	if q.Prob() != 0 {
+		t.Errorf("prob = %v after idle fast-forward, want 0", q.Prob())
+	}
+	period := sim.Time(15 * time.Millisecond)
+	if q.lastUpdate%period != 0 || q.lastUpdate > year || year.Sub(q.lastUpdate) >= 15*time.Millisecond {
+		t.Errorf("lastUpdate = %v, want the last epoch boundary before %v", q.lastUpdate, year)
+	}
+}
+
+// TestPIEDropSafeguards pins the RFC's burst-tolerance exemptions: no early
+// drops while the delay estimate is comfortably under target with a small
+// probability, and never on a near-empty queue.
+func TestPIEDropSafeguards(t *testing.T) {
+	q := newPIE(t, nil)
+
+	// prob just under the 0.2 exemption threshold with a low old delay.
+	q.prob = 0.19
+	q.qdelayOld = 5 * time.Millisecond // < target/2 = 7.5ms
+	for i := int64(0); i < 20; i++ {
+		q.ring.push(pkt(i))
+	}
+	for i := 0; i < 1000; i++ {
+		if q.dropEarly() {
+			t.Fatal("dropped despite low-delay small-probability exemption")
+		}
+	}
+
+	// Near-empty queue: never drop, whatever the probability says.
+	q = newPIE(t, nil)
+	q.prob = 1.0
+	q.qdelayOld = 40 * time.Millisecond
+	q.ring.push(pkt(1))
+	q.ring.push(pkt(2))
+	for i := 0; i < 1000; i++ {
+		if q.dropEarly() {
+			t.Fatal("dropped with only two packets queued")
+		}
+	}
+	// A third packet lifts the exemption; prob=1 must now always drop.
+	q.ring.push(pkt(3))
+	if !q.dropEarly() {
+		t.Error("no drop at prob=1 with a standing queue")
+	}
+}
+
+// TestPIEECNRegime checks RFC 8033 §5.1: ECN marks replace drops only while
+// the probability is at most MaxECNProb; beyond it PIE reverts to dropping.
+func TestPIEECNRegime(t *testing.T) {
+	q := newPIE(t, func(c *PIEConfig) { c.ECN = true })
+	q.qdelayOld = 40 * time.Millisecond
+	for i := int64(0); i < 20; i++ {
+		q.ring.push(pkt(i))
+	}
+
+	q.prob = 0.05 // ≤ MaxECNProb 0.1: marking regime
+	for i := int64(0); i < 2000; i++ {
+		q.Enqueue(0, pkt(100+i))
+		q.ring.pop() // hold the backlog steady
+	}
+	if q.marks == 0 || q.earlyDrops != 0 {
+		t.Errorf("marking regime: marks=%d drops=%d, want marks>0 drops=0", q.marks, q.earlyDrops)
+	}
+
+	q.prob = 0.5 // > MaxECNProb: drop regime
+	marksBefore := q.marks
+	for i := int64(0); i < 2000; i++ {
+		q.Enqueue(0, pkt(5000+i))
+		for q.ring.len() > 20 {
+			q.ring.pop()
+		}
+	}
+	if q.earlyDrops == 0 || q.marks != marksBefore {
+		t.Errorf("drop regime: drops=%d new marks=%d, want drops>0 marks unchanged",
+			q.earlyDrops, q.marks-marksBefore)
+	}
+}
+
+// TestPIEEndToEnd drives packets through the public interface at a rate the
+// drain cannot match and checks the controller engages: probability rises
+// from zero and early drops appear.
+func TestPIEEndToEnd(t *testing.T) {
+	q := newPIE(t, nil)
+	ts := sim.Time(0)
+	for i := int64(0); i < 20000; i++ {
+		// Two arrivals per drained packet: unsustainable offered load.
+		q.Enqueue(ts, pkt(i))
+		if i%2 == 0 {
+			q.Dequeue(ts)
+		}
+		ts = ts.Add(sim.Duration(500 * time.Microsecond))
+	}
+	if q.earlyDrops == 0 {
+		t.Error("no early drops under 2x overload")
+	}
+	if q.Prob() <= 0 || q.Prob() > 1 {
+		t.Errorf("prob = %v after overload, want (0, 1]", q.Prob())
+	}
+	s := q.DisciplineStats()
+	if s.EarlyDrops != q.earlyDrops || s.FinalAvg != q.Prob() {
+		t.Errorf("stats %+v disagree with counters", s)
+	}
+}

@@ -27,6 +27,17 @@ type Discipline interface {
 	Cap() int
 }
 
+// DequeueDropper is implemented by disciplines that consume packets at
+// dequeue time (head drop — CoDel's control law). Such drops never surface
+// through an Enqueue rejection, so the link layer registers a sink here to
+// account for them and reclaim the packets; a discipline without the
+// interface never drops at dequeue.
+type DequeueDropper interface {
+	// OnDequeueDrop registers fn to receive every packet the discipline
+	// drops from inside Dequeue. Passing nil clears the hook.
+	OnDequeueDrop(fn func(p *packet.Packet))
+}
+
 // fifoRing is a slice-backed ring buffer shared by the disciplines. The
 // backing slice is a power of two so slot addressing is a mask instead of
 // a division; cap bounds the logical occupancy. Slots are allocated

@@ -188,6 +188,17 @@ func (q *RED) ForcedDrops() uint64 { return q.forcedDrops }
 // Marks returns the number of ECN marks applied (extension mode only).
 func (q *RED) Marks() uint64 { return q.marks }
 
+// DisciplineStats reports RED's counters generically for registry-built
+// gateways; FinalAvg is the terminal EWMA queue-length estimate.
+func (q *RED) DisciplineStats() Stats {
+	return Stats{
+		EarlyDrops:  q.earlyDrops,
+		ForcedDrops: q.forcedDrops,
+		Marks:       q.marks,
+		FinalAvg:    q.avg,
+	}
+}
+
 // updateAverage folds the current instantaneous queue length into the EWMA,
 // first decaying it across any idle period as if m small packets had
 // departed (Floyd & Jacobson, eq. 2).

@@ -1,0 +1,145 @@
+package queue
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"tcpburst/internal/sim"
+)
+
+func buildCtx() BuildContext {
+	return BuildContext{
+		Capacity:       50,
+		PacketSize:     1000,
+		MeanPacketTime: 258 * time.Microsecond,
+		RNG:            func() *sim.RNG { return sim.NewRNG(1) },
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	got := Names()
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("Names() not sorted: %v", got)
+	}
+	for _, want := range []string{
+		"fifo", "red", "drr", "codel", "pie", "tokenbucket", "leakybucket",
+	} {
+		if !Registered(want) {
+			t.Errorf("Registered(%q) = false", want)
+		}
+	}
+}
+
+// TestRegistryBuildsEveryDiscipline builds each registered name through the
+// factory path with default (or minimal required) parameters.
+func TestRegistryBuildsEveryDiscipline(t *testing.T) {
+	specs := []string{
+		"fifo",
+		"red",
+		"red?ecn=true&gentle=true",
+		"drr",
+		"codel",
+		"codel?target=2ms&interval=50ms&ecn=true",
+		"pie",
+		"pie?ecn=true&alpha=0.25",
+		"tokenbucket?rate=3000",
+		"tokenbucket?rate=3000&burst=20&perflow=true",
+		"leakybucket?rate=3000&depth=30",
+	}
+	for _, s := range specs {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		d, err := Build(spec, buildCtx())
+		if err != nil {
+			t.Errorf("Build(%q): %v", s, err)
+			continue
+		}
+		if d.Cap() != 50 {
+			t.Errorf("Build(%q).Cap() = %d, want 50", s, d.Cap())
+		}
+	}
+}
+
+func TestRegistryBuildErrors(t *testing.T) {
+	cases := []struct {
+		in     string
+		substr string
+	}{
+		{"wred", `unknown discipline "wred"`},
+		{"wred", "registered: codel, drr, fifo"},
+		{"codel?targit=5ms", `codel: unknown parameter "targit"`},
+		{"fifo?x=1", `fifo: unknown parameter "x"`},
+		{"codel?target=fast", "codel: parameter target="},
+		{"pie?alpha=-1", "alpha"},
+		// tokenbucket has no usable default rate: an unpoliced policer is a
+		// configuration error, not a silent FIFO.
+		{"tokenbucket", "rate"},
+		{"leakybucket?rate=100&burst=10", `unknown parameter "burst"`},
+	}
+	for _, tc := range cases {
+		spec, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+		}
+		_, err = Build(spec, buildCtx())
+		if err == nil || !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("Build(%q) error = %v, want mention of %q", tc.in, err, tc.substr)
+		}
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f Factory) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%q) did not panic", name)
+			}
+		}()
+		Register(name, f)
+	}
+	mustPanic("", buildFIFO)        // empty name
+	mustPanic("fifo", buildFIFO)    // duplicate
+	mustPanic("novel-factory", nil) // nil factory
+}
+
+// TestRegistryRNGLaziness pins the contract that deterministic disciplines
+// never fork an RNG stream: calling ctx.RNG from a factory that does not
+// need randomness would consume parent RNG state and silently shift every
+// downstream stream, breaking bit-identical replay.
+func TestRegistryRNGLaziness(t *testing.T) {
+	cases := []struct {
+		spec  string
+		wants bool
+	}{
+		{"fifo", false},
+		{"drr", false},
+		{"codel", false},
+		{"tokenbucket?rate=100", false},
+		{"leakybucket?rate=100", false},
+		{"red", true},
+		{"pie", true},
+	}
+	for _, tc := range cases {
+		spec, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		called := false
+		ctx := buildCtx()
+		ctx.RNG = func() *sim.RNG {
+			called = true
+			return sim.NewRNG(1)
+		}
+		if _, err := Build(spec, ctx); err != nil {
+			t.Fatalf("Build(%q): %v", tc.spec, err)
+		}
+		if called != tc.wants {
+			t.Errorf("Build(%q) RNG fork = %v, want %v", tc.spec, called, tc.wants)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package queue
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in     string
+		name   string
+		params map[string]string
+	}{
+		{"fifo", "fifo", nil},
+		{"red?ecn=true", "red", map[string]string{"ecn": "true"}},
+		{"codel?target=5ms&interval=100ms", "codel",
+			map[string]string{"target": "5ms", "interval": "100ms"}},
+		{"tokenbucket?rate=3000&burst=60&perflow=true", "tokenbucket",
+			map[string]string{"rate": "3000", "burst": "60", "perflow": "true"}},
+	}
+	for _, tc := range cases {
+		spec, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if spec.Name != tc.name {
+			t.Errorf("ParseSpec(%q).Name = %q, want %q", tc.in, spec.Name, tc.name)
+		}
+		if len(spec.Params) != len(tc.params) {
+			t.Errorf("ParseSpec(%q).Params = %v, want %v", tc.in, spec.Params, tc.params)
+			continue
+		}
+		for k, v := range tc.params {
+			if spec.Params[k] != v {
+				t.Errorf("ParseSpec(%q).Params[%q] = %q, want %q", tc.in, k, spec.Params[k], v)
+			}
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		in     string
+		substr string
+	}{
+		{"", "empty discipline name"},
+		{"?target=5ms", "empty discipline name"},
+		{"red=ecn", "malformed name"},
+		{"a&b", "malformed name"},
+		{"codel?", "'?' with no parameters"},
+		{"codel?target", "not key=value"},
+		{"codel?=5ms", "not key=value"},
+		{"codel?target=1ms&target=2ms", "duplicate parameter"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.in)
+		if err == nil || !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("ParseSpec(%q) error = %v, want mention of %q", tc.in, err, tc.substr)
+		}
+	}
+}
+
+// TestSpecStringCanonical checks that String sorts parameters, so two specs
+// differing only in key order render — and hence label and cache — the same.
+func TestSpecStringCanonical(t *testing.T) {
+	a, err := ParseSpec("codel?target=5ms&interval=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("codel?interval=100ms&target=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "codel?interval=100ms&target=5ms"
+	if a.String() != want || b.String() != want {
+		t.Errorf("String() = %q / %q, want both %q", a, b, want)
+	}
+	// Round trip: parsing the canonical form reproduces it.
+	c, err := ParseSpec(a.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != want {
+		t.Errorf("round trip = %q, want %q", c, want)
+	}
+	if bare := (Spec{Name: "fifo"}); bare.String() != "fifo" {
+		t.Errorf("bare spec String() = %q, want fifo", bare)
+	}
+}
+
+func TestSpecClone(t *testing.T) {
+	orig, err := ParseSpec("red?ecn=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := orig.Clone()
+	cl.Params["ecn"] = "false"
+	cl.Params["gentle"] = "true"
+	if orig.Params["ecn"] != "true" || len(orig.Params) != 1 {
+		t.Errorf("Clone aliased the original: %v", orig.Params)
+	}
+}
+
+func TestSpecLower(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Legacy
+		ok   bool
+	}{
+		{"fifo", Legacy{Kind: "fifo"}, true},
+		{"drr", Legacy{Kind: "drr"}, true},
+		{"red", Legacy{Kind: "red"}, true},
+		{"red?ecn=true", Legacy{Kind: "red", ECN: true}, true},
+		{"red?gentle=true&ecn=false", Legacy{Kind: "red", Gentle: true}, true},
+		{"red?min=5&max=15&weight=0.01&maxprob=0.2",
+			Legacy{Kind: "red", Min: 5, Max: 15, Weight: 0.01, MaxProb: 0.2}, true},
+		// Explicit zero cannot be told apart from "unset" in the flat
+		// fields, so it must not lower.
+		{"red?min=0", Legacy{}, false},
+		// Keys outside the legacy vocabulary run through the registry.
+		{"red?target=5ms", Legacy{}, false},
+		{"red?ecn=notabool", Legacy{}, false},
+		// Parameterized fifo/drr and every new discipline never lower.
+		{"fifo?x=1", Legacy{}, false},
+		{"codel", Legacy{}, false},
+		{"pie?target=15ms", Legacy{}, false},
+		{"tokenbucket?rate=3000", Legacy{}, false},
+	}
+	for _, tc := range cases {
+		spec, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+		}
+		got, ok := spec.Lower()
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("Lower(%q) = %+v, %v; want %+v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
