@@ -4,7 +4,7 @@
 STATICCHECK_VERSION = 2024.1.1
 GOVULNCHECK_VERSION = v1.1.3
 
-.PHONY: all build test race lint burstlint vet-burstlint staticcheck govulncheck golden bench bench-baseline bench-gate
+.PHONY: all build test race lint burstlint lint-hotpath lint-report vet-burstlint staticcheck govulncheck golden bench bench-baseline bench-gate
 
 all: build test lint
 
@@ -23,6 +23,18 @@ lint: burstlint staticcheck govulncheck
 ## burstlint: the repo's own invariant analyzers (see internal/analysis).
 burstlint:
 	go run ./cmd/burstlint ./...
+
+## lint-hotpath: just the hot-path allocation analyzer, for fast local
+## iteration while touching internal/sim, internal/packet, or a queue
+## discipline's Enqueue/Dequeue path.
+lint-hotpath:
+	go run ./cmd/burstlint -analyzers hotpathalloc ./...
+
+## lint-report: the full suite in machine-readable form. CI uploads the
+## resulting analysis_report.json so per-analyzer diagnostic and
+## suppression counts are comparable across PRs.
+lint-report:
+	go run ./cmd/burstlint -json ./... > analysis_report.json
 
 ## vet-burstlint: the same analyzers through go vet's driver and cache.
 vet-burstlint:

@@ -24,12 +24,14 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"tcpburst/internal/analysis"
 	"tcpburst/internal/analysis/burstlint"
+	"tcpburst/internal/analysis/configdrift"
 	"tcpburst/internal/analysis/load"
 )
 
@@ -41,6 +43,8 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("burstlint", flag.ContinueOnError)
 	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings and per-analyzer counts as JSON (the CI analysis_report.json artifact)")
+	updateLock := fs.Bool("update-lock", false, "repin configdrift's schema lock from the current core package and exit")
 	version := fs.String("V", "", "version flag used by the go vet driver")
 	schema := fs.Bool("flags", false, "print the driver flag schema used by the go vet driver")
 	fs.Usage = func() {
@@ -92,6 +96,10 @@ func run(args []string) int {
 		}
 	}
 
+	if *updateLock {
+		return runUpdateLock()
+	}
+
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return vetUnit(rest[0], analyzers)
@@ -101,13 +109,20 @@ func run(args []string) int {
 		return 2
 	}
 
-	findings, err := check(".", rest, analyzers)
+	findings, rep, err := check(".", rest, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "burstlint: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Printf("%s\n", f)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, findings, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "burstlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s\n", f)
+		}
 	}
 	if len(findings) > 0 {
 		return 1
@@ -115,21 +130,87 @@ func run(args []string) int {
 	return 0
 }
 
-func check(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Finding, error) {
+func check(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Finding, *burstlint.Report, error) {
 	pkgs, err := load.Packages(dir, patterns...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	rep := burstlint.NewReport()
 	var findings []analysis.Finding
 	for _, pkg := range pkgs {
-		fs, err := burstlint.RunPackage(pkg, analyzers...)
+		fs, err := burstlint.RunPackageReport(pkg, rep, analyzers...)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		findings = append(findings, fs...)
 	}
 	analysis.SortFindings(findings)
-	return findings, nil
+	return findings, rep, nil
+}
+
+// jsonFinding is the machine-readable rendering of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON renders the -json report: findings plus the per-analyzer
+// diagnostic and suppression counts CI tracks across PRs.
+func writeJSON(w io.Writer, findings []analysis.Finding, rep *burstlint.Report) error {
+	out := struct {
+		Findings     []jsonFinding  `json:"findings"`
+		Diagnostics  map[string]int `json:"diagnostics"`
+		Suppressions map[string]int `json:"suppressions"`
+	}{
+		Findings:     make([]jsonFinding, 0, len(findings)),
+		Diagnostics:  rep.Diagnostics,
+		Suppressions: rep.Suppressions,
+	}
+	for _, f := range findings {
+		out.Findings = append(out.Findings, jsonFinding{
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Column:   f.Position.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// runUpdateLock repins configdrift's schema lock from the core package as
+// it typechecks right now. Run from the repo root.
+func runUpdateLock() int {
+	corePath := analysis.Default.CorePackage
+	pkgs, err := load.Packages(".", "./...")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "burstlint: %v\n", err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		if pkg.Types.Path() != corePath {
+			continue
+		}
+		data, err := configdrift.Regenerate(pkg.Types)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "burstlint: -update-lock: %v\n", err)
+			return 2
+		}
+		const lockPath = "internal/analysis/configdrift/schema_lock.json"
+		if err := os.WriteFile(lockPath, data, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "burstlint: %v\n", err)
+			return 2
+		}
+		fmt.Printf("burstlint: repinned %s\n", lockPath)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "burstlint: -update-lock: package %s not found (run from the repo root)\n", corePath)
+	return 2
 }
 
 // vetConfig is the subset of the go vet driver's per-package JSON config

@@ -1,20 +1,24 @@
 // Package analysis is burstlint's analyzer framework: a deliberately small,
 // stdlib-only reimplementation of the golang.org/x/tools/go/analysis
-// surface (Analyzer, Pass, Diagnostic) that the four invariant checkers
-// are written against. The repo vendors no third-party modules, so the
+// surface (Analyzer, Pass, Diagnostic) that the invariant checkers are
+// written against. The repo vendors no third-party modules, so the
 // framework typechecks packages itself (see the load subpackage) instead
 // of riding the x/tools driver; the analyzer API is kept shape-compatible
 // so the checkers could be ported to a stock multichecker by swapping
 // imports.
 //
-// Suppression: any diagnostic can be silenced with a directive comment on
-// the flagged line or the line above it:
+// Suppression: a diagnostic is silenced with a directive comment on the
+// flagged line or the line above it:
 //
-//	//burstlint:ignore <analyzer>[ <reason>]
+//	//burst:<analyzer>-ok <reason>
 //
-// A bare //burstlint:ignore silences every analyzer on that line. Each
-// suppression should carry a reason; they are grep-able documentation of
-// every spot where an invariant is intentionally waived.
+// Each analyzer owns exactly one directive token — its name suffixed with
+// "-ok" unless the analyzer declares a shorter alias (hotpathalloc answers
+// to //burst:alloc-ok). The reason is mandatory: a directive with no
+// justification suppresses nothing and is itself reported, so every waived
+// site stays grep-able documentation of an intentionally relaxed
+// invariant. Suppressions are counted per analyzer (see Pass.Suppressed)
+// so the CI report can watch waiver creep across PRs.
 package analysis
 
 import (
@@ -26,20 +30,73 @@ import (
 	"strings"
 )
 
+// DirectivePrefix introduces every burstlint annotation: suppressions
+// (//burst:<analyzer>-ok <reason>) and field annotations consumed by
+// individual analyzers (//burst:nocache <reason>).
+const DirectivePrefix = "//burst:"
+
 // Analyzer is one named invariant checker.
 type Analyzer struct {
-	// Name identifies the analyzer in diagnostics and ignore directives.
+	// Name identifies the analyzer in diagnostics and directive tokens.
 	Name string
 	// Doc describes the invariant it guards.
 	Doc string
+	// Suppress overrides the analyzer's directive token; empty means
+	// Name + "-ok".
+	Suppress string
 	// Run performs the check, reporting findings through the pass.
 	Run func(*Pass) (any, error)
+}
+
+// SuppressToken returns the directive token that waives this analyzer's
+// diagnostics ("floateq-ok", "alloc-ok", ...).
+func (a *Analyzer) SuppressToken() string {
+	if a.Suppress != "" {
+		return a.Suppress
+	}
+	return a.Name + "-ok"
 }
 
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+}
+
+// Directive is one parsed //burst: annotation.
+type Directive struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Token  string // e.g. "floateq-ok", "nocache"
+	Reason string // justification text after the token; may be empty
+}
+
+// Directives parses every //burst: comment in the files. Analyzers use it
+// for their own annotation vocabularies (configdrift's //burst:nocache);
+// the framework uses it for suppression.
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+				if !ok {
+					continue
+				}
+				tok, reason, _ := strings.Cut(text, " ")
+				pos := fset.Position(c.Pos())
+				out = append(out, Directive{
+					Pos:    c.Pos(),
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Token:  strings.TrimSpace(tok),
+					Reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -50,77 +107,65 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	// Report delivers one diagnostic. Analyzers should prefer Reportf,
-	// which applies //burstlint:ignore suppression.
+	// which applies //burst:<analyzer>-ok suppression.
 	Report func(Diagnostic)
 
-	// ignores maps filename -> line -> analyzer names suppressed there
-	// (empty list = all analyzers).
-	ignores map[string]map[int][]string
+	// suppressed counts diagnostics silenced by directives.
+	suppressed int
+	// ignores maps filename -> set of lines where this analyzer is waived.
+	ignores map[string]map[int]bool
 }
 
-// NewPass assembles a pass and indexes the package's ignore directives.
+// NewPass assembles a pass and indexes the package's suppression
+// directives for this analyzer. A directive matching the analyzer's token
+// but carrying no reason is reported immediately and suppresses nothing.
 func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
 	p := &Pass{
 		Analyzer: a, Fset: fset, Files: files, Pkg: pkg,
 		TypesInfo: info, Report: report,
-		ignores: make(map[string]map[int][]string),
+		ignores: make(map[string]map[int]bool),
 	}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//burstlint:ignore")
-				if !ok {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				byLine := p.ignores[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int][]string)
-					p.ignores[pos.Filename] = byLine
-				}
-				var names []string
-				if fields := strings.Fields(text); len(fields) > 0 {
-					// Only the first field names analyzers (comma-separated);
-					// the rest is the human reason.
-					names = strings.Split(fields[0], ",")
-				}
-				byLine[pos.Line] = names
-			}
+	tok := a.SuppressToken()
+	for _, d := range Directives(fset, files) {
+		if d.Token != tok {
+			continue
 		}
+		if d.Reason == "" {
+			report(Diagnostic{Pos: d.Pos, Message: fmt.Sprintf(
+				"suppression %s%s requires a justification: %s%s <reason>",
+				DirectivePrefix, tok, DirectivePrefix, tok)})
+			continue
+		}
+		byLine := p.ignores[d.File]
+		if byLine == nil {
+			byLine = make(map[int]bool)
+			p.ignores[d.File] = byLine
+		}
+		byLine[d.Line] = true
 	}
 	return p
 }
 
-// Reportf reports a diagnostic at pos unless an ignore directive on that
-// line (or the line above) suppresses this analyzer.
+// Reportf reports a diagnostic at pos unless a //burst:<analyzer>-ok
+// directive on that line (or the line above) suppresses this analyzer.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.suppressed(pos) {
+	if p.isSuppressed(pos) {
+		p.suppressed++
 		return
 	}
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-func (p *Pass) suppressed(pos token.Pos) bool {
+// Suppressed returns how many diagnostics directives silenced in this pass.
+func (p *Pass) Suppressed() int { return p.suppressed }
+
+func (p *Pass) isSuppressed(pos token.Pos) bool {
 	position := p.Fset.Position(pos)
 	byLine := p.ignores[position.Filename]
 	if byLine == nil {
 		return false
 	}
-	for _, line := range []int{position.Line, position.Line - 1} {
-		names, ok := byLine[line]
-		if !ok {
-			continue
-		}
-		if len(names) == 0 {
-			return true
-		}
-		for _, n := range names {
-			if n == p.Analyzer.Name {
-				return true
-			}
-		}
-	}
-	return false
+	return byLine[position.Line] || byLine[position.Line-1]
 }
 
 // Finding is a rendered diagnostic with its source position resolved.

@@ -4,8 +4,14 @@
 package burstlint
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"tcpburst/internal/analysis"
+	"tcpburst/internal/analysis/configdrift"
 	"tcpburst/internal/analysis/floateq"
+	"tcpburst/internal/analysis/hotpathalloc"
 	"tcpburst/internal/analysis/load"
 	"tcpburst/internal/analysis/nondeterminism"
 	"tcpburst/internal/analysis/packetrelease"
@@ -23,6 +29,8 @@ func Analyzers() []*analysis.Analyzer {
 		telemetryhandle.Analyzer,
 		queuespec.Analyzer,
 		floateq.Analyzer,
+		hotpathalloc.Analyzer,
+		configdrift.Analyzer,
 	}
 }
 
@@ -36,10 +44,42 @@ func ByName(name string) *analysis.Analyzer {
 	return nil
 }
 
+// Report aggregates per-analyzer counts across packages: unsuppressed
+// diagnostics and directive-silenced ones. CI uploads it (see
+// analysis_report.json) so waiver creep is visible across PRs.
+type Report struct {
+	Diagnostics  map[string]int `json:"diagnostics"`
+	Suppressions map[string]int `json:"suppressions"`
+}
+
+// NewReport returns an empty report with every suite analyzer present, so
+// the JSON artifact shows explicit zeros rather than omitting clean
+// analyzers.
+func NewReport() *Report {
+	r := &Report{
+		Diagnostics:  make(map[string]int),
+		Suppressions: make(map[string]int),
+	}
+	for _, a := range Analyzers() {
+		r.Diagnostics[a.Name] = 0
+		r.Suppressions[a.Name] = 0
+	}
+	return r
+}
+
 // RunPackage runs the given analyzers (all of them when none are named)
 // over one loaded package and returns position-resolved findings.
 func RunPackage(pkg *load.Package, analyzers ...*analysis.Analyzer) ([]analysis.Finding, error) {
-	if len(analyzers) == 0 {
+	return RunPackageReport(pkg, nil, analyzers...)
+}
+
+// RunPackageReport is RunPackage accumulating per-analyzer counts into rep
+// (which may be nil). When running the full suite it also validates the
+// package's //burst: directive vocabulary: a token no analyzer answers to
+// is a typo that would silently suppress nothing.
+func RunPackageReport(pkg *load.Package, rep *Report, analyzers ...*analysis.Analyzer) ([]analysis.Finding, error) {
+	full := len(analyzers) == 0
+	if full {
 		analyzers = Analyzers()
 	}
 	var findings []analysis.Finding
@@ -52,29 +92,72 @@ func RunPackage(pkg *load.Package, analyzers ...*analysis.Analyzer) ([]analysis.
 					Position: pkg.Fset.Position(d.Pos),
 					Message:  d.Message,
 				})
+				if rep != nil {
+					rep.Diagnostics[a.Name]++
+				}
 			})
 		if _, err := a.Run(pass); err != nil {
 			return nil, err
 		}
+		if rep != nil {
+			rep.Suppressions[a.Name] += pass.Suppressed()
+		}
+	}
+	if full {
+		findings = append(findings, checkDirectiveTokens(pkg)...)
 	}
 	return findings, nil
+}
+
+// checkDirectiveTokens flags //burst: comments whose token no analyzer
+// owns ("nocache" is configdrift's field-annotation vocabulary).
+func checkDirectiveTokens(pkg *load.Package) []analysis.Finding {
+	known := map[string]bool{"nocache": true}
+	var tokens []string
+	tokens = append(tokens, "nocache")
+	for _, a := range Analyzers() {
+		known[a.SuppressToken()] = true
+		tokens = append(tokens, a.SuppressToken())
+	}
+	sort.Strings(tokens)
+	var findings []analysis.Finding
+	for _, d := range analysis.Directives(pkg.Fset, pkg.Files) {
+		if known[d.Token] {
+			continue
+		}
+		findings = append(findings, analysis.Finding{
+			Analyzer: "burstlint",
+			Position: pkg.Fset.Position(d.Pos),
+			Message: fmt.Sprintf("unknown //burst: directive token %q (known: %s)",
+				d.Token, strings.Join(tokens, ", ")),
+		})
+	}
+	return findings
 }
 
 // Check loads every package matching patterns (relative to dir) and runs
 // the full suite, returning findings sorted by position.
 func Check(dir string, patterns ...string) ([]analysis.Finding, error) {
+	fs, _, err := CheckReport(dir, patterns...)
+	return fs, err
+}
+
+// CheckReport is Check returning the per-analyzer count report alongside
+// the findings.
+func CheckReport(dir string, patterns ...string) ([]analysis.Finding, *Report, error) {
 	pkgs, err := load.Packages(dir, patterns...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	rep := NewReport()
 	var findings []analysis.Finding
 	for _, pkg := range pkgs {
-		fs, err := RunPackage(pkg)
+		fs, err := RunPackageReport(pkg, rep)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		findings = append(findings, fs...)
 	}
 	analysis.SortFindings(findings)
-	return findings, nil
+	return findings, rep, nil
 }

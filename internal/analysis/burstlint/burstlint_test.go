@@ -10,7 +10,7 @@ import (
 
 // TestRepositoryIsClean is the acceptance gate in test form: the full
 // analyzer suite over the whole module must report nothing. Every waived
-// site carries a //burstlint:ignore directive with a reason, so a failure
+// site carries a //burst:<analyzer>-ok directive with a reason, so a failure
 // here is either a fresh invariant violation or an undocumented waiver.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
@@ -75,12 +75,71 @@ func Stamp() time.Time { return time.Now() }
 
 // TestByName covers the CLI's analyzer selection.
 func TestByName(t *testing.T) {
-	for _, name := range []string{"nondeterminism", "packetrelease", "telemetryhandle", "floateq"} {
+	for _, name := range []string{
+		"nondeterminism", "packetrelease", "telemetryhandle", "queuespec",
+		"shardownership", "floateq", "hotpathalloc", "configdrift",
+	} {
 		if a := burstlint.ByName(name); a == nil || a.Name != name {
 			t.Errorf("ByName(%q) = %v", name, a)
 		}
 	}
 	if a := burstlint.ByName("nope"); a != nil {
 		t.Errorf("ByName(nope) = %v, want nil", a)
+	}
+}
+
+// TestReportCountsAndUnknownTokens drives the full suite over a scratch
+// module containing one live violation, one justified waiver, and one
+// misspelled directive token, and checks all three surface in the report.
+func TestReportCountsAndUnknownTokens(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tcpburst\n\ngo 1.22\n")
+	write("internal/stats/stats.go", `package stats
+
+func Same(a, b float64) bool { return a == b }
+
+func Zero(x float64) bool {
+	return x == 0 //burst:floateq-ok assigned sentinel, never computed
+}
+
+func Typo(x float64) bool {
+	return x == 1 //burst:floateq-okay misspelled token suppresses nothing
+}
+`)
+
+	if z := burstlint.NewReport(); z.Diagnostics["hotpathalloc"] != 0 || z.Suppressions["configdrift"] != 0 {
+		t.Fatalf("NewReport not pre-zeroed for suite analyzers: %+v", z)
+	}
+	findings, rep, err := burstlint.CheckReport(dir, "./...")
+	if err != nil {
+		t.Fatalf("CheckReport: %v", err)
+	}
+	byAnalyzer := make(map[string]int)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+		t.Logf("finding: %s", f)
+	}
+	// Same() and the misspelled-token line are live; Zero() is waived.
+	if byAnalyzer["floateq"] != 2 {
+		t.Errorf("floateq findings = %d, want 2", byAnalyzer["floateq"])
+	}
+	if byAnalyzer["burstlint"] != 1 {
+		t.Errorf("unknown-token findings = %d, want 1", byAnalyzer["burstlint"])
+	}
+	if rep.Diagnostics["floateq"] != 2 {
+		t.Errorf("report diagnostics[floateq] = %d, want 2", rep.Diagnostics["floateq"])
+	}
+	if rep.Suppressions["floateq"] != 1 {
+		t.Errorf("report suppressions[floateq] = %d, want 1", rep.Suppressions["floateq"])
 	}
 }

@@ -33,12 +33,26 @@ type Config struct {
 	RandImportFiles []string
 	// FloatPackages hold measurement code where == / != on floats is
 	// forbidden (comparisons against exact sentinels are waived per-site
-	// with //burstlint:ignore floateq).
+	// with //burst:floateq-ok).
 	FloatPackages []string
 	// HotPathFuncs are per-event method names that must stay allocation-
 	// and lookup-free: telemetry handles are acquired at construction,
 	// never here.
 	HotPathFuncs []string
+	// HotPathRoots names additional hot-path entry points per package, as
+	// "Func" or "Type.Method" — the scheduler's dispatch loop, the
+	// timing-wheel and burst-train kernels, the packet pool's get/put.
+	// hotpathalloc seeds its per-package reachability closure from these
+	// plus every HotPathFuncs-named method in a SimPackage.
+	HotPathRoots map[string][]string
+	// CorePackage is the experiment-harness package whose Config feeds the
+	// runcache key derivation and whose Summary/ChainResult encodings the
+	// schema lock pins.
+	CorePackage string
+	// CmdPackagePrefix marks the CLI packages where configdrift's
+	// flag-round-trip rule applies: flag-bound values reach core.Config
+	// only through NewConfig options, never by direct field assignment.
+	CmdPackagePrefix string
 	// PacketPackage is the import path of the pooled-packet package whose
 	// Pool.Get results must be released, forwarded, or stored on every
 	// exit path.
@@ -105,9 +119,27 @@ var Default = Config{
 		"tcpburst/internal/core",
 		"tcpburst/internal/meanfield",
 	},
-	HotPathFuncs:  []string{"Send", "Recv", "Enqueue", "Dequeue", "OnEvent"},
-	PacketPackage: "tcpburst/internal/packet",
-	ShardPackage:  "tcpburst/internal/shard",
+	HotPathFuncs: []string{"Send", "Recv", "Enqueue", "Dequeue", "OnEvent"},
+	// Per-package hot-path entry points beyond the method-name roots: the
+	// event kernel's dispatch loop and per-event scheduling surface, the
+	// lazy-timer and burst-train kernels, and the packet pool. Everything
+	// transitively reachable from these inside their package must stay
+	// allocation-free (or carry a //burst:alloc-ok waiver with a reason).
+	HotPathRoots: map[string][]string{
+		"tcpburst/internal/sim": {
+			"Scheduler.Step", "Scheduler.Run", "Scheduler.RunAll",
+			"Scheduler.At", "Scheduler.After", "Scheduler.AtCall", "Scheduler.AfterCall",
+			"Scheduler.AtOn", "Scheduler.AfterOn", "Scheduler.AtCallOn", "Scheduler.AfterCallOn",
+			"Scheduler.InjectAt", "Scheduler.Cancel",
+			"Timer.Reset", "Timer.ResetAt", "Timer.Stop", "Timer.fire",
+			"Train.Add", "Train.fire",
+		},
+		"tcpburst/internal/packet": {"Pool.Get", "Pool.Put"},
+	},
+	CorePackage:      "tcpburst/internal/core",
+	CmdPackagePrefix: "tcpburst/cmd/",
+	PacketPackage:    "tcpburst/internal/packet",
+	ShardPackage:     "tcpburst/internal/shard",
 	ShardHarnessPackages: []string{
 		"tcpburst/internal/core",
 		"tcpburst/internal/shard",
@@ -152,6 +184,18 @@ func (c Config) FloatPackage(path string) bool { return contains(c.FloatPackages
 // HotPathFunc reports whether a method of this name is a per-event hot
 // path.
 func (c Config) HotPathFunc(name string) bool { return contains(c.HotPathFuncs, name) }
+
+// HotPathRootList returns the explicit hot-path roots declared for the
+// package, as "Func" or "Type.Method" names.
+func (c Config) HotPathRootList(path string) []string { return c.HotPathRoots[path] }
+
+// CorePackageIs reports whether path is the experiment-harness package.
+func (c Config) CorePackageIs(path string) bool { return path == c.CorePackage }
+
+// CmdPackage reports whether path is one of the CLI packages.
+func (c Config) CmdPackage(path string) bool {
+	return strings.HasPrefix(path, c.CmdPackagePrefix)
+}
 
 // ShardHarnessAllowed reports whether path may drive the sharded
 // executor.

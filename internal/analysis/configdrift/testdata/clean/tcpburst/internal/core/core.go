@@ -1,0 +1,22 @@
+// Fixture for configdrift rule 2, happy path: the lock supplied by the
+// test pins exactly this surface, so the analyzer must stay silent.
+package core
+
+const SummarySchemaVersion = 3
+
+const (
+	resultCacheKindPrefix = "result/v9/"
+	chainCacheKind        = "chain/v9"
+)
+
+type Summary struct {
+	SchemaVersion int     `json:"schemaVersion"`
+	COV           float64 `json:"cov"`
+}
+
+type ChainResult struct {
+	SchemaVersion int `json:"schemaVersion"`
+}
+
+var _ = resultCacheKindPrefix
+var _ = chainCacheKind

@@ -1,0 +1,29 @@
+// Fixture for configdrift rule 3: flag-bound values must reach core.Config
+// through NewConfig options, never by direct field assignment.
+package main
+
+import (
+	"flag"
+
+	"tcpburst/internal/core"
+)
+
+func main() {
+	clients := flag.Int("clients", 10, "concurrent clients")
+	var seed int64
+	flag.Int64Var(&seed, "seed", 1, "rng seed")
+	flag.Parse()
+
+	var cfg core.Config
+	cfg.Clients = *clients // want `flag-bound value assigned directly to core\.Config\.Clients`
+	cfg.Seed = seed        // want `flag-bound value assigned directly to core\.Config\.Seed`
+
+	// Indirection does not launder flag-boundness.
+	n := *clients * 2
+	cfg.Clients = n // want `flag-bound value assigned directly to core\.Config\.Clients`
+
+	// Static values and the option round-trip are legal.
+	cfg.Clients = 39
+	cfg = core.NewConfig(core.WithClients(*clients), core.WithSeed(seed))
+	_ = cfg
+}

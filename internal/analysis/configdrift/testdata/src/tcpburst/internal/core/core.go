@@ -1,0 +1,44 @@
+// Fixture for configdrift rule 1 (cache-key participation), impersonating
+// the experiment-harness package. No Summary type here, so the schema-lock
+// rule stays out of the way.
+package core
+
+type Config struct {
+	// Clients participates in the cache key: untagged fields are encoded.
+	Clients int
+	// Seed participates via a named tag.
+	Seed int64 `json:"seed"`
+
+	// Telemetry is an output destination, annotated with a reason: clean.
+	//burst:nocache output destination, never feeds back into results
+	Telemetry string `json:"-"`
+
+	// Debug is excluded with no annotation: drift.
+	Debug bool `json:"-"` // want `core\.Config\.Debug is excluded from the runcache key`
+
+	// Trace is annotated without a reason.
+	//burst:nocache
+	Trace bool `json:"-"` // want `//burst:nocache on core\.Config\.Trace requires a justification`
+
+	// Label participates but carries a leftover annotation.
+	//burst:nocache results do not depend on labels
+	Label string // want `stale //burst:nocache on core\.Config\.Label`
+
+	// unexported fields are not part of the contract.
+	hidden bool `json:"-"`
+}
+
+// Option and NewConfig give the cmd fixture a legal round-trip target.
+type Option func(*Config)
+
+func WithClients(n int) Option { return func(c *Config) { c.Clients = n } }
+
+func WithSeed(s int64) Option { return func(c *Config) { c.Seed = s } }
+
+func NewConfig(opts ...Option) Config {
+	var c Config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}

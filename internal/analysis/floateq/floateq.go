@@ -6,7 +6,7 @@
 // exact sentinels (a count that is precisely 0, an IEEE value produced by
 // assignment rather than arithmetic) are waived per-site with
 //
-//	//burstlint:ignore floateq <why the comparison is exact>
+//	//burst:floateq-ok <why the comparison is exact>
 //
 // which turns each remaining direct comparison into documented intent.
 package floateq
@@ -38,7 +38,7 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			if analysis.IsFloat(pass.TypesInfo.TypeOf(be.X)) || analysis.IsFloat(pass.TypesInfo.TypeOf(be.Y)) {
 				pass.Reportf(be.OpPos,
-					"floating-point %s comparison in measurement code; use a tolerance, or annotate an exact sentinel with //burstlint:ignore floateq", be.Op)
+					"floating-point %s comparison in measurement code; use a tolerance, or annotate an exact sentinel with //burst:floateq-ok", be.Op)
 			}
 			return true
 		})

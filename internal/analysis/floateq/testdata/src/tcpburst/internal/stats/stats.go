@@ -26,6 +26,6 @@ func CountEmpty(n int) bool {
 }
 
 func IsUnset(v float64) bool {
-	//burstlint:ignore floateq -1 is assigned verbatim, never computed
+	//burst:floateq-ok -1 is assigned verbatim, never computed
 	return v == -1
 }

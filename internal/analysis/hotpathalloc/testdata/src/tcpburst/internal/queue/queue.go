@@ -1,0 +1,94 @@
+// Fixture for hotpathalloc, impersonating the gateway-queue sim package.
+// Roots here are the per-event method names (Enqueue/Dequeue/Send/Recv/
+// OnEvent); everything they reach must be allocation-free or annotated.
+package queue
+
+// FIFO is the acceptance-criteria regression: an injected make on the
+// Enqueue path must be flagged.
+type FIFO struct {
+	buf []byte
+	tag string
+	idx map[int]int
+	n   int
+}
+
+func (q *FIFO) Enqueue(now int, p int) bool {
+	q.buf = make([]byte, q.n) // want `hot-path allocation \(make\) in FIFO\.Enqueue, reachable from root FIFO\.Enqueue`
+	return true
+}
+
+// Dequeue allocates only transitively, through a helper two hops down.
+func (q *FIFO) Dequeue(now int) int {
+	return helperAlloc(q)
+}
+
+func helperAlloc(q *FIFO) int {
+	q.idx = map[int]int{} // want `hot-path allocation \(map literal\) in helperAlloc, reachable from root FIFO\.Dequeue`
+	return len(q.idx)
+}
+
+// Send covers the expression-level classifiers.
+func (q *FIFO) Send(now int) {
+	n := q.n
+	f := func() int { return n } // want `closure capturing locals`
+	_ = f()
+	g := func() int { return 42 } // captures nothing: no closure allocation
+	_ = g()
+	q.tag = q.tag + "x"    // want `string concatenation`
+	q.buf = []byte(q.tag)  // want `string conversion`
+	sink = any(now)        // want `interface boxing`
+	logf(1, 2)             // want `variadic boxing`
+	for k := range q.idx { // want `map iteration`
+		_ = k
+	}
+	p := &FIFO{} // want `escaping composite literal`
+	_ = p
+}
+
+// OnEvent shows a justified waiver: no diagnostic.
+func (q *FIFO) OnEvent(now int) {
+	//burst:alloc-ok fixture: deliberate amortized growth
+	q.buf = append(q.buf, 1)
+}
+
+var sink any
+
+func logf(args ...int) {}
+
+// ring is dispatched through an interface: the concrete push must still be
+// on Gateway.Enqueue's hot path.
+type ring interface {
+	push(v int) bool
+}
+
+type denseRing struct {
+	vals []int
+}
+
+func (r *denseRing) push(v int) bool {
+	r.vals = append(r.vals, v) // want `hot-path allocation \(append growth\) in denseRing\.push, reachable from root Gateway\.Enqueue`
+	return true
+}
+
+// looseRing has a push with a different signature, so it does not satisfy
+// ring and stays cold.
+type looseRing struct{ vals []int }
+
+func (r *looseRing) push() {
+	r.vals = append(r.vals, 0)
+}
+
+type Gateway struct {
+	r ring
+}
+
+func (g *Gateway) Enqueue(now int, p int) bool {
+	return g.r.push(p)
+}
+
+// buildTable is construction-time code, unreachable from any root: its
+// allocations are legal.
+func buildTable(n int) []int {
+	out := make([]int, n)
+	return out
+}

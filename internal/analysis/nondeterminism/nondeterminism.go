@@ -15,7 +15,7 @@
 //     through fields or indices, string concatenation, early exit). Pure
 //     collection loops (`keys = append(keys, k)`) are allowed on the
 //     assumption the caller sorts; anything else must collect-and-sort
-//     first or carry a //burstlint:ignore nondeterminism waiver.
+//     first or carry a //burst:nondeterminism-ok waiver.
 package nondeterminism
 
 import (

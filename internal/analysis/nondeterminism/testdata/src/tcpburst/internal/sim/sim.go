@@ -69,6 +69,6 @@ func First(m map[string]int) string {
 
 func Waived(m map[string]int, out func(string)) {
 	for k := range m {
-		out(k) //burstlint:ignore nondeterminism output order is checked by the caller
+		out(k) //burst:nondeterminism-ok output order is checked by the caller
 	}
 }

@@ -21,7 +21,7 @@
 // is discarded or never transferred anywhere in the function. Branches
 // merge optimistically (a transfer in either surviving arm counts), which
 // keeps the check flow-insensitive and false-positive-light; genuinely
-// intentional leaks carry //burstlint:ignore packetrelease with a reason.
+// intentional leaks carry //burst:packetrelease-ok with a reason.
 package packetrelease
 
 import (

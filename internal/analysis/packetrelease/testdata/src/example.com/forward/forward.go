@@ -74,7 +74,7 @@ func neverMoved(pool *packet.Pool) {
 }
 
 func waived(pool *packet.Pool) {
-	pool.Get() //burstlint:ignore packetrelease pre-touching the pool during setup
+	pool.Get() //burst:packetrelease-ok pre-touching the pool during setup
 }
 
 // ---- burst-train batch path ------------------------------------------

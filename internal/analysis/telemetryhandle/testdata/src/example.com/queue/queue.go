@@ -30,7 +30,7 @@ func (q *Queue) OnEvent() {
 }
 
 func (q *Queue) Dequeue() {
-	h := q.reg.Histogram("queue.wait", 1, 8) //burstlint:ignore telemetryhandle cold slow-path rebuild, measured
+	h := q.reg.Histogram("queue.wait", 1, 8) //burst:telemetryhandle-ok cold slow-path rebuild, measured
 	h.Observe(0)
 }
 

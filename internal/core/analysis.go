@@ -13,7 +13,7 @@ import (
 // ModulationFactor returns the measured-to-analytic c.o.v. ratio — how
 // much the transport modulated the Poisson aggregate (1.0 = not at all).
 func ModulationFactor(r *Result) float64 {
-	if r.AnalyticCOV == 0 { //burstlint:ignore floateq assigned 0 marks the analytic c.o.v. undefined
+	if r.AnalyticCOV == 0 { //burst:floateq-ok assigned 0 marks the analytic c.o.v. undefined
 		return 0
 	}
 	return r.COV / r.AnalyticCOV
@@ -82,7 +82,7 @@ func (s *Sweep) RegimeBoundaries(cell Cell, heavyLossPct float64) (clients []int
 		}
 		clients = append(clients, n)
 		switch {
-		case p.Result.LossPct == 0: //burstlint:ignore floateq 0/sent is exactly 0 when nothing dropped
+		case p.Result.LossPct == 0: //burst:floateq-ok 0/sent is exactly 0 when nothing dropped
 			regimes = append(regimes, "uncongested")
 		case p.Result.LossPct < heavyLossPct:
 			regimes = append(regimes, "moderate")
@@ -104,7 +104,7 @@ func (s *Sweep) CompareCells(a, b Cell, metric func(*Result) float64) map[int]fl
 			continue
 		}
 		den := metric(pb.Result)
-		if den == 0 || math.IsNaN(den) { //burstlint:ignore floateq degenerate-denominator guard before division
+		if den == 0 || math.IsNaN(den) { //burst:floateq-ok degenerate-denominator guard before division
 			out[n] = 0
 			continue
 		}

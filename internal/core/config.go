@@ -315,11 +315,13 @@ type Config struct {
 	// TelemetrySink receives the streamed snapshot records. Nil with
 	// telemetry enabled falls back to an in-memory ring returned in
 	// Result.TelemetryRing. Excluded from JSON, and so from cache keys.
+	//burst:nocache a sink is an output destination; the streamed records never feed back into results
 	TelemetrySink telemetry.Sink `json:"-"`
 	// TelemetrySinkFactory, when set, builds the sink per run from the
 	// defaulted configuration — the hook sweeps use to give each run's
 	// records a distinguishing label on a shared stream. It takes
 	// precedence over TelemetrySink. Excluded from JSON.
+	//burst:nocache sink construction only labels output streams; results are identical for any factory
 	TelemetrySinkFactory func(Config) telemetry.Sink `json:"-"`
 
 	// DisablePacketPool runs the experiment without the per-simulation
@@ -334,6 +336,7 @@ type Config struct {
 	// bit-identical to serial ones, so Shards is excluded from JSON — and
 	// therefore from cache keys: the same result artifact serves every
 	// shard count. Packet backend only.
+	//burst:nocache sharded execution is bit-identical to serial (TestCacheKeyShardIndependent), so one artifact serves every shard count
 	Shards int `json:"-"`
 
 	// DisableBatching turns off burst-train coalescing, the idle-link
@@ -341,6 +344,7 @@ type Config struct {
 	// one scheduler event per packet hop. Debug knob: results are
 	// bit-identical either way (the batching equivalence tests enforce
 	// this), so like Shards it is excluded from JSON and cache keys.
+	//burst:nocache batching on and off produce byte-identical results (TestBatchingMatchesUnbatched), so the key must not fork
 	DisableBatching bool `json:"-"`
 }
 
@@ -434,13 +438,13 @@ func (c Config) WithDefaults() Config {
 	if c.Duration == 0 {
 		c.Duration = d.Duration
 	}
-	if c.ClientRateBps == 0 { //burstlint:ignore floateq zero means unset; take the default
+	if c.ClientRateBps == 0 { //burst:floateq-ok zero means unset; take the default
 		c.ClientRateBps = d.ClientRateBps
 	}
 	if c.ClientDelay == 0 {
 		c.ClientDelay = d.ClientDelay
 	}
-	if c.BottleneckRateBps == 0 { //burstlint:ignore floateq zero means unset; take the default
+	if c.BottleneckRateBps == 0 { //burst:floateq-ok zero means unset; take the default
 		c.BottleneckRateBps = d.BottleneckRateBps
 	}
 	if c.BottleneckDelay == 0 {
@@ -467,7 +471,7 @@ func (c Config) WithDefaults() Config {
 	if c.Traffic == 0 {
 		c.Traffic = d.Traffic
 	}
-	if c.ParetoShape == 0 { //burstlint:ignore floateq zero means unset; take the default
+	if c.ParetoShape == 0 { //burst:floateq-ok zero means unset; take the default
 		c.ParetoShape = d.ParetoShape
 	}
 	if c.MeanOnTime == 0 {
@@ -476,16 +480,16 @@ func (c Config) WithDefaults() Config {
 	if c.MeanOffTime == 0 {
 		c.MeanOffTime = d.MeanOffTime
 	}
-	if c.REDMinThreshold == 0 { //burstlint:ignore floateq zero means unset; take the default
+	if c.REDMinThreshold == 0 { //burst:floateq-ok zero means unset; take the default
 		c.REDMinThreshold = d.REDMinThreshold
 	}
-	if c.REDMaxThreshold == 0 { //burstlint:ignore floateq zero means unset; take the default
+	if c.REDMaxThreshold == 0 { //burst:floateq-ok zero means unset; take the default
 		c.REDMaxThreshold = d.REDMaxThreshold
 	}
-	if c.REDWeight == 0 { //burstlint:ignore floateq zero means unset; take the default
+	if c.REDWeight == 0 { //burst:floateq-ok zero means unset; take the default
 		c.REDWeight = d.REDWeight
 	}
-	if c.REDMaxProb == 0 { //burstlint:ignore floateq zero means unset; take the default
+	if c.REDMaxProb == 0 { //burst:floateq-ok zero means unset; take the default
 		c.REDMaxProb = d.REDMaxProb
 	}
 	if c.Vegas == (tcp.VegasParams{}) {

@@ -121,14 +121,14 @@ func TestShardedTelemetryMatchesSerial(t *testing.T) {
 	for i := 0; i < sr.Len(); i++ {
 		st, srow := sr.At(i)
 		ht, hrow := hr.At(i)
-		if st != ht { //burstlint:ignore floateq identical tick grids produce identical float timestamps
+		if st != ht { //burst:floateq-ok identical tick grids produce identical float timestamps
 			t.Fatalf("row %d: tick %v vs %v", i, st, ht)
 		}
 		for j := range srow {
 			if j == events {
 				continue
 			}
-			if srow[j] != hrow[j] { //burstlint:ignore floateq merged shard columns must be bit-identical to serial
+			if srow[j] != hrow[j] { //burst:floateq-ok merged shard columns must be bit-identical to serial
 				t.Errorf("row %d, column %s: serial %v, sharded %v",
 					i, sr.Fields()[j], srow[j], hrow[j])
 			}

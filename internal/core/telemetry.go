@@ -288,7 +288,7 @@ func finishTelemetry(cfg Config, env *buildEnv, rings []*telemetry.Ring, res *Re
 		copy(row, r0)
 		for s := 1; s < len(rings); s++ {
 			ts, rs := rings[s].At(i)
-			if ts != t0 { //burstlint:ignore floateq identical tick grids produce identical float timestamps
+			if ts != t0 { //burst:floateq-ok identical tick grids produce identical float timestamps
 				return fmt.Errorf("telemetry: shard %d tick %v diverges from shard 0 tick %v", s, ts, t0)
 			}
 			for j, v := range rs {

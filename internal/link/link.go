@@ -379,6 +379,7 @@ func (l *Link) vSend(now sim.Time, p *packet.Packet) {
 			// per-event schedule would have consulted drop-tail admission
 			// here, which the pipeline cannot replay. Fail loudly rather
 			// than diverge silently.
+			//burst:alloc-ok panic message formatting on a violated-guarantee path that never returns
 			panic(fmt.Sprintf("link %q: overprovisioned queue reached capacity %d",
 				l.cfg.Name, l.fastFIFO.Cap()))
 		}
@@ -429,6 +430,7 @@ func (l *Link) vPush(e vEntry) {
 		if size == 0 {
 			size = 8
 		}
+		//burst:alloc-ok lazy virtual-slot ring growth is amortized doubling; idle links never allocate
 		grown := make([]vEntry, size)
 		mask := uint64(len(grown) - 1)
 		for i := head; i < l.vAppended; i++ {

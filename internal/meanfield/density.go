@@ -325,7 +325,7 @@ func solveLinear(a [][]float64) []float64 {
 				continue
 			}
 			factor := a[r][col] * inv
-			if factor == 0 { //burstlint:ignore floateq exact-zero factor means the row is already eliminated
+			if factor == 0 { //burst:floateq-ok exact-zero factor means the row is already eliminated
 				continue
 			}
 			row, prow := a[r], a[col]

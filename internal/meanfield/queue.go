@@ -191,7 +191,7 @@ func (op chainOp) step(dist, next []float64) {
 		next[j] = 0
 	}
 	for q, mass := range dist {
-		if mass == 0 { //burstlint:ignore floateq exact empty-bin skip, value is assigned 0
+		if mass == 0 { //burst:floateq-ok exact empty-bin skip, value is assigned 0
 			continue
 		}
 		base := q - 1
@@ -218,7 +218,7 @@ func (op chainOp) step(dist, next []float64) {
 func (op chainOp) tagDropProb(dist []float64) float64 {
 	var p float64
 	for q, mass := range dist {
-		if mass == 0 { //burstlint:ignore floateq exact empty-bin skip, value is assigned 0
+		if mass == 0 { //burst:floateq-ok exact empty-bin skip, value is assigned 0
 			continue
 		}
 		need := op.b - q + 1

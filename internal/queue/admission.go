@@ -47,9 +47,13 @@ func (c AdmissionConfig) Validate() error {
 // bucket is the shared lazy-refill state: a token bucket tracks remaining
 // credit (starts full, refills at rate, arrivals spend), a leaky bucket
 // tracks accumulated volume (starts empty, drains at rate, arrivals add).
+// seen marks a per-flow slot as initialized; flow buckets live in a dense
+// value slice, so first arrival initializes in place instead of heap-
+// allocating a bucket per flow on the enqueue path.
 type bucket struct {
 	level float64
 	last  sim.Time
+	seen  bool
 }
 
 // Admission is the policer-plus-FIFO discipline behind the "tokenbucket"
@@ -60,7 +64,7 @@ type Admission struct {
 	ring  fifoRing
 
 	agg   bucket
-	flows []*bucket // dense per-flow buckets when cfg.PerFlow
+	flows []bucket // dense per-flow buckets when cfg.PerFlow
 
 	shed        uint64
 	forcedDrops uint64
@@ -139,15 +143,16 @@ func (q *Admission) bucketFor(id packet.FlowID, now sim.Time) *bucket {
 		return &q.agg
 	}
 	for int(id) >= len(q.flows) {
-		q.flows = append(q.flows, nil)
+		//burst:alloc-ok dense per-flow table growth amortizes via append doubling; steady state is index-only
+		q.flows = append(q.flows, bucket{})
 	}
-	b := q.flows[id]
-	if b == nil {
-		b = &bucket{last: now}
+	b := &q.flows[id]
+	if !b.seen {
+		b.seen = true
+		b.last = now
 		if !q.leaky {
 			b.level = q.cfg.Burst
 		}
-		q.flows[id] = b
 	}
 	return b
 }

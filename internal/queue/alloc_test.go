@@ -1,0 +1,125 @@
+package queue
+
+import (
+	"testing"
+	"time"
+
+	"tcpburst/internal/packet"
+	"tcpburst/internal/sim"
+)
+
+// Allocation budgets for the PR 9 disciplines: after lazy ring growth and
+// per-flow state warm-up, the CoDel/PIE control loops and both admission
+// policers must run their Enqueue/Dequeue paths without allocating. These
+// are the dynamic counterpart of the hotpathalloc analyzer's static gate.
+
+func TestCoDelEnqueueDequeueAllocFree(t *testing.T) {
+	q, err := NewCoDel(CoDelConfig{
+		Capacity: 32,
+		Target:   5 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewCoDel: %v", err)
+	}
+	p := &packet.Packet{Kind: packet.Data, Size: 1000}
+	now := sim.TimeZero
+	// Warm the lazy ring and enter steady state before measuring.
+	q.Enqueue(now, p)
+	q.Dequeue(now)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += sim.Time(time.Millisecond)
+		q.Enqueue(now, p)
+		q.Dequeue(now + sim.Time(10*time.Millisecond))
+	})
+	if allocs != 0 {
+		t.Errorf("CoDel enqueue+dequeue allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestPIEEnqueueDequeueAllocFree(t *testing.T) {
+	q, err := NewPIE(PIEConfig{
+		Capacity:       32,
+		Target:         15 * time.Millisecond,
+		TUpdate:        15 * time.Millisecond,
+		Alpha:          0.125,
+		Beta:           1.25,
+		MeanPacketTime: time.Millisecond,
+		MaxECNProb:     0.1,
+		RNG:            sim.NewRNG(1),
+	})
+	if err != nil {
+		t.Fatalf("NewPIE: %v", err)
+	}
+	p := &packet.Packet{Kind: packet.Data, Size: 1000}
+	now := sim.TimeZero
+	q.Enqueue(now, p)
+	q.Dequeue(now)
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Advance past TUpdate epochs so the lazy controller steps too.
+		now += sim.Time(20 * time.Millisecond)
+		q.Enqueue(now, p)
+		q.Dequeue(now)
+	})
+	if allocs != 0 {
+		t.Errorf("PIE enqueue+dequeue allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestTokenBucketEnqueueDequeueAllocFree(t *testing.T) {
+	q, err := NewTokenBucket(AdmissionConfig{
+		Capacity: 32,
+		Rate:     1e6,
+		Burst:    32,
+	})
+	if err != nil {
+		t.Fatalf("NewTokenBucket: %v", err)
+	}
+	p := &packet.Packet{Kind: packet.Data, Size: 1000}
+	now := sim.TimeZero
+	q.Enqueue(now, p)
+	q.Dequeue(now)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += sim.Time(time.Millisecond)
+		q.Enqueue(now, p)
+		q.Dequeue(now)
+	})
+	if allocs != 0 {
+		t.Errorf("token bucket enqueue+dequeue allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestPerFlowPolicerEnqueueDequeueAllocFree(t *testing.T) {
+	// Per-flow policing used to heap-allocate a bucket per new flow on the
+	// enqueue path; the dense value table must make a warmed flow free and
+	// a brand-new flow id cost only amortized table growth.
+	q, err := NewLeakyBucket(AdmissionConfig{
+		Capacity: 64,
+		Rate:     1e6,
+		Burst:    64,
+		PerFlow:  true,
+	})
+	if err != nil {
+		t.Fatalf("NewLeakyBucket: %v", err)
+	}
+	const flows = 8
+	now := sim.TimeZero
+	ps := make([]*packet.Packet, flows)
+	for i := range ps {
+		ps[i] = &packet.Packet{Kind: packet.Data, Size: 1000, Flow: packet.FlowID(i)}
+		q.Enqueue(now, ps[i])
+	}
+	for q.Dequeue(now) != nil {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += sim.Time(time.Millisecond)
+		for _, p := range ps {
+			q.Enqueue(now, p)
+		}
+		for q.Dequeue(now) != nil {
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("per-flow policer allocates %.1f objects/op over %d warmed flows, want 0", allocs, flows)
+	}
+}

@@ -255,6 +255,7 @@ func (r *codelRing) push(p *packet.Packet, now sim.Time) bool {
 				size <<= 1
 			}
 		}
+		//burst:alloc-ok lazy ring growth doubles toward fixed capacity, then never reallocates
 		grown := make([]codelEntry, size)
 		for i := 0; i < r.n; i++ {
 			grown[i] = r.buf[(r.head+i)&r.mask]

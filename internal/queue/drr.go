@@ -86,10 +86,12 @@ func (q *DRR) Enqueue(_ sim.Time, p *packet.Packet) bool {
 		}
 		q.evictFrom(longest)
 	}
+	//burst:alloc-ok per-flow queue growth amortizes via append doubling and stays bounded by capacity
 	f.pkts = append(f.pkts, p)
 	q.total++
 	if !f.active {
 		f.active = true
+		//burst:alloc-ok active-ring growth is bounded by the flow count and amortized
 		q.ring = append(q.ring, f)
 	}
 	return true
@@ -163,10 +165,14 @@ func (q *DRR) FlowQueueLen(id packet.FlowID) int {
 
 func (q *DRR) flow(id packet.FlowID) *drrFlow {
 	for int(id) >= len(q.flows) {
+		//burst:alloc-ok dense flow-table growth is one-time per flow id, amortized by doubling
 		q.flows = append(q.flows, nil)
 	}
 	f := q.flows[id]
 	if f == nil {
+		// The active ring keeps *drrFlow pointers, so flows must be heap
+		// objects with stable addresses — one allocation per flow lifetime.
+		//burst:alloc-ok per-flow state allocated once on first arrival; steady state is index-only
 		f = &drrFlow{id: id}
 		q.flows[id] = f
 	}
@@ -211,6 +217,7 @@ func (q *DRR) deactivate(i int) {
 	q.ring[i].active = false
 	q.ring[i].deficit = 0
 	q.ring[i].visited = false
+	//burst:alloc-ok in-place removal appends into the same backing array and can never grow it
 	q.ring = append(q.ring[:i], q.ring[i+1:]...)
 	if q.next > i {
 		q.next--

@@ -148,7 +148,7 @@ func (q *PIE) qdelay() sim.Duration {
 func (q *PIE) step(now sim.Time) {
 	for !now.Before(q.lastUpdate.Add(q.cfg.TUpdate)) {
 		qd := q.qdelay()
-		if q.prob == 0 && qd == 0 && q.qdelayOld == 0 { //burstlint:ignore floateq exact zero is the controller's settled state
+		if q.prob == 0 && qd == 0 && q.qdelayOld == 0 { //burst:floateq-ok exact zero is the controller's settled state
 			// Settled at zero: every remaining epoch is a no-op, so jump
 			// the epoch clock to the last boundary at or before now.
 			elapsed := now.Sub(q.lastUpdate)

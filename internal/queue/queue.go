@@ -83,6 +83,7 @@ func (r *fifoRing) grow() {
 			size <<= 1
 		}
 	}
+	//burst:alloc-ok lazy ring growth doubles toward fixed capacity, then never reallocates
 	grown := make([]*packet.Packet, size)
 	for i := 0; i < r.n; i++ {
 		grown[i] = r.buf[(r.head+i)&r.mask]

@@ -145,7 +145,7 @@ func (s Spec) Lower() (Legacy, bool) {
 			}
 			seen++
 			x, err := strconv.ParseFloat(v, 64)
-			if err != nil || x == 0 { //burstlint:ignore floateq zero is the flat fields' "unset" sentinel and cannot lower
+			if err != nil || x == 0 { //burst:floateq-ok zero is the flat fields' "unset" sentinel and cannot lower
 				return Legacy{}, false
 			}
 			*f.dst = x

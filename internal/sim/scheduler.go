@@ -249,6 +249,7 @@ func (s *Scheduler) InjectAt(t Time, ord uint64, fn func(any), arg any) Handle {
 		return Handle{}
 	}
 	if t < s.now {
+		//burst:alloc-ok panic message formatting on a violated-invariant path that never returns
 		panic(fmt.Sprintf("sim: InjectAt(%v) behind clock %v: lookahead violated", t, s.now))
 	}
 	return s.scheduleOrd(t, ord, nil, fn, arg)
@@ -271,6 +272,7 @@ func (s *Scheduler) scheduleOrd(t Time, ord uint64, fn func(), afn func(any), ar
 		idx = s.freeHead
 		s.freeHead = s.slots[idx].next
 	} else {
+		//burst:alloc-ok slot-arena growth is amortized doubling; the free list recycles slots in steady state
 		s.slots = append(s.slots, eventSlot{})
 		idx = int32(len(s.slots) - 1)
 	}
@@ -539,6 +541,7 @@ func (s *Scheduler) Step() bool {
 // per event.
 func (s *Scheduler) Run(horizon Time) error {
 	if horizon < s.now {
+		//burst:alloc-ok error construction on the rejected-precondition path, not per event
 		return fmt.Errorf("run horizon %v precedes now %v", horizon, s.now)
 	}
 	s.stopped = false
@@ -601,6 +604,7 @@ func (s *Scheduler) setNode(i int, n heapNode) {
 // push appends n and sifts it up, writing the moving node only once at
 // its final position instead of swapping at every level.
 func (s *Scheduler) push(n heapNode) {
+	//burst:alloc-ok far-heap growth is amortized doubling, bounded by pending far timers
 	s.heap = append(s.heap, n)
 	s.slots[n.slot].pos = int32(len(s.heap) - 1)
 	s.siftUp(len(s.heap) - 1)

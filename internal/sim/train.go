@@ -91,6 +91,7 @@ func (tr *Train) grow() {
 	if size == 0 {
 		size = 16
 	}
+	//burst:alloc-ok train-ring growth is amortized doubling, bounded by the longest coalesced burst
 	buf := make([]trainElem, size)
 	for i := 0; i < tr.n; i++ {
 		buf[i] = tr.buf[(tr.head+i)&tr.mask]

@@ -24,7 +24,7 @@ func IndexOfDispersion(counts []float64, m int) float64 {
 	for _, x := range agg {
 		w.Add(x * float64(m))
 	}
-	if w.Mean() == 0 { //burstlint:ignore floateq zero-mean guard before division
+	if w.Mean() == 0 { //burst:floateq-ok zero-mean guard before division
 		return 0
 	}
 	return w.PopVariance() / w.Mean()
@@ -36,7 +36,7 @@ func IndexOfDispersion(counts []float64, m int) float64 {
 func IDCCurve(counts []float64) (ms []int, idc []float64) {
 	for m := 1; len(counts)/m >= 8; m *= 2 {
 		v := IndexOfDispersion(counts, m)
-		if v == 0 { //burstlint:ignore floateq IndexOfDispersion returns assigned 0 when undefined
+		if v == 0 { //burst:floateq-ok IndexOfDispersion returns assigned 0 when undefined
 			continue
 		}
 		ms = append(ms, m)
@@ -53,7 +53,7 @@ func PeakToMean(xs []float64) float64 {
 		return 0
 	}
 	w := Summarize(xs)
-	if w.Mean() == 0 { //burstlint:ignore floateq zero-mean guard before division
+	if w.Mean() == 0 { //burst:floateq-ok zero-mean guard before division
 		return 0
 	}
 	max := math.Inf(-1)

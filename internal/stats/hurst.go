@@ -75,7 +75,7 @@ func HurstRS(xs []float64) float64 {
 func rescaledRange(block []float64) (float64, bool) {
 	w := Summarize(block)
 	sd := math.Sqrt(w.PopVariance())
-	if sd == 0 { //burstlint:ignore floateq zero-deviation guard before division
+	if sd == 0 { //burst:floateq-ok zero-deviation guard before division
 		return 0, false
 	}
 	mean := w.Mean()
@@ -110,7 +110,7 @@ func regressSlope(x, y []float64) (float64, bool) {
 		sxy += x[i] * y[i]
 	}
 	denom := n*sxx - sx*sx
-	if denom == 0 { //burstlint:ignore floateq degenerate-denominator guard before division
+	if denom == 0 { //burst:floateq-ok degenerate-denominator guard before division
 		return 0, false
 	}
 	return (n*sxy - sx*sy) / denom, true
@@ -124,7 +124,7 @@ func Autocorrelation(xs []float64, k int) float64 {
 	}
 	w := Summarize(xs)
 	denom := w.PopVariance() * float64(len(xs))
-	if denom == 0 { //burstlint:ignore floateq degenerate-denominator guard before division
+	if denom == 0 { //burst:floateq-ok degenerate-denominator guard before division
 		return 0
 	}
 	mean := w.Mean()

@@ -52,7 +52,7 @@ func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 // COV returns the coefficient of variation — standard deviation over mean —
 // the paper's burstiness measure. It returns 0 for a zero mean.
 func (w *Welford) COV() float64 {
-	if w.mean == 0 { //burstlint:ignore floateq zero-mean guard before division
+	if w.mean == 0 { //burst:floateq-ok zero-mean guard before division
 		return 0
 	}
 	return w.StdDev() / w.mean
@@ -116,7 +116,7 @@ func JainIndex(xs []float64) float64 {
 		sum += x
 		sumSq += x * x
 	}
-	if sumSq == 0 { //burstlint:ignore floateq all-zero series guard before division
+	if sumSq == 0 { //burst:floateq-ok all-zero series guard before division
 		return 0
 	}
 	return sum * sum / (float64(len(xs)) * sumSq)
@@ -131,7 +131,7 @@ func Correlation(x, y []float64) float64 {
 	}
 	wx, wy := Summarize(x), Summarize(y)
 	sx, sy := math.Sqrt(wx.PopVariance()), math.Sqrt(wy.PopVariance())
-	if sx == 0 || sy == 0 { //burstlint:ignore floateq zero-deviation guard before division
+	if sx == 0 || sy == 0 { //burst:floateq-ok zero-deviation guard before division
 		return 0
 	}
 	mx, my := wx.Mean(), wy.Mean()
